@@ -1,0 +1,54 @@
+// Ablation B (paper §4.2): benign-race distance updates vs atomic
+// compare-and-swap in the shared-memory BFS. The paper measures <0.5%
+// duplicate insertions at six-way threading and avoids non-scaling
+// atomics entirely. We report the duplicate rate and host wall time for
+// both modes at several thread counts (real execution, not simulated —
+// on a single-core CI host the thread counts oversubscribe and the
+// duplicate count is structurally 0; the invariant bound still holds).
+#include "bench_common.hpp"
+
+#include "bfs/shared.hpp"
+
+int main() {
+  using namespace dbfs;
+  using namespace dbfs::bench;
+
+  const int scale = util::bench_scale(15);
+  const Workload w = make_rmat_workload(scale, 16, 1);
+  const vid_t source = w.sources.front();
+
+  print_header("Ablation: benign races vs atomic visited updates",
+               "§4.2 (<0.5% extra insertions at 6-way threading)",
+               "ours: scale " + std::to_string(scale) +
+                   " R-MAT, host execution");
+
+  std::printf("%-10s %-10s %16s %16s %14s\n", "threads", "mode",
+              "duplicates", "dup rate", "wall (ms)");
+  for (int threads : {1, 2, 4, 6}) {
+    for (bool atomics : {false, true}) {
+      bfs::SharedBfsOptions opts;
+      opts.num_threads = threads;
+      opts.use_atomics = atomics;
+      // Median of three runs to de-noise the wall time.
+      std::vector<double> times;
+      bfs::SharedBfsResult result;
+      for (int rep = 0; rep < 3; ++rep) {
+        result = bfs::shared_bfs(w.built.csr, source, opts);
+        times.push_back(result.out.report.total_seconds);
+      }
+      vid_t visited = 0;
+      for (level_t l : result.out.level) {
+        if (l >= 0) ++visited;
+      }
+      std::printf("%-10d %-10s %16lld %15.4f%% %14.3f\n", threads,
+                  atomics ? "atomic" : "benign",
+                  static_cast<long long>(result.duplicate_insertions),
+                  100.0 * static_cast<double>(result.duplicate_insertions) /
+                      static_cast<double>(visited),
+                  util::percentile(times, 0.5) * 1e3);
+    }
+  }
+  std::printf("\nexpected: duplicate rate well under 0.5%% (paper's bound); "
+              "benign mode avoids the atomics' overhead\n");
+  return 0;
+}

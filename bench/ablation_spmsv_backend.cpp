@@ -1,0 +1,58 @@
+// Ablation C (paper §4.2): the SpMSV back-end polyalgorithm inside the
+// full 2D BFS. Forces the SPA and the heap merge across a core-count
+// sweep and compares against the automatic selector. Expected: SPA wins
+// while the per-rank sub-problems are dense relative to the block
+// dimension (low core counts); the heap takes over as blocks go
+// hypersparse (high core counts); auto tracks the better of the two.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dbfs;
+  using namespace dbfs::bench;
+
+  const int scale = util::bench_scale(15);
+  const int nsources = bench_sources(2);
+  const Workload w = make_rmat_workload(scale, 16, nsources);
+  const auto machine =
+      scaled_machine(model::franklin(), w.built.directed_edge_count, 33.0);
+
+  print_header("Ablation: SpMSV back end inside 2D BFS (SPA / heap / auto)",
+               "§4.2 polyalgorithm, Fig 3 crossover",
+               "ours: scale " + std::to_string(scale) +
+                   " R-MAT, latency-rescaled franklin");
+
+  std::printf("%-8s %14s %14s %14s %20s\n", "cores", "spa (ms)",
+              "heap (ms)", "auto (ms)", "auto picks (spa/heap)");
+  for (int cores : {64, 256, 1024, 4096, 16384}) {
+    double times[3] = {0, 0, 0};
+    std::int64_t spa_calls = 0;
+    std::int64_t heap_calls = 0;
+    const sparse::SpmsvBackend backends[3] = {sparse::SpmsvBackend::kSpa,
+                                              sparse::SpmsvBackend::kHeap,
+                                              sparse::SpmsvBackend::kAuto};
+    for (int b = 0; b < 3; ++b) {
+      core::EngineOptions opts;
+      opts.algorithm = core::Algorithm::kTwoDFlat;
+      opts.cores = cores;
+      opts.machine = machine;
+      opts.backend = backends[b];
+      core::Engine engine{w.built.edges, w.n, opts};
+      for (vid_t source : w.sources) {
+        const auto out = engine.run(source);
+        times[b] += out.report.total_seconds;
+        if (b == 2) {
+          spa_calls += out.report.spmsv_spa_calls;
+          heap_calls += out.report.spmsv_heap_calls;
+        }
+      }
+      times[b] /= static_cast<double>(w.sources.size());
+    }
+    std::printf("%-8d %14.3f %14.3f %14.3f %11lld/%-8lld\n", cores,
+                times[0] * 1e3, times[1] * 1e3, times[2] * 1e3,
+                static_cast<long long>(spa_calls),
+                static_cast<long long>(heap_calls));
+  }
+  std::printf("\nexpected: SPA ahead at low core counts, heap ahead at "
+              "high core counts, auto close to min(spa, heap)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared plumbing for the table/figure harnesses: consistent headers,
+// row printing, graph preparation, and source selection. Every bench
+// prints one self-describing block per paper table/figure so the
+// combined bench output doubles as the EXPERIMENTS.md raw data.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/options.hpp"
+
+namespace dbfs::bench {
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const std::string& config) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  (paper: %s)\n", experiment, paper_ref);
+  if (!config.empty()) std::printf("%s\n", config.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prepared R-MAT instance + sampled sources in the big component.
+struct Workload {
+  graph::BuiltGraph built;
+  std::vector<vid_t> sources;
+  vid_t n = 0;
+};
+
+inline Workload make_rmat_workload(int scale, int edge_factor, int nsources,
+                                   std::uint64_t seed = 1) {
+  Workload w;
+  graph::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = seed;
+  w.built = graph::build_graph(graph::generate_rmat(params));
+  w.n = w.built.csr.num_vertices();
+  const auto comps = graph::connected_components(w.built.csr);
+  w.sources = graph::sample_sources(w.built.csr, comps, nsources, seed + 7);
+  return w;
+}
+
+/// Number of BFS sources per configuration; benches default low so the
+/// whole suite runs in seconds (BFSSIM_SOURCES overrides; the paper uses
+/// >= 16).
+inline int bench_sources(int dflt = 4) {
+  return static_cast<int>(util::env_int("BFSSIM_SOURCES", dflt));
+}
+
+/// Mean simulated seconds + mean comm seconds for one engine config over
+/// the workload's sources.
+struct MeanTimes {
+  double total = 0;
+  double comm = 0;
+  double comp = 0;
+  double gteps = 0;
+  int cores_used = 0;
+};
+
+inline MeanTimes run_config(const Workload& w, core::EngineOptions opts) {
+  core::Engine engine{w.built.edges, w.n, opts};
+  MeanTimes mt;
+  mt.cores_used = engine.cores_used();
+  double teps_recip_sum = 0.0;
+  for (vid_t source : w.sources) {
+    const auto out = engine.run(source);
+    mt.total += out.report.total_seconds;
+    mt.comm += out.report.comm_seconds_mean;
+    mt.comp += out.report.comp_seconds_mean;
+    teps_recip_sum +=
+        1.0 / out.report.teps(w.built.directed_edge_count);
+  }
+  const auto k = static_cast<double>(w.sources.size());
+  mt.total /= k;
+  mt.comm /= k;
+  mt.comp /= k;
+  mt.gteps = k / teps_recip_sum / 1e9;  // harmonic mean
+  return mt;
+}
+
+/// Machine miniaturization (see DESIGN.md and EXPERIMENTS.md): our graphs
+/// are ~2^10-2^17x smaller than the paper's, so per-rank data volumes —
+/// and with them every bandwidth-proportional term — shrink by that
+/// factor automatically. Two classes of constants do NOT shrink by
+/// themselves and must be rescaled to keep the paper's operating point:
+///  * fixed latencies (per-message αN, thread barriers), which would
+///    otherwise swamp the scaled-down levels at the paper's core counts;
+///  * cache capacities: at the paper's scale the n/p-sized 1D distance
+///    array is DRAM-resident and the n/sqrt(p)-sized 2D vectors more so —
+///    the very contrast §5 builds on. Unscaled caches would swallow both
+///    working sets and erase the 1D-vs-2D computation gap.
+/// `paper_log2_edges` is the log2 of the paper run's directed edge count
+/// (e.g. 33 for the scale-29, ef-16 instances).
+inline model::MachineModel scaled_machine(model::MachineModel m,
+                                          eid_t our_directed_edges,
+                                          double paper_log2_edges) {
+  const double factor = static_cast<double>(our_directed_edges) /
+                        std::pow(2.0, paper_log2_edges);
+  return model::miniaturized(std::move(m), factor);
+}
+
+}  // namespace dbfs::bench

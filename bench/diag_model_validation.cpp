@@ -1,0 +1,66 @@
+// Diagnostic: cross-validation of the two timing paths. The volume-
+// profile pricing (core/volume_profile.hpp) extrapolates the figures
+// beyond the functional simulator's range, so the two must agree where
+// both can run. This harness sweeps (algorithm, machine, cores) and
+// prints functional-vs-priced totals with their ratio; large systematic
+// drift here would undermine every starred point in Figs 5-9.
+#include "bench_common.hpp"
+
+#include "core/volume_profile.hpp"
+
+int main() {
+  using namespace dbfs;
+  using namespace dbfs::bench;
+
+  const int scale = util::bench_scale(14);
+  const Workload w = make_rmat_workload(scale, 16, 2);
+  const auto profile = core::VolumeProfile::measure(
+      w.built.csr, w.sources.front());
+
+  print_header("Diagnostic: functional simulator vs volume-profile pricing",
+               "internal consistency of the starred figure points",
+               "ours: scale " + std::to_string(scale) +
+                   " R-MAT, ratio = priced / functional (1.0 = perfect)");
+
+  std::printf("%-10s %-8s %-8s %14s %14s %8s\n", "machine", "algo", "cores",
+              "functional(us)", "priced (us)", "ratio");
+
+  double worst = 1.0;
+  for (const char* machine_name : {"franklin", "hopper"}) {
+    const auto machine = scaled_machine(model::preset(machine_name),
+                                        w.built.directed_edge_count, 33.0);
+    for (int cores : {64, 256, 1024}) {
+      for (bool two_d : {false, true}) {
+        core::EngineOptions opts;
+        opts.algorithm = two_d ? core::Algorithm::kTwoDFlat
+                               : core::Algorithm::kOneDFlat;
+        opts.cores = cores;
+        opts.machine = machine;
+        core::Engine engine{w.built.edges, w.n, opts};
+        const auto functional =
+            engine.run(w.sources.front()).report.total_seconds;
+
+        double priced;
+        if (two_d) {
+          core::Price2DOptions o;
+          o.cores = cores;
+          priced = core::price_2d(profile, machine, o).total_seconds;
+        } else {
+          core::Price1DOptions o;
+          o.cores = cores;
+          priced = core::price_1d(profile, machine, o).total_seconds;
+        }
+        const double ratio = priced / functional;
+        worst = std::max(worst, std::max(ratio, 1.0 / ratio));
+        std::printf("%-10s %-8s %-8d %14.2f %14.2f %8.2f\n", machine_name,
+                    two_d ? "2d" : "1d", cores, functional * 1e6,
+                    priced * 1e6, ratio);
+      }
+    }
+  }
+  std::printf("\nworst-case disagreement: %.2fx (figure harnesses also "
+              "apply one-point calibration at the handoff, tightening "
+              "this further)\n",
+              worst);
+  return 0;
+}

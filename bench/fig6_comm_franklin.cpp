@@ -1,0 +1,51 @@
+// Figure 6: inter-node MPI communication time (seconds, incl. barrier
+// waits) on Franklin for the same configurations as Figure 5. Expected
+// shape (paper §6): the 2D algorithms consistently spend 30-60% less
+// time in communication than their 1D counterparts — smaller collective
+// groups (sqrt(p) participants) move the same data faster — and the
+// hybrid variants cut communication further by shrinking the groups.
+#include "scaling_common.hpp"
+
+int main() {
+  using namespace dbfs;
+  using namespace dbfs::bench;
+
+  const int nsources = bench_sources();
+
+  {
+    const int scale = util::bench_scale(15);
+    ScalingSpec spec;
+    spec.title = "Figure 6(a): communication time, Franklin";
+    spec.paper_ref = "Fig 6(a), n=2^29 m=2^33";
+    spec.machine = model::franklin();
+    spec.paper_log2_edges = 33;
+    spec.cores = {512, 1024, 2048, 4096};
+    spec.scale = scale;
+    spec.edge_factor = 16;
+    const Workload w = make_rmat_workload(scale, 16, nsources);
+    print_header(spec.title, spec.paper_ref,
+                 "ours: scale " + std::to_string(scale) +
+                     ", edgefactor 16, latency-rescaled franklin");
+    ScalingRunner runner{spec, w};
+    runner.print_table(/*show_comm=*/true);
+  }
+
+  {
+    const int scale = util::bench_scale(16);
+    ScalingSpec spec;
+    spec.title = "Figure 6(b): communication time, Franklin";
+    spec.paper_ref = "Fig 6(b), n=2^32 m=2^36";
+    spec.machine = model::franklin();
+    spec.paper_log2_edges = 36;
+    spec.cores = {4096, 6400, 8192};
+    spec.scale = scale;
+    spec.edge_factor = 16;
+    const Workload w = make_rmat_workload(scale, 16, nsources);
+    print_header(spec.title, spec.paper_ref,
+                 "ours: scale " + std::to_string(scale) +
+                     ", edgefactor 16, latency-rescaled franklin");
+    ScalingRunner runner{spec, w};
+    runner.print_table(/*show_comm=*/true);
+  }
+  return 0;
+}

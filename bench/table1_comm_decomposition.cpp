@@ -1,0 +1,68 @@
+// Table 1: decomposition of communication time for the flat (MPI-only)
+// 2D algorithm on Franklin, R-MAT graphs with a constant edge budget and
+// varying sparsity: (scale 27, deg 64), (scale 29, deg 16), (scale 31,
+// deg 4), at 1024 / 2025 / 4096 cores. Expected shapes (paper §5.2/§6):
+//  * Allgatherv (expand) always consumes a larger share of BFS time than
+//    Alltoallv (fold),
+//  * the gap widens as the graph gets sparser — for fixed edges the
+//    vector dimension grows, and only the expand volume scales with it,
+//  * both percentages rise with the core count.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dbfs;
+  using namespace dbfs::bench;
+
+  const int mid_scale = util::bench_scale(16);
+  const int nsources = bench_sources(2);
+
+  print_header("Table 1: communication decomposition, flat 2D, Franklin",
+               "Table 1, scales {27,29,31}, edge factors {64,16,4}",
+               "ours: scales {" + std::to_string(mid_scale - 2) + "," +
+                   std::to_string(mid_scale) + "," +
+                   std::to_string(mid_scale + 2) +
+                   "}, fixed edge budget, latency-rescaled franklin");
+
+  std::printf("%-8s %-10s %-8s %14s %14s %14s\n", "cores", "scale",
+              "degree", "BFS time (ms)", "Allgatherv", "Alltoallv");
+
+  struct Config {
+    int scale;
+    int degree;
+  };
+  const Config configs[] = {{mid_scale - 2, 64},
+                            {mid_scale, 16},
+                            {mid_scale + 2, 4}};
+
+  for (int cores : {1024, 2025, 4096}) {
+    for (const Config& cfg : configs) {
+      const Workload w = make_rmat_workload(cfg.scale, cfg.degree, nsources);
+      const auto machine = scaled_machine(
+          model::franklin(), w.built.directed_edge_count, 33.0);
+
+      core::EngineOptions opts;
+      opts.algorithm = core::Algorithm::kTwoDFlat;
+      opts.cores = cores;
+      opts.machine = machine;
+      core::Engine engine{w.built.edges, w.n, opts};
+
+      double total = 0;
+      double ag = 0;
+      double a2a = 0;
+      for (vid_t source : w.sources) {
+        const auto out = engine.run(source);
+        total += out.report.total_seconds;
+        ag += out.report.allgather_seconds;
+        a2a += out.report.alltoall_seconds;
+      }
+      const auto k = static_cast<double>(w.sources.size());
+      std::printf("%-8d %-10d %-8d %14.3f %13.1f%% %13.1f%%\n", cores,
+                  cfg.scale, cfg.degree, total / k * 1e3,
+                  100.0 * ag / total, 100.0 * a2a / total);
+    }
+  }
+  std::printf("\nexpected: Allgatherv%% > Alltoallv%% everywhere; gap widens "
+              "with sparsity (larger scale, lower degree); both rise with "
+              "cores\n");
+  return 0;
+}

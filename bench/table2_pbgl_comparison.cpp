@@ -1,0 +1,51 @@
+// Table 2: performance comparison with the Parallel Boost Graph Library
+// on Carver (Nehalem + QDR InfiniBand): MTEPS of PBGL vs our Flat 2D at
+// 128 and 256 cores, R-MAT scales 22 and 24. Expected shape (paper §6):
+// the tuned Flat 2D code is roughly an order of magnitude faster (up to
+// 16x), and PBGL barely improves — or regresses — when doubling cores.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dbfs;
+  using namespace dbfs::bench;
+
+  const int small_scale = util::bench_scale(14);
+  const int big_scale = small_scale + 2;
+  const int nsources = bench_sources(2);
+
+  print_header("Table 2: PBGL comparison on Carver (MTEPS)",
+               "Table 2, scales {22,24}, p in {128,256}",
+               "ours: scales {" + std::to_string(small_scale) + "," +
+                   std::to_string(big_scale) +
+                   "}, latency-rescaled carver");
+
+  std::printf("%-8s %-10s %16s %16s %10s\n", "cores", "code",
+              ("scale " + std::to_string(small_scale)).c_str(),
+              ("scale " + std::to_string(big_scale)).c_str(), "ratio");
+
+  for (int cores : {128, 256}) {
+    double mteps[2][2] = {{0, 0}, {0, 0}};  // [code][scale]
+    for (int si = 0; si < 2; ++si) {
+      const int scale = si == 0 ? small_scale : big_scale;
+      const Workload w = make_rmat_workload(scale, 16, nsources);
+      const auto machine = scaled_machine(
+          model::carver(), w.built.directed_edge_count, 26.0);
+      for (int code = 0; code < 2; ++code) {
+        core::EngineOptions opts;
+        opts.algorithm = code == 0 ? core::Algorithm::kPbglLike
+                                   : core::Algorithm::kTwoDFlat;
+        opts.cores = cores;
+        opts.machine = machine;
+        const MeanTimes mt = run_config(w, opts);
+        mteps[code][si] = mt.gteps * 1e3;
+      }
+    }
+    std::printf("%-8d %-10s %16.1f %16.1f\n", cores, "PBGL-like",
+                mteps[0][0], mteps[0][1]);
+    std::printf("%-8d %-10s %16.1f %16.1f %9.1fx\n", cores, "Flat 2D",
+                mteps[1][0], mteps[1][1], mteps[1][0] / mteps[0][0]);
+  }
+  std::printf("\nexpected: Flat 2D an order of magnitude faster (paper: up "
+              "to 16x); PBGL gains little from doubling cores\n");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// bfs_tool: the full-featured command-line driver for the library —
+// choose a graph (generator or file), an algorithm, a machine model, and
+// a core count; run validated BFS and print the report. The "swiss army
+// knife" a downstream user reaches for first.
+//
+//   bfs_tool --gen rmat --scale 16 --cores 1024 --algo 2d-hybrid
+//     --machine hopper --sources 16
+//   bfs_tool --input graph.mtx --algo 1d --cores 256 --triangular
+#include <cstdio>
+#include <string>
+
+#include "core/engine.hpp"
+#include "bfs/report_json.hpp"
+#include "core/teps.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace dbfs;
+
+core::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "serial") return core::Algorithm::kSerial;
+  if (name == "shared") return core::Algorithm::kShared;
+  if (name == "1d") return core::Algorithm::kOneDFlat;
+  if (name == "1d-hybrid") return core::Algorithm::kOneDHybrid;
+  if (name == "2d") return core::Algorithm::kTwoDFlat;
+  if (name == "2d-hybrid") return core::Algorithm::kTwoDHybrid;
+  if (name == "graph500-ref") return core::Algorithm::kGraph500Ref;
+  if (name == "pbgl") return core::Algorithm::kPbglLike;
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+graph::EdgeList load_or_generate(const util::ArgParser& args) {
+  const std::string input = args.get("input", "");
+  if (!input.empty()) {
+    if (input.size() > 4 && input.substr(input.size() - 4) == ".mtx") {
+      return graph::read_matrix_market_file(input);
+    }
+    if (input.size() > 4 && input.substr(input.size() - 4) == ".bin") {
+      return graph::read_edge_list_binary_file(input);
+    }
+    return graph::read_edge_list_text_file(input);
+  }
+
+  const std::string gen = args.get("gen", "rmat");
+  const int scale = static_cast<int>(args.get_int("scale", 14));
+  const int degree = static_cast<int>(args.get_int("degree", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (gen == "rmat") {
+    graph::RmatParams p;
+    p.scale = scale;
+    p.edge_factor = degree;
+    p.seed = seed;
+    return graph::generate_rmat(p);
+  }
+  if (gen == "er") {
+    graph::ErdosRenyiParams p;
+    p.num_vertices = vid_t{1} << scale;
+    p.edge_probability =
+        static_cast<double>(degree) / static_cast<double>(p.num_vertices);
+    p.seed = seed;
+    return graph::generate_erdos_renyi(p);
+  }
+  if (gen == "webcrawl") {
+    graph::WebcrawlParams p;
+    p.num_vertices = vid_t{1} << scale;
+    p.target_diameter = static_cast<int>(args.get_int("diameter", 140));
+    p.seed = seed;
+    return graph::generate_webcrawl(p);
+  }
+  throw std::invalid_argument("unknown generator: " + gen);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  args.describe("input", "read graph from file (.txt/.bin/.mtx) instead of generating")
+      .describe("gen", "generator: rmat | er | webcrawl", "rmat")
+      .describe("scale", "log2 of vertex count for generators", "14")
+      .describe("degree", "average degree / edge factor", "16")
+      .describe("diameter", "webcrawl target diameter", "140")
+      .describe("seed", "generator seed", "1")
+      .describe("algo",
+                "serial | shared | 1d | 1d-hybrid | 2d | 2d-hybrid | "
+                "graph500-ref | pbgl",
+                "2d-hybrid")
+      .describe("cores", "simulated core count", "1024")
+      .describe("threads", "threads per rank (0 = machine default)", "0")
+      .describe("machine", "franklin | hopper | carver | generic", "hopper")
+      .describe("backend", "spmsv back end: auto | spa | heap", "auto")
+      .describe("triangular", "store only the upper triangle (2D only)")
+      .describe("sources", "number of BFS sources (Graph500 style)", "4")
+      .describe("no-shuffle", "skip the random vertex relabeling")
+      .describe("save", "write the prepared graph to this file and exit")
+      .describe("json", "print the first run's full report as JSON")
+      .describe("help", "print this message");
+
+  if (args.get_flag("help")) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  for (const std::string& key : args.unknown_keys()) {
+    std::fprintf(stderr, "warning: unknown option --%s\n", key.c_str());
+  }
+
+  try {
+    graph::BuildOptions build;
+    build.shuffle = !args.get_flag("no-shuffle");
+    build.shuffle_seed = static_cast<std::uint64_t>(args.get_int("seed", 1)) +
+                         0x5eed;
+    auto built = graph::build_graph(load_or_generate(args), build);
+    const vid_t n = built.csr.num_vertices();
+    std::printf("graph: n=%lld m=%lld (directed input %lld)\n",
+                static_cast<long long>(n),
+                static_cast<long long>(built.csr.num_edges()),
+                static_cast<long long>(built.directed_edge_count));
+
+    const std::string save = args.get("save", "");
+    if (!save.empty()) {
+      if (save.size() > 4 && save.substr(save.size() - 4) == ".bin") {
+        graph::write_edge_list_binary_file(save, built.edges);
+      } else {
+        graph::write_edge_list_text_file(save, built.edges);
+      }
+      std::printf("wrote prepared graph to %s\n", save.c_str());
+      return 0;
+    }
+
+    core::EngineOptions opts;
+    opts.algorithm = parse_algorithm(args.get("algo", "2d-hybrid"));
+    opts.cores = static_cast<int>(args.get_int("cores", 1024));
+    opts.threads_per_rank = static_cast<int>(args.get_int("threads", 0));
+    opts.machine = model::preset(args.get("machine", "hopper"));
+    opts.triangular_storage = args.get_flag("triangular");
+    const std::string backend = args.get("backend", "auto");
+    opts.backend = backend == "spa"    ? sparse::SpmsvBackend::kSpa
+                   : backend == "heap" ? sparse::SpmsvBackend::kHeap
+                                       : sparse::SpmsvBackend::kAuto;
+    core::Engine engine{built.edges, n, opts};
+    std::printf("engine: %s on %s, %d cores used\n",
+                core::to_string(opts.algorithm), opts.machine.name.c_str(),
+                engine.cores_used());
+
+    const auto comps = graph::connected_components(engine.csr());
+    const auto sources = graph::sample_sources(
+        engine.csr(), comps, static_cast<int>(args.get_int("sources", 4)),
+        static_cast<std::uint64_t>(args.get_int("seed", 1)) + 99);
+    if (sources.empty()) {
+      std::fprintf(stderr, "no usable BFS source in the largest component\n");
+      return 1;
+    }
+
+    const auto batch = engine.run_batch(sources, built.directed_edge_count);
+    if (batch.failed > 0) {
+      std::fprintf(stderr, "VALIDATION FAILED (%d/%zu sources): %s\n",
+                   batch.failed, sources.size(), batch.first_error.c_str());
+      return 1;
+    }
+    const auto teps =
+        core::compute_teps(batch.reports, built.directed_edge_count);
+    std::printf("validated %d/%zu BFS trees\n", batch.validated,
+                sources.size());
+    std::printf("mean search time: %.6f s (simulated)\n", teps.mean_seconds);
+    std::printf("harmonic mean TEPS: %.4e (%.3f GTEPS)\n",
+                teps.harmonic_mean, teps.gteps);
+    const auto& r = batch.reports.front();
+    std::printf("first run: %zu levels, comm %.1f%% of rank time\n",
+                r.levels.size(), 100.0 * r.comm_fraction());
+    if (args.get_flag("json")) {
+      std::printf("%s\n", bfs::report_to_json(r).c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), args.usage().c_str());
+    return 2;
+  }
+}

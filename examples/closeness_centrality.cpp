@@ -1,0 +1,93 @@
+// Closeness-centrality estimation with the batched multi-source BFS:
+// sample k pivot sources, run one msBFS traversal, and estimate each
+// vertex's closeness as k / sum(distances to the pivots) — the standard
+// pivot-sampling estimator. Another of the intro's "identify and rank
+// important entities" workloads, and a showcase for the batched kernel.
+//
+//   ./examples/closeness_centrality [scale] [pivots]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bfs/multi_source.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dbfs;
+
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
+  const int pivots = std::min(argc > 2 ? std::atoi(argv[2]) : 32, 64);
+
+  graph::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = 16;
+  auto built = graph::build_graph(graph::generate_rmat(params));
+  const vid_t n = built.csr.num_vertices();
+  std::printf("graph: n=%lld, m=%lld; %d pivots\n",
+              static_cast<long long>(n),
+              static_cast<long long>(built.csr.num_edges()), pivots);
+
+  const auto comps = graph::connected_components(built.csr);
+  const auto sources = graph::sample_sources(built.csr, comps, pivots, 99);
+  if (sources.empty()) {
+    std::fprintf(stderr, "no usable pivots\n");
+    return 1;
+  }
+
+  util::Timer timer;
+  const auto ms = bfs::multi_source_bfs(built.csr, sources);
+  const double traversal_ms = timer.elapsed() * 1e3;
+
+  // Estimated closeness: pivots / sum of distances (0 when unreachable
+  // from every pivot). Higher = more central.
+  struct Scored {
+    vid_t v;
+    double closeness;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(static_cast<std::size_t>(n));
+  const int k = static_cast<int>(sources.size());
+  for (vid_t v = 0; v < n; ++v) {
+    double sum = 0;
+    int reached = 0;
+    for (int s = 0; s < k; ++s) {
+      const level_t d = ms.level(v, s);
+      if (d >= 0) {
+        sum += static_cast<double>(d);
+        ++reached;
+      }
+    }
+    if (reached == k && sum > 0) {
+      scored.push_back({v, static_cast<double>(k) / sum});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.closeness > b.closeness;
+            });
+
+  std::printf("msBFS traversal: %.3f ms for all %d pivots (%zu levels)\n",
+              traversal_ms, k, ms.report.levels.size());
+  std::printf("\ntop 10 most central vertices (estimated closeness):\n");
+  std::printf("%-6s %12s %14s %10s\n", "rank", "vertex", "closeness",
+              "degree");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, scored.size()); ++i) {
+    std::printf("%-6zu %12lld %14.4f %10lld\n", i + 1,
+                static_cast<long long>(scored[i].v), scored[i].closeness,
+                static_cast<long long>(built.csr.degree(scored[i].v)));
+  }
+  // Sanity: central vertices in skewed graphs are overwhelmingly hubs.
+  if (!scored.empty()) {
+    const auto top_degree = built.csr.degree(scored.front().v);
+    std::printf("\n(top vertex degree %lld vs graph mean %.1f — centrality "
+                "tracks hubs on skewed graphs)\n",
+                static_cast<long long>(top_degree),
+                static_cast<double>(built.csr.num_edges()) /
+                    static_cast<double>(n));
+  }
+  return 0;
+}

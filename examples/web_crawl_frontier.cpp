@@ -1,0 +1,65 @@
+// Web-crawl exploration example: BFS over a high-diameter synthetic web
+// graph (the uk-union stand-in), comparing how the 1D and 2D algorithms
+// behave when the traversal takes ~140 latency-bound iterations instead
+// of R-MAT's <10 — the regime of the paper's Figure 11.
+//
+//   ./examples/web_crawl_frontier [vertices_log2] [diameter] [cores]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dbfs;
+
+  const int log_n = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int diameter = argc > 2 ? std::atoi(argv[2]) : 140;
+  const int cores = argc > 3 ? std::atoi(argv[3]) : 128;
+
+  graph::WebcrawlParams params;
+  params.num_vertices = vid_t{1} << log_n;
+  params.target_diameter = diameter;
+  auto built = graph::build_graph(graph::generate_webcrawl(params));
+  const vid_t n = built.csr.num_vertices();
+  std::printf("web crawl: %lld pages, %lld links, target diameter %d\n",
+              static_cast<long long>(n),
+              static_cast<long long>(built.csr.num_edges() / 2), diameter);
+
+  for (core::Algorithm algorithm :
+       {core::Algorithm::kOneDFlat, core::Algorithm::kTwoDFlat,
+        core::Algorithm::kTwoDHybrid}) {
+    core::EngineOptions opts;
+    opts.algorithm = algorithm;
+    opts.cores = cores;
+    opts.machine = model::hopper();
+    core::Engine engine{built.edges, n, opts};
+    const auto out = engine.run(0);
+
+    // Frontier shape: high-diameter graphs never build large frontiers,
+    // so per-level latency (not bandwidth) dominates.
+    vid_t peak_frontier = 0;
+    for (const auto& l : out.report.levels) {
+      peak_frontier = std::max(peak_frontier, l.frontier);
+    }
+    std::printf(
+        "\n%-12s levels=%3zu  peak frontier=%lld (%.2f%% of pages)\n",
+        core::to_string(algorithm), out.report.levels.size(),
+        static_cast<long long>(peak_frontier),
+        100.0 * static_cast<double>(peak_frontier) / static_cast<double>(n));
+    std::printf(
+        "             sim time %.2f ms  (comm %.2f ms, comp %.2f ms, "
+        "comm fraction %.1f%%)\n",
+        out.report.total_seconds * 1e3, out.report.comm_seconds_mean * 1e3,
+        out.report.comp_seconds_mean * 1e3,
+        100.0 * out.report.comm_fraction());
+  }
+  std::printf(
+      "\nNote how communication stays a small fraction on this graph\n"
+      "(cf. paper Fig 11): with ~%d tiny frontiers the run is dominated\n"
+      "by per-level overheads, which is why the hybrid variant loses its\n"
+      "advantage here.\n",
+      diameter);
+  return 0;
+}

@@ -1,0 +1,330 @@
+#include "bfs/bfs1d.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "bfs/finalize.hpp"
+#include "bfs/frontier.hpp"
+#include "model/cost.hpp"
+#include "simmpi/comm.hpp"
+
+namespace dbfs::bfs {
+
+namespace {
+
+const char* mode_name(CommMode mode) {
+  switch (mode) {
+    case CommMode::kAlltoallv:
+      return "alltoallv";
+    case CommMode::kChunkedSends:
+      return "chunked";
+    case CommMode::kPerEdgeSends:
+      return "per-edge";
+  }
+  return "?";
+}
+
+}  // namespace
+
+struct Bfs1D::Impl {
+  Bfs1DOptions opts;
+  vid_t n;
+  dist::LocalGraph1D local;
+  simmpi::Cluster cluster;
+  std::vector<int> world;
+
+  static dist::LocalGraph1D make_local(const graph::EdgeList& edges,
+                                       vid_t n, const Bfs1DOptions& opts) {
+    if (opts.partition_mode == PartitionMode::kEdgeBalanced) {
+      std::vector<eid_t> degrees(static_cast<std::size_t>(n), 0);
+      for (const graph::Edge& e : edges.edges()) {
+        ++degrees[static_cast<std::size_t>(e.u)];
+      }
+      return dist::LocalGraph1D::build_with_partition(
+          edges, dist::BlockPartition::edge_balanced(degrees, opts.ranks));
+    }
+    return dist::LocalGraph1D::build(edges, n, opts.ranks);
+  }
+
+  Impl(const graph::EdgeList& edges, vid_t num_vertices, Bfs1DOptions options)
+      : opts(std::move(options)),
+        n(num_vertices),
+        local(make_local(edges, num_vertices, opts)),
+        cluster(opts.ranks, opts.machine, opts.threads_per_rank),
+        world(static_cast<std::size_t>(opts.ranks)) {
+    std::iota(world.begin(), world.end(), 0);
+  }
+
+  /// Charge per-rank compute costs, blended toward the group mean by
+  /// opts.load_smoothing (see Bfs1DOptions::load_smoothing).
+  void charge_smoothed(const std::vector<double>& costs) {
+    double mean = 0.0;
+    for (double c : costs) mean += c;
+    mean /= static_cast<double>(costs.size());
+    const double w = opts.load_smoothing;
+    for (std::size_t r = 0; r < costs.size(); ++r) {
+      cluster.charge_compute(static_cast<int>(r),
+                             w * mean + (1.0 - w) * costs[r]);
+    }
+  }
+
+  /// Move candidates between ranks and price the exchange according to
+  /// the configured CommMode. Returns per-rank received candidates.
+  std::vector<std::vector<Candidate>> exchange(
+      simmpi::FlatExchange<Candidate> send) {
+    const auto p = static_cast<std::size_t>(opts.ranks);
+
+    if (opts.comm_mode == CommMode::kAlltoallv) {
+      auto recv = simmpi::alltoallv(cluster, world, std::move(send));
+      return std::move(recv.data);
+    }
+
+    // Unaggregated modes: identical data movement, but priced as many
+    // individually-latencied messages per rank (the baselines' behavior).
+    // Each rank still pays the level's p-way synchronization floor (the
+    // reference code posts per-peer receives and barriers every level),
+    // *plus* a message latency per chunk on both the send and the
+    // receive side — the overhead an aggregated Alltoallv amortizes away.
+    std::vector<std::vector<Candidate>> recv(p);
+    std::vector<std::uint64_t> sent_bytes(p, 0), recv_bytes(p, 0);
+    std::vector<std::uint64_t> sent_msgs(p, 0), recv_msgs(p, 0);
+    std::uint64_t network_bytes = 0;
+    const std::size_t chunk =
+        std::max<std::size_t>(sizeof(Candidate), opts.chunk_bytes);
+    for (std::size_t i = 0; i < p; ++i) {
+      std::size_t offset = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        const auto c = static_cast<std::size_t>(send.counts[i][j]);
+        recv[j].insert(
+            recv[j].end(),
+            send.data[i].begin() + static_cast<std::ptrdiff_t>(offset),
+            send.data[i].begin() + static_cast<std::ptrdiff_t>(offset + c));
+        offset += c;
+        if (i == j || c == 0) continue;
+        const std::uint64_t bytes = c * sizeof(Candidate);
+        const std::uint64_t messages = (bytes + chunk - 1) / chunk;
+        sent_bytes[i] += bytes;
+        recv_bytes[j] += bytes;
+        sent_msgs[i] += messages;
+        recv_msgs[j] += messages;
+        network_bytes += bytes;
+      }
+      send.data[i].clear();
+      send.data[i].shrink_to_fit();
+    }
+    // Priced on mean per-rank volumes for the same reason as the
+    // aggregated alltoallv (see comm.hpp): the baselines should not be
+    // additionally penalized by small-instance hub skew.
+    std::uint64_t mean_msgs = 0;
+    std::uint64_t mean_bytes = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      mean_msgs += sent_msgs[i] + recv_msgs[i];
+      mean_bytes += sent_bytes[i];
+    }
+    mean_msgs /= p;
+    mean_bytes /= p;
+    const double max_cost =
+        static_cast<double>(opts.ranks) * cluster.machine().alpha_net +
+        model::cost_chunked_sends(
+            cluster.machine(), mean_msgs,
+            static_cast<std::size_t>(static_cast<double>(mean_bytes) *
+                                     cluster.nic_factor()),
+            opts.ranks);
+    cluster.clocks().collective(world, max_cost);
+    cluster.traffic().record(simmpi::Pattern::kPointToPoint, network_bytes,
+                             max_cost, opts.ranks);
+    return recv;
+  }
+};
+
+Bfs1D::Bfs1D(const graph::EdgeList& edges, vid_t n, Bfs1DOptions opts)
+    : impl_(std::make_unique<Impl>(edges, n, std::move(opts))) {
+  if (n < 1) throw std::invalid_argument("Bfs1D: empty graph");
+}
+
+Bfs1D::~Bfs1D() = default;
+
+const dist::BlockPartition& Bfs1D::partition() const {
+  return impl_->local.partition();
+}
+
+int Bfs1D::ranks() const { return impl_->opts.ranks; }
+
+BfsOutput Bfs1D::run(vid_t source) {
+  Impl& im = *impl_;
+  const vid_t n = im.n;
+  if (source < 0 || source >= n) {
+    throw std::out_of_range("Bfs1D: source out of range");
+  }
+  const int p = im.opts.ranks;
+  const int t = im.opts.threads_per_rank;
+  const auto& part = im.local.partition();
+  im.cluster.reset_accounting();
+
+  BfsOutput out;
+  out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  out.level.assign(static_cast<std::size_t>(n), kUnreached);
+  out.report.algorithm = std::string(im.opts.label) + "-" +
+                         mode_name(im.opts.comm_mode) +
+                         (t > 1 ? "-hybrid" : "-flat");
+
+  // Per-rank frontier of owned vertices (global ids).
+  std::vector<std::vector<vid_t>> fs(static_cast<std::size_t>(p));
+  out.parent[source] = source;
+  out.level[source] = 0;
+  fs[static_cast<std::size_t>(part.owner(source))].push_back(source);
+
+  vid_t global_frontier = 1;
+  level_t level = 1;
+  while (global_frontier > 0) {
+    LevelStats stats;
+    stats.level = level - 1;
+    stats.frontier = global_frontier;
+    const double wall_before = im.cluster.clocks().max_now();
+    const auto a2a_bytes_before =
+        im.cluster.traffic().totals(simmpi::Pattern::kAlltoallv).bytes +
+        im.cluster.traffic().totals(simmpi::Pattern::kPointToPoint).bytes;
+
+    // --- Phase A (Algorithm 2 lines 13-19): scan the local frontier and
+    // bucket (neighbor, parent) candidates by owner. In hybrid mode the
+    // frontier is split among t thread slots, each filling its own
+    // per-destination buffer tBuf[i][j], and the thread buffers are then
+    // merged destination-major into SendBuf — exactly the layout of
+    // Algorithm 2 lines 8-19 (the simulator runs the slots sequentially;
+    // threading is priced by the model).
+    std::vector<double> phase_costs(static_cast<std::size_t>(p), 0.0);
+    auto send = simmpi::FlatExchange<Candidate>::sized(
+        static_cast<std::size_t>(p));
+    std::vector<eid_t> edges_scanned(static_cast<std::size_t>(p), 0);
+    im.cluster.for_each_rank([&](int r) {
+      const auto ri = static_cast<std::size_t>(r);
+      auto& counts = send.counts[ri];
+      eid_t scanned = 0;
+
+      if (t > 1) {
+        // tbuf[slot][dst]: thread-local per-destination stacks.
+        std::vector<std::vector<std::vector<Candidate>>> tbuf(
+            static_cast<std::size_t>(t));
+        for (auto& slot : tbuf) {
+          slot.resize(static_cast<std::size_t>(p));
+        }
+        const std::size_t per_slot =
+            (fs[ri].size() + static_cast<std::size_t>(t) - 1) /
+            static_cast<std::size_t>(t);
+        for (std::size_t i = 0; i < fs[ri].size(); ++i) {
+          auto& slot = tbuf[per_slot == 0 ? 0 : i / per_slot];
+          const vid_t u = fs[ri][i];
+          const vid_t local_u = u - part.begin(r);
+          for (vid_t v : im.local.neighbors(r, local_u)) {
+            slot[static_cast<std::size_t>(part.owner(v))].push_back(
+                Candidate{v, u});
+            ++scanned;
+          }
+        }
+
+        // Merge: SendBuf_j = concat over slots of tBuf[i][j] (lines
+        // 18-19).
+        for (int dst = 0; dst < p; ++dst) {
+          for (const auto& slot : tbuf) {
+            counts[static_cast<std::size_t>(dst)] +=
+                static_cast<std::int64_t>(
+                    slot[static_cast<std::size_t>(dst)].size());
+          }
+        }
+        send.data[ri].reserve(static_cast<std::size_t>(scanned));
+        for (int dst = 0; dst < p; ++dst) {
+          for (const auto& slot : tbuf) {
+            const auto& bucket = slot[static_cast<std::size_t>(dst)];
+            send.data[ri].insert(send.data[ri].end(), bucket.begin(),
+                                 bucket.end());
+          }
+        }
+      } else {
+        // Flat mode: two-pass counting sort straight into SendBuf (no
+        // thread buffers to merge; avoids t*p transient allocations).
+        for (vid_t u : fs[ri]) {
+          const vid_t local_u = u - part.begin(r);
+          for (vid_t v : im.local.neighbors(r, local_u)) {
+            ++counts[static_cast<std::size_t>(part.owner(v))];
+            ++scanned;
+          }
+        }
+        std::vector<std::int64_t> cursor(static_cast<std::size_t>(p), 0);
+        std::partial_sum(counts.begin(), counts.end() - 1,
+                         cursor.begin() + 1);
+        send.data[ri].resize(static_cast<std::size_t>(scanned));
+        for (vid_t u : fs[ri]) {
+          const vid_t local_u = u - part.begin(r);
+          for (vid_t v : im.local.neighbors(r, local_u)) {
+            auto& cur = cursor[static_cast<std::size_t>(part.owner(v))];
+            send.data[ri][static_cast<std::size_t>(cur++)] = Candidate{v, u};
+          }
+        }
+      }
+      edges_scanned[ri] = scanned;
+
+      model::Work1D work;
+      work.frontier_vertices = static_cast<eid_t>(fs[ri].size());
+      work.edges_scanned = scanned;
+      work.words_packed = 2 * scanned;  // Candidate = 2 words
+      work.n_local = part.size(r);
+      work.threads = t;
+      work.extra_per_edge_seconds = im.opts.extra_per_edge_seconds;
+      phase_costs[ri] = model::cost_1d_local(im.cluster.machine(), work) +
+                        model::cost_thread_barriers(im.cluster.machine(), t, 2) +
+                        static_cast<double>(p) * im.opts.per_peer_level_seconds;
+    });
+    im.charge_smoothed(phase_costs);
+
+    // --- All-to-all exchange (line 21).
+    auto recv = im.exchange(std::move(send));
+
+    // --- Phase B (lines 23-28): owners apply distance checks.
+    std::vector<std::int64_t> next_sizes(static_cast<std::size_t>(p), 0);
+    im.cluster.for_each_rank([&](int r) {
+      const auto ri = static_cast<std::size_t>(r);
+      fs[ri].clear();
+      for (const Candidate& c : recv[ri]) {
+        if (out.level[c.vertex] == kUnreached) {
+          out.level[c.vertex] = level;
+          out.parent[c.vertex] = c.parent;
+          fs[ri].push_back(c.vertex);
+        }
+      }
+      next_sizes[ri] = static_cast<std::int64_t>(fs[ri].size());
+
+      model::Work1D work;
+      work.candidates_received = static_cast<eid_t>(recv[ri].size()) * 2;
+      work.newly_visited = static_cast<vid_t>(fs[ri].size());
+      work.n_local = part.size(r);
+      work.threads = t;
+      phase_costs[ri] = model::cost_1d_local(im.cluster.machine(), work) +
+                        model::cost_thread_barriers(im.cluster.machine(), t, 2);
+      recv[ri].clear();
+      recv[ri].shrink_to_fit();
+    });
+    im.charge_smoothed(phase_costs);
+
+    // --- Level synchronization / termination test.
+    global_frontier = static_cast<vid_t>(
+        simmpi::allreduce_sum<std::int64_t>(im.cluster, im.world, next_sizes));
+
+    stats.edges_scanned =
+        std::accumulate(edges_scanned.begin(), edges_scanned.end(), eid_t{0});
+    stats.newly_visited = global_frontier;
+    stats.a2a_bytes =
+        im.cluster.traffic().totals(simmpi::Pattern::kAlltoallv).bytes +
+        im.cluster.traffic().totals(simmpi::Pattern::kPointToPoint).bytes -
+        a2a_bytes_before;
+    stats.wall_seconds = im.cluster.clocks().max_now() - wall_before;
+    out.report.levels.push_back(stats);
+    ++level;
+  }
+
+  finalize_report(out.report, im.cluster);
+  return out;
+}
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,446 @@
+#include "bfs/bfs2d.hpp"
+
+#include <algorithm>
+#include <span>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "bfs/finalize.hpp"
+#include "bfs/frontier.hpp"
+#include "dist/partition2d.hpp"
+#include "model/cost.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/comm.hpp"
+#include "sparse/semirings.hpp"
+
+namespace dbfs::bfs {
+
+struct Bfs2D::Impl {
+  Bfs2DOptions opts;
+  vid_t n;
+  simmpi::ProcessGrid grid;
+  dist::Partition2D part;
+  dist::VectorDist vdist;
+  simmpi::Cluster cluster;
+  std::vector<int> world;
+  std::vector<sparse::Spa<vid_t>> spa;  // per-rank persistent workspace
+  // Hybrid mode: each rank's block split row-wise into t thread-local
+  // DCSC pieces, exactly as the paper's Fig 2 describes. The simulator
+  // executes the pieces sequentially (threading is priced by the model),
+  // but the data structure and merge path are the real ones.
+  std::vector<std::vector<sparse::DcscMatrix>> thread_pieces;
+
+  /// Charge per-group compute costs, blended toward the group mean by
+  /// opts.load_smoothing (see Bfs2DOptions::load_smoothing).
+  void charge_smoothed(std::span<const int> group,
+                       const std::vector<double>& costs) {
+    double mean = 0.0;
+    for (double c : costs) mean += c;
+    mean /= static_cast<double>(costs.size());
+    const double w = opts.load_smoothing;
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      cluster.charge_compute(group[k], w * mean + (1.0 - w) * costs[k]);
+    }
+  }
+
+  Impl(const graph::EdgeList& edges, vid_t num_vertices, Bfs2DOptions options)
+      : opts(std::move(options)),
+        n(num_vertices),
+        grid(simmpi::ProcessGrid::closest_square(opts.cores,
+                                                 opts.threads_per_rank)),
+        part(edges, num_vertices, grid, opts.triangular_storage),
+        vdist(num_vertices, grid, opts.vector_dist),
+        cluster(grid.ranks(), opts.machine, opts.threads_per_rank),
+        world(static_cast<std::size_t>(grid.ranks())),
+        spa(static_cast<std::size_t>(grid.ranks())) {
+    std::iota(world.begin(), world.end(), 0);
+    if (opts.threads_per_rank > 1) {
+      thread_pieces.resize(static_cast<std::size_t>(grid.ranks()));
+      for (int r = 0; r < grid.ranks(); ++r) {
+        thread_pieces[static_cast<std::size_t>(r)] =
+            part.block(r).split_rowwise(opts.threads_per_rank);
+      }
+    }
+  }
+};
+
+Bfs2D::Bfs2D(const graph::EdgeList& edges, vid_t n, Bfs2DOptions opts)
+    : impl_(std::make_unique<Impl>(edges, n, std::move(opts))) {
+  if (n < 1) throw std::invalid_argument("Bfs2D: empty graph");
+  if (impl_->opts.triangular_storage &&
+      impl_->opts.vector_dist == dist::VectorDistKind::kDiagonal) {
+    throw std::invalid_argument(
+        "Bfs2D: triangular storage requires the 2D vector distribution");
+  }
+}
+
+Bfs2D::~Bfs2D() = default;
+
+const simmpi::ProcessGrid& Bfs2D::grid() const { return impl_->grid; }
+
+int Bfs2D::cores_used() const {
+  return impl_->grid.ranks() * impl_->opts.threads_per_rank;
+}
+
+BfsOutput Bfs2D::run(vid_t source) {
+  Impl& im = *impl_;
+  const vid_t n = im.n;
+  if (source < 0 || source >= n) {
+    throw std::out_of_range("Bfs2D: source out of range");
+  }
+  const int s = im.grid.pr();
+  const int p = im.grid.ranks();
+  const int t = im.opts.threads_per_rank;
+  const bool diagonal =
+      im.opts.vector_dist == dist::VectorDistKind::kDiagonal;
+  const auto& blocks = im.part.blocks();
+  im.cluster.reset_accounting();
+
+  BfsOutput out;
+  out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  out.level.assign(static_cast<std::size_t>(n), kUnreached);
+  out.report.algorithm = std::string(im.opts.label) +
+                         (t > 1 ? "-hybrid" : "-flat") +
+                         (diagonal ? "-diagvec" : "") +
+                         (im.opts.triangular_storage ? "-tri" : "");
+
+  // Frontier pieces: per rank, sorted global ids within its vector piece.
+  std::vector<std::vector<vid_t>> fs(static_cast<std::size_t>(p));
+  out.parent[source] = source;
+  out.level[source] = 0;
+  fs[static_cast<std::size_t>(im.vdist.owner_rank(source))].push_back(source);
+
+  vid_t global_frontier = 1;
+  level_t level = 1;
+  while (global_frontier > 0) {
+    LevelStats stats;
+    stats.level = level - 1;
+    stats.frontier = global_frontier;
+    const double wall_before = im.cluster.clocks().max_now();
+    auto& traffic = im.cluster.traffic();
+    const auto ag_before =
+        traffic.totals(simmpi::Pattern::kAllgatherv).bytes +
+        traffic.totals(simmpi::Pattern::kBroadcast).bytes;
+    const auto a2a_before =
+        traffic.totals(simmpi::Pattern::kAlltoallv).bytes +
+        traffic.totals(simmpi::Pattern::kGatherv).bytes;
+    const auto tr_before = traffic.totals(simmpi::Pattern::kTranspose).bytes;
+
+    // ---- Expand: make f_{C_j} available to every rank in column j.
+    std::vector<std::vector<vid_t>> gathered(static_cast<std::size_t>(s));
+    if (!diagonal) {
+      // TransposeVector (line 5), then Allgatherv over columns (line 6).
+      auto transposed =
+          simmpi::transpose_exchange(im.cluster, im.grid, std::move(fs));
+      for (int j = 0; j < s; ++j) {
+        std::vector<std::vector<vid_t>> pieces;
+        pieces.reserve(static_cast<std::size_t>(s));
+        for (int i = 0; i < s; ++i) {
+          // After the transpose, P(i,j) holds sub-piece i of range R_j;
+          // concatenating in i order yields f_{C_j} sorted.
+          pieces.push_back(std::move(
+              transposed[static_cast<std::size_t>(im.grid.rank_of(i, j))]));
+        }
+        gathered[static_cast<std::size_t>(j)] =
+            simmpi::allgatherv(im.cluster, im.grid.col_group(j),
+                               std::move(pieces), im.opts.allgather_algo);
+      }
+      fs.assign(static_cast<std::size_t>(p), {});
+    } else {
+      // Diagonal distribution: P(j,j) owns all of R_j; broadcast it down
+      // processor column j.
+      for (int j = 0; j < s; ++j) {
+        gathered[static_cast<std::size_t>(j)] = simmpi::broadcast(
+            im.cluster, im.grid.col_group(j), static_cast<std::size_t>(j),
+            fs[static_cast<std::size_t>(im.grid.rank_of(j, j))]);
+      }
+      for (auto& piece : fs) piece.clear();
+    }
+
+    // ---- Local SpMSV (line 7): t_i = A_ij ⊗ f_{C_j} on (select, max).
+    std::vector<sparse::SparseVector<vid_t>> partials(
+        static_cast<std::size_t>(p));
+    std::vector<double> spmsv_costs(static_cast<std::size_t>(p), 0.0);
+    std::vector<eid_t> flops(static_cast<std::size_t>(p), 0);
+    std::vector<std::int64_t> spa_calls(static_cast<std::size_t>(p), 0);
+    std::vector<std::int64_t> heap_calls(static_cast<std::size_t>(p), 0);
+    im.cluster.for_each_rank([&](int r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const int i = im.grid.row_of(r);
+      const int j = im.grid.col_of(r);
+      const vid_t col_base = blocks.begin(j);
+      const auto& column_frontier = gathered[static_cast<std::size_t>(j)];
+
+      std::vector<sparse::SvEntry<vid_t>> x_entries;
+      x_entries.reserve(column_frontier.size());
+      for (vid_t gv : column_frontier) {
+        x_entries.push_back(sparse::SvEntry<vid_t>{gv - col_base, gv});
+      }
+      auto x = sparse::SparseVector<vid_t>::from_sorted(
+          blocks.size(j), std::move(x_entries));
+
+      auto mul = sparse::BfsParentSemiring{col_base}.multiply();
+      auto comb = sparse::BfsParentSemiring::combine();
+      sparse::SpmsvStats st;
+      if (t > 1) {
+        // Fig 2: one SpMSV per thread-local row piece; the pieces cover
+        // disjoint ascending row ranges, so concatenation (with re-based
+        // row ids) reassembles the rank's sorted output.
+        const auto& pieces = im.thread_pieces[ri];
+        const vid_t rows_per =
+            std::max<vid_t>(1, im.part.block(r).nrows() / t);
+        std::vector<sparse::SvEntry<vid_t>> merged;
+        st.flops = 0;
+        for (std::size_t piece = 0; piece < pieces.size(); ++piece) {
+          sparse::SpmsvStats piece_st;
+          auto y = sparse::spmsv<vid_t>(pieces[piece], x, mul, comb,
+                                        im.opts.backend, &im.spa[ri],
+                                        &piece_st);
+          const vid_t base = static_cast<vid_t>(piece) * rows_per;
+          for (const auto& e : y.entries()) {
+            merged.push_back(sparse::SvEntry<vid_t>{base + e.index, e.value});
+          }
+          st.flops += piece_st.flops;
+          if (piece_st.used == sparse::SpmsvBackend::kSpa) {
+            ++spa_calls[ri];
+          } else {
+            ++heap_calls[ri];
+          }
+        }
+        st.output_nnz = static_cast<vid_t>(merged.size());
+        partials[ri] = sparse::SparseVector<vid_t>::from_sorted(
+            im.part.block(r).nrows(), std::move(merged));
+      } else {
+        partials[ri] = sparse::spmsv<vid_t>(im.part.block(r), x, mul, comb,
+                                            im.opts.backend, &im.spa[ri],
+                                            &st);
+        if (st.used == sparse::SpmsvBackend::kSpa) {
+          ++spa_calls[ri];
+        } else {
+          ++heap_calls[ri];
+        }
+      }
+      flops[ri] = st.flops;
+
+      model::Work2D work;
+      work.spmsv_flops = st.flops;
+      work.x_nnz = x.nnz();
+      work.output_nnz = st.output_nnz;
+      work.x_dim = blocks.size(j);
+      work.out_dim = blocks.size(i);
+      work.heap_backend = st.used == sparse::SpmsvBackend::kHeap;
+      work.threads = t;
+      spmsv_costs[ri] =
+          model::cost_2d_local(im.cluster.machine(), work) +
+          model::cost_thread_barriers(im.cluster.machine(), t, 2);
+    });
+    im.charge_smoothed(im.world, spmsv_costs);
+
+    // ---- Triangular storage (§7): the stored wedge only covers edge
+    // directions c -> r with r <= c; the mirrored directions are applied
+    // with a scan-based transpose product. Rank (i,j) needs f_{C_i}
+    // (held post-expand by its transpose partner) and its z output lives
+    // in C_j's range = its partner's row block, so both the frontier and
+    // the result take one pairwise exchange each.
+    std::vector<std::vector<Candidate>> mirrored(static_cast<std::size_t>(p));
+    if (im.opts.triangular_storage) {
+      // Pairwise frontier swap: rank (i,j) receives f_{C_i}.
+      std::vector<std::vector<vid_t>> f_for_partner(
+          static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        f_for_partner[static_cast<std::size_t>(r)] =
+            gathered[static_cast<std::size_t>(im.grid.col_of(r))];
+      }
+      auto partner_frontier = simmpi::transpose_exchange(
+          im.cluster, im.grid, std::move(f_for_partner));
+
+      std::vector<std::vector<Candidate>> z(static_cast<std::size_t>(p));
+      std::vector<double> scan_costs(static_cast<std::size_t>(p), 0.0);
+      im.cluster.for_each_rank([&](int r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const int i = im.grid.row_of(r);
+        const int j = im.grid.col_of(r);
+        const vid_t row_base_i = blocks.begin(i);
+        const vid_t col_base_j = blocks.begin(j);
+
+        // Dense per-row frontier values over R_i (value = global id, the
+        // parent the mirrored edge contributes).
+        std::vector<vid_t> xval(static_cast<std::size_t>(blocks.size(i)),
+                                kNoVertex);
+        for (vid_t gv : partner_frontier[ri]) {
+          xval[static_cast<std::size_t>(gv - row_base_i)] = gv;
+        }
+
+        sparse::SpmsvStats st;
+        auto zt = sparse::spmsv_transpose<vid_t>(
+            im.part.block(r),
+            [&xval](vid_t row) -> const vid_t* {
+              const vid_t* v = &xval[static_cast<std::size_t>(row)];
+              return *v == kNoVertex ? nullptr : v;
+            },
+            [](vid_t, vid_t, vid_t fv) { return fv; },
+            [](vid_t a, vid_t b) { return std::max(a, b); }, &st);
+        z[ri].reserve(static_cast<std::size_t>(zt.nnz()));
+        for (const auto& e : zt.entries()) {
+          z[ri].push_back(Candidate{col_base_j + e.index, e.value});
+        }
+        flops[ri] += st.flops;
+
+        model::WorkTranspose2D work;
+        work.nnz_scanned = st.flops;
+        work.output_nnz = st.output_nnz;
+        work.x_dim = blocks.size(i);
+        work.threads = t;
+        scan_costs[ri] =
+            model::cost_2d_transpose_scan(im.cluster.machine(), work);
+      });
+      im.charge_smoothed(im.world, scan_costs);
+      // Results travel to the transpose partner, whose row block owns
+      // them; the partner folds them with its own partial output.
+      mirrored = simmpi::transpose_exchange(im.cluster, im.grid,
+                                            std::move(z));
+    }
+
+    // ---- Fold (line 8): scatter partial results along processor rows to
+    // the vector-piece owners, then merge, filter, and update parents
+    // (lines 9-11).
+    std::vector<std::int64_t> next_sizes(static_cast<std::size_t>(p), 0);
+    for (int i = 0; i < s; ++i) {
+      const vid_t row_base = blocks.begin(i);
+      const auto row_group = im.grid.row_group(i);
+
+      std::vector<std::vector<Candidate>> received;
+      if (!diagonal) {
+        auto send =
+            simmpi::FlatExchange<Candidate>::sized(static_cast<std::size_t>(s));
+        for (int gj = 0; gj < s; ++gj) {
+          const int rank = im.grid.rank_of(i, gj);
+          const auto& partial = partials[static_cast<std::size_t>(rank)];
+          const auto& extra = mirrored[static_cast<std::size_t>(rank)];
+          auto& counts = send.counts[static_cast<std::size_t>(gj)];
+          for (const auto& e : partial.entries()) {
+            ++counts[static_cast<std::size_t>(im.vdist.owner_col(i, e.index))];
+          }
+          for (const Candidate& c : extra) {
+            ++counts[static_cast<std::size_t>(
+                im.vdist.owner_col(i, c.vertex - row_base))];
+          }
+          std::vector<std::int64_t> cursor(static_cast<std::size_t>(s), 0);
+          std::partial_sum(counts.begin(), counts.end() - 1,
+                           cursor.begin() + 1);
+          auto& data = send.data[static_cast<std::size_t>(gj)];
+          data.resize(partial.entries().size() + extra.size());
+          for (const auto& e : partial.entries()) {
+            auto& cur =
+                cursor[static_cast<std::size_t>(im.vdist.owner_col(i, e.index))];
+            data[static_cast<std::size_t>(cur++)] =
+                Candidate{row_base + e.index, e.value};
+          }
+          for (const Candidate& c : extra) {
+            auto& cur = cursor[static_cast<std::size_t>(
+                im.vdist.owner_col(i, c.vertex - row_base))];
+            data[static_cast<std::size_t>(cur++)] = c;
+          }
+        }
+        auto recv = simmpi::alltoallv(im.cluster, row_group, std::move(send));
+        received = std::move(recv.data);
+      } else {
+        // Diagonal distribution: everything gathers at P(i,i), which then
+        // merges alone while the rest of the row idles (Fig 4).
+        std::vector<std::vector<Candidate>> pieces(
+            static_cast<std::size_t>(s));
+        for (int gj = 0; gj < s; ++gj) {
+          const int rank = im.grid.rank_of(i, gj);
+          auto& piece = pieces[static_cast<std::size_t>(gj)];
+          const auto& partial = partials[static_cast<std::size_t>(rank)];
+          piece.reserve(partial.entries().size());
+          for (const auto& e : partial.entries()) {
+            piece.push_back(Candidate{row_base + e.index, e.value});
+          }
+        }
+        received.assign(static_cast<std::size_t>(s), {});
+        received[static_cast<std::size_t>(i)] = simmpi::gatherv(
+            im.cluster, row_group, static_cast<std::size_t>(i),
+            std::move(pieces));
+      }
+
+      // Owners merge received candidates: sort, combine by max parent,
+      // filter against the parents array, update, and emit the new piece.
+      // Merge costs are smoothed across the row's receivers; in diagonal
+      // mode the root is the only receiver, so its serial merge stays
+      // fully concentrated (the Fig 4 mechanism).
+      std::vector<double> merge_costs(static_cast<std::size_t>(s), 0.0);
+      for (int gj = 0; gj < s; ++gj) {
+        const int rank = im.grid.rank_of(i, gj);
+        const auto ri = static_cast<std::size_t>(rank);
+        auto& cand = received[static_cast<std::size_t>(gj)];
+        if (diagonal && gj != i) continue;
+
+        std::sort(cand.begin(), cand.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                    return a.vertex != b.vertex ? a.vertex < b.vertex
+                                                : a.parent > b.parent;
+                  });
+        vid_t merged = 0;
+        vid_t newly = 0;
+        vid_t prev = kNoVertex;
+        for (const Candidate& c : cand) {
+          ++merged;
+          if (c.vertex == prev) continue;  // max parent kept (sort order)
+          prev = c.vertex;
+          if (out.parent[c.vertex] == kNoVertex) {
+            out.parent[c.vertex] = c.parent;
+            out.level[c.vertex] = level;
+            fs[ri].push_back(c.vertex);
+            ++newly;
+          }
+        }
+        next_sizes[ri] = static_cast<std::int64_t>(fs[ri].size());
+
+        model::Work2D work;
+        work.fold_received = merged;
+        work.n_local = im.vdist.piece_size(i, gj);
+        work.threads = t;
+        merge_costs[static_cast<std::size_t>(gj)] =
+            model::cost_2d_local(im.cluster.machine(), work) +
+            model::cost_thread_barriers(im.cluster.machine(), t, 2);
+        (void)newly;
+      }
+      if (diagonal) {
+        im.cluster.charge_compute(im.grid.rank_of(i, i),
+                                  merge_costs[static_cast<std::size_t>(i)]);
+      } else {
+        im.charge_smoothed(row_group, merge_costs);
+      }
+    }
+
+    // ---- Termination (implicit in Algorithm 3's while f != ∅).
+    global_frontier = static_cast<vid_t>(
+        simmpi::allreduce_sum<std::int64_t>(im.cluster, im.world, next_sizes));
+
+    stats.edges_scanned =
+        std::accumulate(flops.begin(), flops.end(), eid_t{0});
+    stats.newly_visited = global_frontier;
+    stats.expand_bytes = traffic.totals(simmpi::Pattern::kAllgatherv).bytes +
+                         traffic.totals(simmpi::Pattern::kBroadcast).bytes -
+                         ag_before;
+    stats.a2a_bytes = traffic.totals(simmpi::Pattern::kAlltoallv).bytes +
+                      traffic.totals(simmpi::Pattern::kGatherv).bytes -
+                      a2a_before;
+    stats.other_bytes =
+        traffic.totals(simmpi::Pattern::kTranspose).bytes - tr_before;
+    stats.wall_seconds = im.cluster.clocks().max_now() - wall_before;
+    out.report.levels.push_back(stats);
+    out.report.spmsv_spa_calls +=
+        std::accumulate(spa_calls.begin(), spa_calls.end(), std::int64_t{0});
+    out.report.spmsv_heap_calls +=
+        std::accumulate(heap_calls.begin(), heap_calls.end(), std::int64_t{0});
+    ++level;
+  }
+
+  finalize_report(out.report, im.cluster);
+  return out;
+}
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,76 @@
+// Distributed BFS with 2D matrix partitioning (paper Algorithm 3).
+//
+// The adjacency matrix is checkerboard-partitioned over a square process
+// grid; each BFS level is one sparse matrix–sparse vector multiply on the
+// (select, max) semiring, realized as:
+//   TransposeVector  -> pairwise exchange of frontier pieces
+//   Allgatherv       -> "expand" over processor columns (pr participants)
+//   local SpMSV      -> DCSC blocks, SPA or heap back end (§4.2)
+//   Alltoallv        -> "fold" over processor rows (pc participants)
+// followed by element-wise filtering against the parents array and the
+// parents update (lines 9-10).
+//
+// The vector distribution is selectable: the scalable 2D distribution, or
+// the diagonal-only ("1D") distribution whose fold-side serialization
+// produces the idle-time imbalance of Figure 4.
+#pragma once
+
+#include <memory>
+
+#include "bfs/report.hpp"
+#include "dist/vector_dist.hpp"
+#include "graph/edge_list.hpp"
+#include "model/cost.hpp"
+#include "model/machine.hpp"
+#include "simmpi/process_grid.hpp"
+#include "sparse/spmsv.hpp"
+
+namespace dbfs::bfs {
+
+struct Bfs2DOptions {
+  /// Total simulated cores; the grid is the closest square over
+  /// cores/threads_per_rank ranks (paper §6).
+  int cores = 16;
+  int threads_per_rank = 1;
+  model::MachineModel machine = model::generic();
+  sparse::SpmsvBackend backend = sparse::SpmsvBackend::kAuto;
+  dist::VectorDistKind vector_dist = dist::VectorDistKind::kTwoD;
+  /// Expand-phase allgather implementation (§7 exploration). kRing is the
+  /// calibrated default; kAuto switches per call like a tuned MPI would.
+  model::AllgatherAlgo allgather_algo = model::AllgatherAlgo::kRing;
+  /// Paper §7 space optimization: store only the upper wedge of the
+  /// symmetric adjacency matrix (half the memory). Each level then also
+  /// runs a scan-based transpose product to cover the mirrored edge
+  /// directions, plus a pairwise frontier/result exchange with the
+  /// transpose partner. Requires symmetric input; incompatible with the
+  /// diagonal vector distribution.
+  bool triangular_storage = false;
+  /// See Bfs1DOptions::load_smoothing. Smoothing applies within each
+  /// phase's participant group, so *structural* concentration (e.g. the
+  /// diagonal-only merge of the 1D vector distribution, Fig 4) is never
+  /// smoothed away.
+  double load_smoothing = 1.0;
+  std::string label = "2d";
+};
+
+class Bfs2D {
+ public:
+  Bfs2D(const graph::EdgeList& edges, vid_t n, Bfs2DOptions opts);
+  ~Bfs2D();
+
+  Bfs2D(const Bfs2D&) = delete;
+  Bfs2D& operator=(const Bfs2D&) = delete;
+
+  BfsOutput run(vid_t source);
+
+  const simmpi::ProcessGrid& grid() const;
+  /// Cores actually used: ranks()*threads (<= opts.cores when the square
+  /// grid doesn't divide the request evenly).
+  int cores_used() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dbfs::bfs

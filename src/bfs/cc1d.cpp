@@ -1,0 +1,156 @@
+#include "bfs/cc1d.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "bfs/finalize.hpp"
+#include "bfs/frontier.hpp"
+#include "dist/local_graph1d.hpp"
+#include "model/cost.hpp"
+#include "simmpi/comm.hpp"
+
+namespace dbfs::bfs {
+
+Cc1DResult connected_components_1d(const graph::EdgeList& edges, vid_t n,
+                                   const Cc1DOptions& opts) {
+  if (n < 1) {
+    throw std::invalid_argument("connected_components_1d: empty graph");
+  }
+  const int p = opts.ranks;
+  const int t = opts.threads_per_rank;
+  const auto local = dist::LocalGraph1D::build(edges, n, p);
+  const auto& part = local.partition();
+  simmpi::Cluster cluster{p, opts.machine, t};
+  std::vector<int> world(static_cast<std::size_t>(p));
+  std::iota(world.begin(), world.end(), 0);
+
+  Cc1DResult result;
+  result.label.resize(static_cast<std::size_t>(n));
+  std::iota(result.label.begin(), result.label.end(), vid_t{0});
+  result.report.algorithm = std::string("cc-1d") + (t > 1 ? "-hybrid" : "");
+
+  // Active frontier per rank (local vertices whose label just changed).
+  std::vector<std::vector<vid_t>> active(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& mine = active[static_cast<std::size_t>(r)];
+    mine.resize(static_cast<std::size_t>(part.size(r)));
+    std::iota(mine.begin(), mine.end(), part.begin(r));
+  }
+
+  vid_t global_active = n;
+  while (global_active > 0) {
+    ++result.rounds;
+    LevelStats stats;
+    stats.level = result.rounds - 1;
+    stats.frontier = global_active;
+    const double wall_before = cluster.clocks().max_now();
+
+    // Push phase: active vertices send their label to every neighbor's
+    // owner. (Like 1D BFS phase A, with (target, label) candidates.)
+    auto send =
+        simmpi::FlatExchange<Candidate>::sized(static_cast<std::size_t>(p));
+    std::vector<double> phase_costs(static_cast<std::size_t>(p), 0.0);
+    std::vector<eid_t> scanned(static_cast<std::size_t>(p), 0);
+    cluster.for_each_rank([&](int r) {
+      const auto ri = static_cast<std::size_t>(r);
+      auto& counts = send.counts[ri];
+      eid_t edges_scanned = 0;
+      for (vid_t u : active[ri]) {
+        for (vid_t v : local.neighbors(r, u - part.begin(r))) {
+          ++counts[static_cast<std::size_t>(part.owner(v))];
+          ++edges_scanned;
+        }
+      }
+      std::vector<std::int64_t> cursor(static_cast<std::size_t>(p), 0);
+      std::partial_sum(counts.begin(), counts.end() - 1, cursor.begin() + 1);
+      send.data[ri].resize(static_cast<std::size_t>(edges_scanned));
+      for (vid_t u : active[ri]) {
+        const vid_t label_u = result.label[static_cast<std::size_t>(u)];
+        for (vid_t v : local.neighbors(r, u - part.begin(r))) {
+          auto& cur = cursor[static_cast<std::size_t>(part.owner(v))];
+          send.data[ri][static_cast<std::size_t>(cur++)] =
+              Candidate{v, label_u};
+        }
+      }
+      scanned[ri] = edges_scanned;
+
+      model::Work1D work;
+      work.frontier_vertices = static_cast<eid_t>(active[ri].size());
+      work.edges_scanned = edges_scanned;
+      work.words_packed = 2 * edges_scanned;
+      work.n_local = part.size(r);
+      work.threads = t;
+      phase_costs[ri] = model::cost_1d_local(opts.machine, work);
+    });
+    {
+      double mean = 0;
+      for (double c : phase_costs) mean += c;
+      mean /= static_cast<double>(p);
+      const double w = opts.load_smoothing;
+      for (int r = 0; r < p; ++r) {
+        cluster.charge_compute(
+            r, w * mean + (1.0 - w) * phase_costs[static_cast<std::size_t>(r)]);
+      }
+    }
+
+    auto recv = simmpi::alltoallv(cluster, world, std::move(send));
+
+    // Apply phase: owners keep the minimum label; shrunken labels
+    // reactivate the vertex.
+    std::vector<std::int64_t> next_counts(static_cast<std::size_t>(p), 0);
+    cluster.for_each_rank([&](int r) {
+      const auto ri = static_cast<std::size_t>(r);
+      active[ri].clear();
+      // A vertex can receive many candidates; dedup via "was activated".
+      std::unordered_set<vid_t> activated;
+      for (const Candidate& c : recv.data[ri]) {
+        auto& label = result.label[static_cast<std::size_t>(c.vertex)];
+        if (c.parent < label) {
+          label = c.parent;
+          activated.insert(c.vertex);
+        }
+      }
+      active[ri].assign(activated.begin(), activated.end());
+      std::sort(active[ri].begin(), active[ri].end());
+      next_counts[ri] = static_cast<std::int64_t>(active[ri].size());
+
+      model::Work1D work;
+      work.candidates_received =
+          static_cast<eid_t>(recv.data[ri].size()) * 2;
+      work.newly_visited = static_cast<vid_t>(active[ri].size());
+      work.n_local = part.size(r);
+      work.threads = t;
+      phase_costs[ri] = model::cost_1d_local(opts.machine, work);
+      recv.data[ri].clear();
+      recv.data[ri].shrink_to_fit();
+    });
+    {
+      double mean = 0;
+      for (double c : phase_costs) mean += c;
+      mean /= static_cast<double>(p);
+      const double w = opts.load_smoothing;
+      for (int r = 0; r < p; ++r) {
+        cluster.charge_compute(
+            r, w * mean + (1.0 - w) * phase_costs[static_cast<std::size_t>(r)]);
+      }
+    }
+
+    global_active = static_cast<vid_t>(
+        simmpi::allreduce_sum<std::int64_t>(cluster, world, next_counts));
+    stats.edges_scanned =
+        std::accumulate(scanned.begin(), scanned.end(), eid_t{0});
+    stats.newly_visited = global_active;
+    stats.wall_seconds = cluster.clocks().max_now() - wall_before;
+    result.report.levels.push_back(stats);
+  }
+
+  std::unordered_set<vid_t> distinct(result.label.begin(),
+                                     result.label.end());
+  result.num_components = static_cast<vid_t>(distinct.size());
+  finalize_report(result.report, cluster);
+  return result;
+}
+
+}  // namespace dbfs::bfs

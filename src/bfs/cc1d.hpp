@@ -1,0 +1,41 @@
+// Distributed connected components by label propagation over the same 1D
+// substrate as Algorithm 2 — a second graph kernel on the simulator,
+// demonstrating that the partition/collective/cost machinery is a general
+// distributed-graph base and not BFS-specific. (CC is one of the intro's
+// motivating "classical algorithms", and label propagation is the
+// standard level-synchronous formulation for it.)
+//
+// Each vertex starts with its own id as label; every round, active
+// vertices push their label to neighbors, owners keep the minimum, and a
+// vertex whose label shrank becomes active for the next round. Rounds
+// needed ~ the largest component's diameter.
+#pragma once
+
+#include <vector>
+
+#include "bfs/report.hpp"
+#include "graph/edge_list.hpp"
+#include "model/machine.hpp"
+
+namespace dbfs::bfs {
+
+struct Cc1DOptions {
+  int ranks = 4;
+  int threads_per_rank = 1;
+  model::MachineModel machine = model::generic();
+  double load_smoothing = 1.0;
+};
+
+struct Cc1DResult {
+  /// Component label per vertex: the smallest vertex id in its component.
+  std::vector<vid_t> label;
+  int rounds = 0;
+  vid_t num_components = 0;
+  RunReport report;
+};
+
+/// Requires symmetric input (labels flow both ways across each edge).
+Cc1DResult connected_components_1d(const graph::EdgeList& edges, vid_t n,
+                                   const Cc1DOptions& opts = {});
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,122 @@
+#include "bfs/direction_optimizing.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "bfs/frontier.hpp"
+#include "util/timer.hpp"
+
+namespace dbfs::bfs {
+
+namespace {
+
+/// Sum of degrees of the frontier (the edges a top-down step would scan).
+eid_t frontier_out_edges(const graph::CsrGraph& g,
+                         const std::vector<vid_t>& frontier) {
+  eid_t sum = 0;
+  for (vid_t u : frontier) sum += g.degree(u);
+  return sum;
+}
+
+}  // namespace
+
+DirectionOptimizingResult direction_optimizing_bfs(
+    const graph::CsrGraph& g, vid_t source,
+    const DirectionOptimizingOptions& opts) {
+  const vid_t n = g.num_vertices();
+  if (source < 0 || source >= n) {
+    throw std::out_of_range("direction_optimizing_bfs: source out of range");
+  }
+
+  DirectionOptimizingResult result;
+  BfsOutput& out = result.out;
+  out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  out.level.assign(static_cast<std::size_t>(n), kUnreached);
+  out.report.algorithm =
+      opts.force_top_down ? "shared-top-down" : "direction-optimizing";
+  out.report.machine = "host";
+
+  util::Timer timer;
+  std::vector<vid_t> frontier{source};
+  Bitmap in_frontier(n);
+  out.parent[source] = source;
+  out.level[source] = 0;
+
+  eid_t unexplored_edges = g.num_edges() - g.degree(source);
+  level_t level = 1;
+  bool bottom_up = false;
+
+  while (!frontier.empty()) {
+    LevelStats stats;
+    stats.level = level - 1;
+    stats.frontier = static_cast<vid_t>(frontier.size());
+
+    // Direction heuristic (Beamer's alpha/beta rules).
+    const eid_t frontier_edges = frontier_out_edges(g, frontier);
+    if (!opts.force_top_down) {
+      // Engage bottom-up only when the frontier is both edge-heavy AND
+      // broad: a tiny frontier late in a traversal can trip the edge
+      // ratio (unexplored_edges is nearly exhausted) but bottom-up would
+      // still rescan every unvisited vertex for nothing.
+      const bool broad = static_cast<double>(frontier.size()) >=
+                         static_cast<double>(n) / opts.beta;
+      if (!bottom_up && broad &&
+          static_cast<double>(frontier_edges) >
+              static_cast<double>(unexplored_edges) / opts.alpha) {
+        bottom_up = true;
+      } else if (bottom_up && !broad) {
+        bottom_up = false;
+      }
+    }
+
+    std::vector<vid_t> next;
+    if (bottom_up) {
+      ++result.bottom_up_levels;
+      // Membership bitmap of the current frontier for O(1) parent tests.
+      in_frontier.clear_all();
+      for (vid_t u : frontier) in_frontier.set(u);
+
+      for (vid_t v = 0; v < n; ++v) {
+        if (out.level[v] != kUnreached) continue;
+        for (vid_t u : g.neighbors(v)) {
+          ++stats.edges_scanned;
+          ++result.bottom_up_edges;
+          if (in_frontier.test(u)) {
+            out.level[v] = level;
+            out.parent[v] = u;
+            next.push_back(v);
+            break;  // the early exit that makes bottom-up cheap
+          }
+        }
+      }
+    } else {
+      for (vid_t u : frontier) {
+        for (vid_t v : g.neighbors(u)) {
+          ++stats.edges_scanned;
+          ++result.top_down_edges;
+          if (out.level[v] == kUnreached) {
+            out.level[v] = level;
+            out.parent[v] = u;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+
+    unexplored_edges -= frontier_out_edges(g, next);
+    stats.newly_visited = static_cast<vid_t>(next.size());
+    out.report.levels.push_back(stats);
+    frontier = std::move(next);
+    ++level;
+  }
+
+  out.report.total_seconds = timer.elapsed();
+  out.report.comp_seconds_mean = out.report.total_seconds;
+  out.report.comp_seconds_max = out.report.total_seconds;
+  eid_t scanned = 0;
+  for (const LevelStats& l : out.report.levels) scanned += l.edges_scanned;
+  out.report.edges_traversed = scanned;
+  return result;
+}
+
+}  // namespace dbfs::bfs

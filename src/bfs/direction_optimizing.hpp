@@ -1,0 +1,37 @@
+// Direction-optimizing BFS (Beamer/Asanović/Patterson, SC'12): a
+// beyond-the-paper extension every production Graph500 code adopted soon
+// after Buluç & Madduri's study. On low-diameter skewed graphs the middle
+// levels contain most of the graph; instead of scanning every frontier
+// edge top-down, the traversal switches to a *bottom-up* step — each
+// unvisited vertex scans its own adjacency for any visited parent and
+// stops at the first hit — skipping the bulk of edge examinations.
+//
+// Heuristic (as in the original paper): switch top-down -> bottom-up when
+// the frontier's outgoing edge count exceeds |unexplored edges| / alpha;
+// switch back when the frontier shrinks below n / beta.
+#pragma once
+
+#include "bfs/report.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dbfs::bfs {
+
+struct DirectionOptimizingOptions {
+  double alpha = 14.0;  ///< top-down -> bottom-up switch aggressiveness
+  double beta = 24.0;   ///< bottom-up -> top-down switch-back threshold
+  bool force_top_down = false;  ///< classic level-synchronous (baseline)
+};
+
+struct DirectionOptimizingResult {
+  BfsOutput out;
+  eid_t top_down_edges = 0;   ///< edges examined in top-down steps
+  eid_t bottom_up_edges = 0;  ///< edges examined in bottom-up steps
+  int bottom_up_levels = 0;
+};
+
+/// Requires a symmetric graph (bottom-up scans in-edges via out-edges).
+DirectionOptimizingResult direction_optimizing_bfs(
+    const graph::CsrGraph& g, vid_t source,
+    const DirectionOptimizingOptions& opts = {});
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,15 @@
+// Shared by the distributed BFS implementations: fold the cluster's
+// clock/traffic accounting into a RunReport after a run completes.
+#pragma once
+
+#include "bfs/report.hpp"
+
+namespace dbfs::simmpi {
+class Cluster;
+}
+
+namespace dbfs::bfs {
+
+void finalize_report(RunReport& report, const simmpi::Cluster& cluster);
+
+}  // namespace dbfs::bfs

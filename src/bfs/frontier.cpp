@@ -1,0 +1,15 @@
+#include "bfs/frontier.hpp"
+
+#include <bit>
+
+namespace dbfs::bfs {
+
+vid_t Bitmap::count() const noexcept {
+  vid_t total = 0;
+  for (std::uint64_t w : words_) {
+    total += static_cast<vid_t>(std::popcount(w));
+  }
+  return total;
+}
+
+}  // namespace dbfs::bfs

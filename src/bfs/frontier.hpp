@@ -1,0 +1,57 @@
+// Frontier-side helper containers shared by the BFS variants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbfs::bfs {
+
+/// Flat bitset over vertex ids; the "visited" checks of the shared-memory
+/// code and the per-level dedup structures use this.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(vid_t bits)
+      : bits_(bits), words_((static_cast<std::size_t>(bits) + 63) / 64, 0) {}
+
+  vid_t size() const noexcept { return bits_; }
+
+  bool test(vid_t i) const noexcept {
+    return (words_[static_cast<std::size_t>(i) >> 6] >>
+            (static_cast<std::size_t>(i) & 63)) &
+           1u;
+  }
+
+  void set(vid_t i) noexcept {
+    words_[static_cast<std::size_t>(i) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(i) & 63);
+  }
+
+  /// Returns the previous value (non-atomic).
+  bool test_and_set(vid_t i) noexcept {
+    const bool was = test(i);
+    if (!was) set(i);
+    return was;
+  }
+
+  void clear_all() noexcept {
+    std::fill(words_.begin(), words_.end(), 0);
+  }
+
+  vid_t count() const noexcept;
+
+ private:
+  vid_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// A (vertex, parent) message exchanged between ranks; two 64-bit words,
+/// matching the Graph500 reference code's wire format.
+struct Candidate {
+  vid_t vertex;
+  vid_t parent;
+};
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,61 @@
+// RunReport helpers that need the simulator types (kept out of report.hpp
+// so that header stays dependency-light for downstream users).
+#include "bfs/report.hpp"
+
+#include "bfs/finalize.hpp"
+#include "simmpi/cluster.hpp"
+#include "util/stats.hpp"
+
+namespace dbfs::bfs {
+
+void finalize_report(RunReport& report, const simmpi::Cluster& cluster) {
+  const auto& clocks = cluster.clocks();
+  report.ranks = cluster.ranks();
+  report.threads_per_rank = cluster.threads_per_rank();
+  report.cores = cluster.cores();
+  report.machine = cluster.machine().name;
+
+  report.total_seconds = clocks.max_now();
+  report.per_rank_comm = clocks.all_comm();
+  report.per_rank_comp = clocks.all_compute();
+
+  const auto comm = util::summarize(report.per_rank_comm);
+  const auto comp = util::summarize(report.per_rank_comp);
+  report.comm_seconds_mean = comm.mean;
+  report.comm_seconds_max = comm.max;
+  report.comp_seconds_mean = comp.mean;
+  report.comp_seconds_max = comp.max;
+
+  const auto& traffic = cluster.traffic();
+  report.alltoall_bytes =
+      traffic.totals(simmpi::Pattern::kAlltoallv).bytes;
+  report.allgather_bytes =
+      traffic.totals(simmpi::Pattern::kAllgatherv).bytes +
+      traffic.totals(simmpi::Pattern::kBroadcast).bytes +
+      traffic.totals(simmpi::Pattern::kGatherv).bytes;
+  report.transpose_bytes =
+      traffic.totals(simmpi::Pattern::kTranspose).bytes;
+  report.allreduce_bytes =
+      traffic.totals(simmpi::Pattern::kAllreduce).bytes;
+
+  const double ranks = static_cast<double>(cluster.ranks());
+  report.alltoall_seconds =
+      (traffic.totals(simmpi::Pattern::kAlltoallv).rank_seconds +
+       traffic.totals(simmpi::Pattern::kPointToPoint).rank_seconds) /
+      ranks;
+  report.allgather_seconds =
+      (traffic.totals(simmpi::Pattern::kAllgatherv).rank_seconds +
+       traffic.totals(simmpi::Pattern::kBroadcast).rank_seconds +
+       traffic.totals(simmpi::Pattern::kGatherv).rank_seconds) /
+      ranks;
+  report.transpose_seconds =
+      traffic.totals(simmpi::Pattern::kTranspose).rank_seconds / ranks;
+  report.allreduce_seconds =
+      traffic.totals(simmpi::Pattern::kAllreduce).rank_seconds / ranks;
+
+  eid_t scanned = 0;
+  for (const LevelStats& l : report.levels) scanned += l.edges_scanned;
+  report.edges_traversed = scanned;
+}
+
+}  // namespace dbfs::bfs

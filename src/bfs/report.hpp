@@ -1,0 +1,86 @@
+// Instrumented outputs of every BFS variant: the parent/level arrays
+// (validated against the Graph500 rules in tests), plus a per-level and
+// per-rank breakdown of simulated computation and communication time —
+// the raw material for every table and figure harness in bench/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbfs::bfs {
+
+struct LevelStats {
+  level_t level = 0;
+  vid_t frontier = 0;          ///< global frontier size entering this level
+  eid_t edges_scanned = 0;     ///< adjacencies enumerated / SpMSV flops
+  vid_t newly_visited = 0;
+  std::uint64_t a2a_bytes = 0;       ///< fold / 1D exchange traffic
+  std::uint64_t expand_bytes = 0;    ///< allgather-or-broadcast traffic
+  std::uint64_t other_bytes = 0;     ///< transpose + allreduce + misc
+  double wall_seconds = 0.0;         ///< simulated level makespan
+  double comm_seconds = 0.0;         ///< mean per-rank comm delta
+  double comp_seconds = 0.0;         ///< mean per-rank compute delta
+};
+
+struct RunReport {
+  std::string algorithm;
+  std::string machine;
+  int ranks = 1;
+  int threads_per_rank = 1;
+  int cores = 1;
+
+  std::vector<LevelStats> levels;
+
+  double total_seconds = 0.0;       ///< simulated BFS makespan
+  double comm_seconds_mean = 0.0;   ///< per-rank communication (incl. waits)
+  double comm_seconds_max = 0.0;
+  double comp_seconds_mean = 0.0;
+  double comp_seconds_max = 0.0;
+
+  /// Per-rank splits for the Figure 4 heatmap.
+  std::vector<double> per_rank_comm;
+  std::vector<double> per_rank_comp;
+
+  std::uint64_t alltoall_bytes = 0;
+  std::uint64_t allgather_bytes = 0;
+  std::uint64_t transpose_bytes = 0;
+  std::uint64_t allreduce_bytes = 0;
+
+  /// Modelled transfer seconds per collective pattern (excl. waiting) —
+  /// the quantities behind the paper's Table 1 percentages.
+  double alltoall_seconds = 0.0;
+  double allgather_seconds = 0.0;
+  double transpose_seconds = 0.0;
+  double allreduce_seconds = 0.0;
+
+  eid_t edges_traversed = 0;  ///< total adjacencies touched during the run
+
+  /// SpMSV back-end usage over the run (2D algorithms; ablation C).
+  std::int64_t spmsv_spa_calls = 0;
+  std::int64_t spmsv_heap_calls = 0;
+
+  /// TEPS for a given edge denominator (Graph500 counts the input's
+  /// directed edges): edges / total_seconds.
+  double teps(eid_t edge_count) const {
+    return total_seconds > 0.0
+               ? static_cast<double>(edge_count) / total_seconds
+               : 0.0;
+  }
+
+  /// Fraction of the makespan attributable to communication (mean).
+  double comm_fraction() const {
+    const double denom = comm_seconds_mean + comp_seconds_mean;
+    return denom > 0.0 ? comm_seconds_mean / denom : 0.0;
+  }
+};
+
+struct BfsOutput {
+  std::vector<vid_t> parent;    ///< size n; kNoVertex when unreachable
+  std::vector<level_t> level;   ///< size n; kUnreached when unreachable
+  RunReport report;
+};
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,113 @@
+#include "bfs/report_json.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace dbfs::bfs {
+
+namespace {
+
+// Minimal JSON string escaping; algorithm/machine names are ASCII but a
+// writer that silently emits invalid JSON on odd input is a trap.
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+template <typename T>
+void write_array(std::ostream& out, const std::vector<T>& values) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ',';
+    out << values[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& out, const RunReport& report,
+                       bool include_per_rank) {
+  out << "{";
+  out << "\"algorithm\":";
+  write_escaped(out, report.algorithm);
+  out << ",\"machine\":";
+  write_escaped(out, report.machine);
+  out << ",\"ranks\":" << report.ranks
+      << ",\"threads_per_rank\":" << report.threads_per_rank
+      << ",\"cores\":" << report.cores
+      << ",\"total_seconds\":" << report.total_seconds
+      << ",\"comm_seconds_mean\":" << report.comm_seconds_mean
+      << ",\"comm_seconds_max\":" << report.comm_seconds_max
+      << ",\"comp_seconds_mean\":" << report.comp_seconds_mean
+      << ",\"comp_seconds_max\":" << report.comp_seconds_max
+      << ",\"comm_fraction\":" << report.comm_fraction()
+      << ",\"edges_traversed\":" << report.edges_traversed;
+
+  out << ",\"traffic\":{"
+      << "\"alltoall_bytes\":" << report.alltoall_bytes
+      << ",\"allgather_bytes\":" << report.allgather_bytes
+      << ",\"transpose_bytes\":" << report.transpose_bytes
+      << ",\"allreduce_bytes\":" << report.allreduce_bytes
+      << ",\"alltoall_seconds\":" << report.alltoall_seconds
+      << ",\"allgather_seconds\":" << report.allgather_seconds
+      << ",\"transpose_seconds\":" << report.transpose_seconds
+      << ",\"allreduce_seconds\":" << report.allreduce_seconds << "}";
+
+  out << ",\"spmsv\":{\"spa_calls\":" << report.spmsv_spa_calls
+      << ",\"heap_calls\":" << report.spmsv_heap_calls << "}";
+
+  out << ",\"levels\":[";
+  for (std::size_t i = 0; i < report.levels.size(); ++i) {
+    const LevelStats& l = report.levels[i];
+    if (i > 0) out << ',';
+    out << "{\"level\":" << l.level << ",\"frontier\":" << l.frontier
+        << ",\"edges\":" << l.edges_scanned
+        << ",\"newly_visited\":" << l.newly_visited
+        << ",\"wall_seconds\":" << l.wall_seconds
+        << ",\"a2a_bytes\":" << l.a2a_bytes
+        << ",\"expand_bytes\":" << l.expand_bytes
+        << ",\"other_bytes\":" << l.other_bytes << "}";
+  }
+  out << "]";
+
+  if (include_per_rank) {
+    out << ",\"per_rank_comm\":";
+    write_array(out, report.per_rank_comm);
+    out << ",\"per_rank_comp\":";
+    write_array(out, report.per_rank_comp);
+  }
+  out << "}";
+}
+
+std::string report_to_json(const RunReport& report, bool include_per_rank) {
+  std::ostringstream out;
+  write_report_json(out, report, include_per_rank);
+  return out.str();
+}
+
+}  // namespace dbfs::bfs

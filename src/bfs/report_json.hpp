@@ -1,0 +1,27 @@
+// JSON serialization of RunReport: lets downstream tooling (plotters,
+// dashboards, regression trackers) consume the per-level and per-pattern
+// breakdowns without linking the library. No external JSON dependency —
+// the schema is flat and the writer is 100 lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bfs/report.hpp"
+
+namespace dbfs::bfs {
+
+/// Serialize a report as a single JSON object. Stable schema:
+/// {algorithm, machine, ranks, threads_per_rank, cores, total_seconds,
+///  comm_seconds_{mean,max}, comp_seconds_{mean,max}, comm_fraction,
+///  edges_traversed, traffic:{...bytes,...seconds}, spmsv:{spa,heap},
+///  levels:[{level, frontier, edges, newly_visited, wall_seconds,
+///           a2a_bytes, expand_bytes, other_bytes}, ...]}
+/// `include_per_rank` appends per_rank_comm / per_rank_comp arrays.
+void write_report_json(std::ostream& out, const RunReport& report,
+                       bool include_per_rank = false);
+
+std::string report_to_json(const RunReport& report,
+                           bool include_per_rank = false);
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,60 @@
+#include "bfs/serial.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace dbfs::bfs {
+
+BfsOutput serial_bfs(const graph::CsrGraph& g, vid_t source) {
+  const vid_t n = g.num_vertices();
+  if (source < 0 || source >= n) {
+    throw std::out_of_range("serial_bfs: source out of range");
+  }
+
+  BfsOutput out;
+  out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  out.level.assign(static_cast<std::size_t>(n), kUnreached);
+  out.report.algorithm = "serial";
+  out.report.machine = "host";
+
+  util::Timer timer;
+  std::vector<vid_t> fs;
+  std::vector<vid_t> ns;
+  out.parent[source] = source;
+  out.level[source] = 0;
+  fs.push_back(source);
+
+  level_t level = 1;
+  while (!fs.empty()) {
+    LevelStats stats;
+    stats.level = level - 1;
+    stats.frontier = static_cast<vid_t>(fs.size());
+    for (vid_t u : fs) {
+      for (vid_t v : g.neighbors(u)) {
+        ++stats.edges_scanned;
+        if (out.level[v] == kUnreached) {
+          out.level[v] = level;
+          out.parent[v] = u;
+          ns.push_back(v);
+        }
+      }
+    }
+    stats.newly_visited = static_cast<vid_t>(ns.size());
+    out.report.levels.push_back(stats);
+    fs = std::move(ns);
+    ns.clear();
+    ++level;
+  }
+
+  out.report.total_seconds = timer.elapsed();
+  out.report.comp_seconds_mean = out.report.total_seconds;
+  out.report.comp_seconds_max = out.report.total_seconds;
+  eid_t scanned = 0;
+  for (const LevelStats& l : out.report.levels) scanned += l.edges_scanned;
+  out.report.edges_traversed = scanned;
+  return out;
+}
+
+}  // namespace dbfs::bfs

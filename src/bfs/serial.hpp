@@ -1,0 +1,16 @@
+// Algorithm 1 of the paper: serial level-synchronous BFS with explicit
+// frontier (FS) and next (NS) stacks. The correctness reference for every
+// parallel variant, and the single-node baseline of the TEPS comparisons.
+#pragma once
+
+#include "bfs/report.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dbfs::bfs {
+
+/// Runs serial BFS from `source`; fills parents and levels. The report
+/// carries level-by-level frontier/edge counts and the *measured* host
+/// wall time (serial execution is real, not simulated).
+BfsOutput serial_bfs(const graph::CsrGraph& g, vid_t source);
+
+}  // namespace dbfs::bfs

@@ -1,0 +1,30 @@
+// Shared-memory multithreaded BFS (the intra-node kernel of the hybrid
+// codes, paper §4.2): level-synchronous, with thread-local next-frontier
+// stacks merged at each level's end, and — by default — non-atomic
+// ("benign race") distance updates. A vertex may then be appended to NS
+// more than once; correctness is preserved because the distance value is
+// settled by the barrier at the level boundary, and the duplicate rate is
+// tiny (<0.5% in the paper; measured by the ablation bench here).
+#pragma once
+
+#include "bfs/report.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace dbfs::bfs {
+
+struct SharedBfsOptions {
+  int num_threads = 0;      ///< 0 = OpenMP default
+  bool use_atomics = false; ///< compare-and-swap dedup instead of races
+};
+
+struct SharedBfsResult {
+  BfsOutput out;
+  /// Vertices that entered a thread-local NS more than once (the benign-
+  /// race duplicates); always 0 with use_atomics.
+  eid_t duplicate_insertions = 0;
+};
+
+SharedBfsResult shared_bfs(const graph::CsrGraph& g, vid_t source,
+                           const SharedBfsOptions& opts = {});
+
+}  // namespace dbfs::bfs

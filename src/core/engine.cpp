@@ -1,0 +1,189 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "bfs/baseline_graph500.hpp"
+#include "bfs/baseline_pbgl.hpp"
+#include "bfs/bfs1d.hpp"
+#include "bfs/bfs2d.hpp"
+#include "bfs/serial.hpp"
+#include "bfs/shared.hpp"
+#include "graph/validator.hpp"
+
+namespace dbfs::core {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSerial:
+      return "serial";
+    case Algorithm::kShared:
+      return "shared";
+    case Algorithm::kOneDFlat:
+      return "1d-flat";
+    case Algorithm::kOneDHybrid:
+      return "1d-hybrid";
+    case Algorithm::kTwoDFlat:
+      return "2d-flat";
+    case Algorithm::kTwoDHybrid:
+      return "2d-hybrid";
+    case Algorithm::kGraph500Ref:
+      return "graph500-ref";
+    case Algorithm::kPbglLike:
+      return "pbgl-like";
+  }
+  return "?";
+}
+
+bool is_distributed(Algorithm a) {
+  return a != Algorithm::kSerial && a != Algorithm::kShared;
+}
+
+int default_threads_per_rank(const model::MachineModel& machine) {
+  // One NUMA domain per rank: 6-way on 24-core Hopper nodes, 4-way on
+  // quad-core Franklin nodes, and likewise for other machines.
+  return machine.cores_per_node >= 24 ? 6
+         : machine.cores_per_node >= 4 ? 4
+                                       : machine.cores_per_node;
+}
+
+struct Engine::Impl {
+  EngineOptions opts;
+  vid_t n;
+  graph::EdgeList edges;  // kept for validation-side CSR build
+  std::unique_ptr<bfs::Bfs1D> one_d;
+  std::unique_ptr<bfs::Bfs2D> two_d;
+  std::unique_ptr<graph::CsrGraph> csr;
+
+  Impl(const graph::EdgeList& input, vid_t num_vertices, EngineOptions options)
+      : opts(std::move(options)), n(num_vertices), edges(input) {
+    int threads = opts.threads_per_rank;
+    const bool hybrid = opts.algorithm == Algorithm::kOneDHybrid ||
+                        opts.algorithm == Algorithm::kTwoDHybrid;
+    if (threads <= 0) {
+      threads = hybrid ? default_threads_per_rank(opts.machine) : 1;
+    }
+    if (!hybrid && is_distributed(opts.algorithm)) threads = 1;
+    opts.threads_per_rank = threads;
+
+    switch (opts.algorithm) {
+      case Algorithm::kSerial:
+      case Algorithm::kShared:
+        ensure_csr();
+        break;
+      case Algorithm::kOneDFlat:
+      case Algorithm::kOneDHybrid: {
+        bfs::Bfs1DOptions o;
+        o.ranks = std::max(1, opts.cores / threads);
+        o.threads_per_rank = threads;
+        o.machine = opts.machine;
+        o.load_smoothing = opts.load_smoothing;
+        one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
+        break;
+      }
+      case Algorithm::kTwoDFlat:
+      case Algorithm::kTwoDHybrid: {
+        bfs::Bfs2DOptions o;
+        o.cores = opts.cores;
+        o.threads_per_rank = threads;
+        o.machine = opts.machine;
+        o.backend = opts.backend;
+        o.vector_dist = opts.vector_dist;
+        o.triangular_storage = opts.triangular_storage;
+        o.load_smoothing = opts.load_smoothing;
+        two_d = std::make_unique<bfs::Bfs2D>(edges, n, std::move(o));
+        break;
+      }
+      case Algorithm::kGraph500Ref: {
+        bfs::Graph500RefOptions g;
+        g.ranks = opts.cores;
+        g.machine = opts.machine;
+        one_d = std::make_unique<bfs::Bfs1D>(
+            edges, n, bfs::graph500_reference_options(g));
+        break;
+      }
+      case Algorithm::kPbglLike: {
+        bfs::PbglLikeOptions g;
+        g.ranks = opts.cores;
+        g.machine = opts.machine;
+        one_d =
+            std::make_unique<bfs::Bfs1D>(edges, n, bfs::pbgl_like_options(g));
+        break;
+      }
+    }
+  }
+
+  void ensure_csr() {
+    if (!csr) {
+      csr = std::make_unique<graph::CsrGraph>(
+          graph::CsrGraph::from_edges(edges));
+    }
+  }
+};
+
+Engine::Engine(const graph::EdgeList& edges, vid_t n, EngineOptions opts)
+    : impl_(std::make_unique<Impl>(edges, n, std::move(opts))) {
+  if (n < 1) throw std::invalid_argument("Engine: empty graph");
+}
+
+Engine::~Engine() = default;
+
+const EngineOptions& Engine::options() const { return impl_->opts; }
+
+int Engine::cores_used() const {
+  if (impl_->two_d) return impl_->two_d->cores_used();
+  if (impl_->one_d) {
+    return impl_->one_d->ranks() * impl_->opts.threads_per_rank;
+  }
+  return 1;
+}
+
+const graph::CsrGraph& Engine::csr() const {
+  impl_->ensure_csr();
+  return *impl_->csr;
+}
+
+bfs::BfsOutput Engine::run(vid_t source) {
+  Impl& im = *impl_;
+  switch (im.opts.algorithm) {
+    case Algorithm::kSerial:
+      im.ensure_csr();
+      return bfs::serial_bfs(*im.csr, source);
+    case Algorithm::kShared: {
+      im.ensure_csr();
+      return bfs::shared_bfs(*im.csr, source).out;
+    }
+    default:
+      break;
+  }
+  if (im.one_d) return im.one_d->run(source);
+  return im.two_d->run(source);
+}
+
+BatchResult Engine::run_batch(std::span<const vid_t> sources,
+                              eid_t edge_denominator) {
+  BatchResult batch;
+  std::vector<double> teps_samples;
+  double time_sum = 0.0;
+  for (vid_t source : sources) {
+    bfs::BfsOutput out = run(source);
+    const auto validation =
+        graph::validate_bfs_tree(csr(), source, out.parent);
+    if (validation.ok) {
+      ++batch.validated;
+    } else {
+      ++batch.failed;
+      if (batch.first_error.empty()) batch.first_error = validation.error;
+    }
+    teps_samples.push_back(out.report.teps(edge_denominator));
+    time_sum += out.report.total_seconds;
+    batch.reports.push_back(std::move(out.report));
+  }
+  batch.teps = util::summarize(teps_samples);
+  batch.harmonic_mean_teps = batch.teps.harmonic_mean;
+  batch.mean_seconds =
+      sources.empty() ? 0.0 : time_sum / static_cast<double>(sources.size());
+  return batch;
+}
+
+}  // namespace dbfs::core

@@ -1,0 +1,107 @@
+// Public facade of the library: pick an algorithm, a simulated machine,
+// and a core count; run validated BFS with full per-level instrumentation.
+//
+//   using namespace dbfs;
+//   auto built = graph::build_graph(graph::generate_rmat({.scale = 16}));
+//   core::Engine engine(built.edges, built.csr.num_vertices(),
+//                       {.algorithm = core::Algorithm::kTwoDHybrid,
+//                        .cores = 1024,
+//                        .machine = model::hopper()});
+//   auto run = engine.run(source);
+//   auto batch = engine.run_batch(sources, built.directed_edge_count);
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bfs/report.hpp"
+#include "dist/vector_dist.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "model/machine.hpp"
+#include "sparse/spmsv.hpp"
+#include "util/stats.hpp"
+
+namespace dbfs::core {
+
+enum class Algorithm {
+  kSerial,       ///< Algorithm 1, host execution
+  kShared,       ///< intra-node OpenMP BFS, host execution
+  kOneDFlat,     ///< Algorithm 2, flat MPI (one rank per core)
+  kOneDHybrid,   ///< Algorithm 2 + t-way threading per rank
+  kTwoDFlat,     ///< Algorithm 3, flat MPI
+  kTwoDHybrid,   ///< Algorithm 3 + t-way threading per rank
+  kGraph500Ref,  ///< baseline: reference MPI code behavior
+  kPbglLike,     ///< baseline: PBGL behavior
+};
+
+const char* to_string(Algorithm a);
+bool is_distributed(Algorithm a);
+
+struct EngineOptions {
+  Algorithm algorithm = Algorithm::kTwoDFlat;
+  /// Total simulated cores. Flat algorithms use one rank per core; hybrid
+  /// ones use cores/threads_per_rank ranks.
+  int cores = 16;
+  /// 0 = pick the machine's natural threading degree for hybrid
+  /// algorithms (4 on Franklin, 6 on Hopper, per §6), 1 forced for flat.
+  int threads_per_rank = 0;
+  model::MachineModel machine = model::generic();
+  sparse::SpmsvBackend backend = sparse::SpmsvBackend::kAuto;
+  dist::VectorDistKind vector_dist = dist::VectorDistKind::kTwoD;
+  /// §7 triangular storage for the 2D algorithms (see
+  /// bfs::Bfs2DOptions::triangular_storage).
+  bool triangular_storage = false;
+  /// Statistical load smoothing for compute pricing (see
+  /// bfs::Bfs1DOptions::load_smoothing); 1 = the balanced regime of the
+  /// paper's §5 model, 0 = exact per-rank volumes.
+  double load_smoothing = 1.0;
+};
+
+/// Graph500-style batch statistics over multiple sources.
+struct BatchResult {
+  std::vector<bfs::RunReport> reports;
+  util::Summary teps;          ///< per-source TEPS sample summary
+  double harmonic_mean_teps = 0.0;
+  double mean_seconds = 0.0;
+  int validated = 0;           ///< sources whose output passed validation
+  int failed = 0;
+  std::string first_error;     ///< first validation failure, if any
+};
+
+/// The machine's natural hybrid threading degree (paper §6: 4-way on
+/// Franklin, 6-way on Hopper = one NUMA die).
+int default_threads_per_rank(const model::MachineModel& machine);
+
+class Engine {
+ public:
+  /// `edges` must already be prepared (shuffled + symmetrized — use
+  /// graph::build_graph); `n` is the vertex count.
+  Engine(const graph::EdgeList& edges, vid_t n, EngineOptions opts);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  bfs::BfsOutput run(vid_t source);
+
+  /// Run every source, validate each output against the graph, and
+  /// aggregate TEPS using `edge_denominator` (Graph500 counts the
+  /// original directed edges).
+  BatchResult run_batch(std::span<const vid_t> sources,
+                        eid_t edge_denominator);
+
+  const EngineOptions& options() const;
+  /// Cores actually simulated (2D grids round down to a square).
+  int cores_used() const;
+  /// CSR view of the prepared graph (built lazily; used for validation).
+  const graph::CsrGraph& csr() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dbfs::core

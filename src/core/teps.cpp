@@ -1,0 +1,24 @@
+#include "core/teps.hpp"
+
+#include <vector>
+
+namespace dbfs::core {
+
+TepsStats compute_teps(std::span<const bfs::RunReport> reports,
+                       eid_t edge_denominator) {
+  TepsStats stats;
+  std::vector<double> samples;
+  double seconds = 0.0;
+  for (const auto& r : reports) {
+    samples.push_back(r.teps(edge_denominator));
+    seconds += r.total_seconds;
+  }
+  stats.samples = util::summarize(samples);
+  stats.harmonic_mean = stats.samples.harmonic_mean;
+  stats.gteps = stats.harmonic_mean / 1e9;
+  stats.mean_seconds =
+      reports.empty() ? 0.0 : seconds / static_cast<double>(reports.size());
+  return stats;
+}
+
+}  // namespace dbfs::core

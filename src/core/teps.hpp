@@ -1,0 +1,25 @@
+// TEPS ("traversed edges per second") accounting per the Graph 500 rules
+// and paper §6: times are normalized by the *directed* edge count of the
+// input graph; per-source rates are aggregated with the harmonic mean
+// (equivalently, total edges over total time).
+#pragma once
+
+#include <span>
+
+#include "bfs/report.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::core {
+
+struct TepsStats {
+  util::Summary samples;     ///< per-source TEPS distribution
+  double harmonic_mean = 0;  ///< the Graph500 headline number
+  double gteps = 0;          ///< harmonic mean / 1e9
+  double mean_seconds = 0;   ///< mean per-source search time
+};
+
+TepsStats compute_teps(std::span<const bfs::RunReport> reports,
+                       eid_t edge_denominator);
+
+}  // namespace dbfs::core

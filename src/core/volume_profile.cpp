@@ -1,0 +1,218 @@
+#include "core/volume_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/cost.hpp"
+
+namespace dbfs::core {
+
+VolumeProfile VolumeProfile::measure(const graph::CsrGraph& g, vid_t source) {
+  VolumeProfile profile;
+  profile.n = g.num_vertices();
+  profile.m = g.num_edges();
+
+  std::vector<level_t> level(static_cast<std::size_t>(profile.n), kUnreached);
+  // Stamp array: which level last touched this vertex (for distinct-touch
+  // counting without per-level clearing).
+  std::vector<level_t> touched_at(static_cast<std::size_t>(profile.n), -1);
+
+  std::vector<vid_t> fs{source};
+  std::vector<vid_t> ns;
+  level[source] = 0;
+  level_t cur = 0;
+  while (!fs.empty()) {
+    LevelVolume lv;
+    lv.frontier = static_cast<vid_t>(fs.size());
+    for (vid_t u : fs) {
+      for (vid_t v : g.neighbors(u)) {
+        ++lv.edges_scanned;
+        if (touched_at[v] != cur) {
+          touched_at[v] = cur;
+          ++lv.touched;
+        }
+        if (level[v] == kUnreached) {
+          level[v] = cur + 1;
+          ns.push_back(v);
+        }
+      }
+    }
+    lv.newly_visited = static_cast<vid_t>(ns.size());
+    profile.levels.push_back(lv);
+    fs = std::move(ns);
+    ns.clear();
+    ++cur;
+  }
+  return profile;
+}
+
+namespace {
+
+double per_rank(double global, int p, double imbalance) {
+  return global / static_cast<double>(p) * imbalance;
+}
+
+}  // namespace
+
+PricedRun price_1d(const VolumeProfile& profile,
+                   const model::MachineModel& machine,
+                   const Price1DOptions& opts) {
+  PricedRun run;
+  const int t = std::max(1, opts.threads_per_rank);
+  const int p = std::max(1, opts.cores / t);
+  run.cores_used = p * t;
+  const double lambda = profile.imbalance;
+  const int ranks_per_node = std::max(1, machine.cores_per_node / t);
+  const double nic =
+      (1.0 + machine.nic_contention *
+                 static_cast<double>(ranks_per_node - 1)) /
+      static_cast<double>(t);
+  const double frac_remote =
+      p > 1 ? static_cast<double>(p - 1) / static_cast<double>(p) : 0.0;
+
+  for (const LevelVolume& lv : profile.levels) {
+    const double e_r =
+        per_rank(static_cast<double>(lv.edges_scanned), p, lambda);
+
+    model::Work1D work;
+    work.frontier_vertices =
+        static_cast<eid_t>(per_rank(static_cast<double>(lv.frontier), p, lambda));
+    work.edges_scanned = static_cast<eid_t>(e_r);
+    work.words_packed = static_cast<eid_t>(2.0 * e_r);
+    work.candidates_received = static_cast<eid_t>(2.0 * e_r);
+    work.newly_visited = static_cast<vid_t>(
+        per_rank(static_cast<double>(lv.newly_visited), p, lambda));
+    work.n_local = std::max<vid_t>(1, profile.n / p);
+    work.threads = t;
+    work.extra_per_edge_seconds = opts.extra_per_edge_seconds;
+    run.comp_seconds += model::cost_1d_local(machine, work) +
+                        model::cost_thread_barriers(machine, t, 4) +
+                        static_cast<double>(p) * opts.per_peer_level_seconds;
+
+    // Each scanned edge becomes one 16-byte candidate; a (p-1)/p fraction
+    // crosses the network. Per-rank volumes carry the node-sharing
+    // factor: 1/t bandwidth ownership x NIC contention (mirrors
+    // simmpi::Cluster::nic_factor).
+    const auto bytes = static_cast<std::size_t>(
+        e_r * 2.0 * model::kWordBytes * frac_remote * nic);
+    double exchange;
+    switch (opts.comm_mode) {
+      case bfs::CommMode::kAlltoallv:
+        exchange = model::cost_alltoallv(machine, p, bytes);
+        break;
+      case bfs::CommMode::kChunkedSends:
+      case bfs::CommMode::kPerEdgeSends: {
+        const std::size_t chunk =
+            std::max<std::size_t>(16, opts.chunk_bytes);
+        // At least one message per active destination; active
+        // destinations saturate at p-1 for large frontiers. Send- and
+        // receive-side chunks both pay latency, on top of the level's
+        // p-way synchronization floor (mirrors Bfs1D::Impl::exchange).
+        const double dests =
+            std::min<double>(p - 1, e_r * frac_remote);
+        const double messages = 2.0 * std::max(
+            dests, static_cast<double>(bytes) / static_cast<double>(chunk));
+        exchange = static_cast<double>(p) * machine.alpha_net +
+                   model::cost_chunked_sends(
+                       machine, static_cast<std::size_t>(messages), bytes, p);
+        break;
+      }
+      default:
+        exchange = 0.0;
+        break;
+    }
+    run.a2a_seconds += exchange;
+    run.allreduce_seconds += model::cost_allreduce(machine, p, 8);
+  }
+
+  run.comm_seconds = run.a2a_seconds + run.allreduce_seconds;
+  run.total_seconds = run.comp_seconds + run.comm_seconds;
+  return run;
+}
+
+PricedRun price_2d(const VolumeProfile& profile,
+                   const model::MachineModel& machine,
+                   const Price2DOptions& opts) {
+  PricedRun run;
+  const int t = std::max(1, opts.threads_per_rank);
+  const int ranks = std::max(1, opts.cores / t);
+  const int s = std::max(1, static_cast<int>(
+                                std::sqrt(static_cast<double>(ranks))));
+  const int p = s * s;
+  run.cores_used = p * t;
+  const double lambda = profile.imbalance;
+  const int ranks_per_node = std::max(1, machine.cores_per_node / t);
+  const double nic =
+      (1.0 + machine.nic_contention *
+                 static_cast<double>(ranks_per_node - 1)) /
+      static_cast<double>(t);
+  const double block = std::max(1.0, static_cast<double>(profile.n) /
+                                         static_cast<double>(s));
+
+  for (const LevelVolume& lv : profile.levels) {
+    const double frontier = static_cast<double>(lv.frontier);
+    const double flops_r =
+        per_rank(static_cast<double>(lv.edges_scanned), p, lambda);
+
+    // Fold volume: each touched vertex's candidates are spread over the s
+    // column blocks; the expected number of blocks hit follows the
+    // balls-into-bins form, saturating at one candidate per edge.
+    const double touched = std::max(1.0, static_cast<double>(lv.touched));
+    const double k = static_cast<double>(lv.edges_scanned) / touched;
+    const double blocks_hit =
+        static_cast<double>(s) *
+        (1.0 - std::pow(1.0 - 1.0 / static_cast<double>(s), k));
+    // The balls-into-bins form is evaluated at the *mean* incident-edge
+    // count k; 1-(1-1/s)^k is concave in k, so with skewed per-vertex
+    // degrees the mean-based estimate overshoots (Jensen). The constant
+    // is fit against the functional simulator on R-MAT inputs and
+    // verified by bench/diag_model_validation.
+    constexpr double kDegreeSkewCorrection = 0.5;
+    const double fold_entries =
+        std::min(static_cast<double>(lv.edges_scanned),
+                 touched * blocks_hit * kDegreeSkewCorrection);
+    const double fold_r = per_rank(fold_entries, p, lambda);
+
+    sparse::SpmsvBackend backend = opts.backend;
+    if (backend == sparse::SpmsvBackend::kAuto) {
+      backend = sparse::choose_backend(static_cast<eid_t>(flops_r),
+                                       static_cast<vid_t>(block));
+    }
+
+    model::Work2D work;
+    work.spmsv_flops = static_cast<eid_t>(flops_r);
+    work.x_nnz = static_cast<vid_t>(frontier / s * lambda);
+    work.output_nnz = static_cast<vid_t>(fold_r);
+    work.fold_received = static_cast<vid_t>(fold_r);
+    work.x_dim = static_cast<vid_t>(block);
+    work.out_dim = static_cast<vid_t>(block);
+    work.n_local = std::max<vid_t>(1, profile.n / p);
+    work.heap_backend = backend == sparse::SpmsvBackend::kHeap;
+    work.threads = t;
+    run.comp_seconds += model::cost_2d_local(machine, work) +
+                        model::cost_thread_barriers(machine, t, 4);
+
+    // TransposeVector: pairwise swap of ~F/p entries. Per-rank volumes
+    // carry the node-sharing factor (see Cluster::nic_factor).
+    run.transpose_seconds += model::cost_p2p(
+        machine, static_cast<std::size_t>(per_rank(frontier, p, lambda) *
+                                          model::kWordBytes * nic));
+    // Expand: every rank in a column ends holding f_{C_j} ≈ F/s entries.
+    run.ag_seconds += model::cost_allgatherv(
+        machine, s,
+        static_cast<std::size_t>(frontier / s * lambda * model::kWordBytes *
+                                 nic));
+    // Fold: alltoallv over the processor row, 16-byte candidates.
+    run.a2a_seconds += model::cost_alltoallv(
+        machine, s,
+        static_cast<std::size_t>(fold_r * 2.0 * model::kWordBytes * nic));
+    run.allreduce_seconds += model::cost_allreduce(machine, p, 8);
+  }
+
+  run.comm_seconds = run.a2a_seconds + run.ag_seconds +
+                     run.transpose_seconds + run.allreduce_seconds;
+  run.total_seconds = run.comp_seconds + run.comm_seconds;
+  return run;
+}
+
+}  // namespace dbfs::core

@@ -1,0 +1,79 @@
+// Volume-profile pricing: the large-concurrency extrapolation path.
+//
+// The per-level traversal volumes of a BFS — frontier sizes, edges
+// scanned, distinct vertices touched — are properties of (graph, source)
+// and do not depend on the process count. We measure them once with a
+// host-side sweep, then price any (algorithm, machine, core count)
+// configuration with the paper's §5 cost model, assuming the random
+// shuffle's balance (a measured imbalance factor λ is applied).
+//
+// This is how the benches reach the paper's 10K-40K core operating
+// points (Figs 7, 8) that the functional simulator cannot hold in
+// memory for the 1D algorithm; functional and priced paths are
+// cross-checked against each other in tests at small core counts.
+#pragma once
+
+#include <vector>
+
+#include "bfs/bfs1d.hpp"
+#include "graph/csr_graph.hpp"
+#include "model/machine.hpp"
+#include "sparse/spmsv.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::core {
+
+struct LevelVolume {
+  vid_t frontier = 0;       ///< |FS| entering the level
+  eid_t edges_scanned = 0;  ///< adjacencies out of the frontier
+  vid_t touched = 0;        ///< distinct vertices adjacent to the frontier
+  vid_t newly_visited = 0;
+};
+
+struct VolumeProfile {
+  vid_t n = 0;
+  eid_t m = 0;              ///< symmetrized adjacency count (CSR edges)
+  std::vector<LevelVolume> levels;
+  /// max/mean per-rank load factor under the shuffle; applied to every
+  /// per-rank quantity when pricing.
+  double imbalance = 1.1;
+
+  /// Measure the profile with one host-side BFS from `source`.
+  static VolumeProfile measure(const graph::CsrGraph& g, vid_t source);
+};
+
+struct PricedRun {
+  double total_seconds = 0;
+  double comp_seconds = 0;
+  double comm_seconds = 0;
+  double a2a_seconds = 0;        ///< fold / 1D exchange
+  double ag_seconds = 0;         ///< expand (allgather)
+  double transpose_seconds = 0;
+  double allreduce_seconds = 0;
+  int cores_used = 0;
+};
+
+struct Price1DOptions {
+  int cores = 1024;
+  int threads_per_rank = 1;
+  bfs::CommMode comm_mode = bfs::CommMode::kAlltoallv;
+  std::size_t chunk_bytes = 16 * 1024;
+  double extra_per_edge_seconds = 0.0;
+  double per_peer_level_seconds = 0.0;  ///< see Bfs1DOptions
+};
+
+PricedRun price_1d(const VolumeProfile& profile,
+                   const model::MachineModel& machine,
+                   const Price1DOptions& opts);
+
+struct Price2DOptions {
+  int cores = 1024;
+  int threads_per_rank = 1;
+  sparse::SpmsvBackend backend = sparse::SpmsvBackend::kAuto;
+};
+
+PricedRun price_2d(const VolumeProfile& profile,
+                   const model::MachineModel& machine,
+                   const Price2DOptions& opts);
+
+}  // namespace dbfs::core

@@ -1,0 +1,47 @@
+// Per-rank CSR adjacency under the 1D partition: rank r stores the sorted
+// out-adjacencies (as *global* vertex ids) of its owned vertex range —
+// the "distributed adjacency arrays" of the paper's 1D approach.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/partition1d.hpp"
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::dist {
+
+class LocalGraph1D {
+ public:
+  /// Build with the uniform block partition.
+  static LocalGraph1D build(const graph::EdgeList& edges, vid_t n, int ranks);
+
+  /// Build with an explicit partition (e.g. BlockPartition::edge_balanced).
+  static LocalGraph1D build_with_partition(const graph::EdgeList& edges,
+                                           BlockPartition partition);
+
+  const BlockPartition& partition() const noexcept { return partition_; }
+
+  /// Adjacency of vertex `local` (0-based within rank r's owned range).
+  std::span<const vid_t> neighbors(int r, vid_t local) const noexcept {
+    const auto& off = offsets_[static_cast<std::size_t>(r)];
+    const auto& adj = adjacency_[static_cast<std::size_t>(r)];
+    return {adj.data() + off[static_cast<std::size_t>(local)],
+            static_cast<std::size_t>(off[static_cast<std::size_t>(local) + 1] -
+                                     off[static_cast<std::size_t>(local)])};
+  }
+
+  eid_t local_edges(int r) const noexcept {
+    return static_cast<eid_t>(adjacency_[static_cast<std::size_t>(r)].size());
+  }
+
+  vid_t local_vertices(int r) const noexcept { return partition_.size(r); }
+
+ private:
+  BlockPartition partition_;
+  std::vector<std::vector<eid_t>> offsets_;     // per rank: size local_n+1
+  std::vector<std::vector<vid_t>> adjacency_;   // per rank: global ids
+};
+
+}  // namespace dbfs::dist

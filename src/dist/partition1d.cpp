@@ -1,0 +1,101 @@
+// BlockPartition is header-only; this file anchors the dist target and
+// hosts the 1D local-graph builder.
+#include "dist/partition1d.hpp"
+
+#include <numeric>
+
+#include "dist/local_graph1d.hpp"
+
+namespace dbfs::dist {
+
+BlockPartition BlockPartition::from_boundaries(std::vector<vid_t> boundaries) {
+  if (boundaries.size() < 2 || boundaries.front() != 0 ||
+      !std::is_sorted(boundaries.begin(), boundaries.end())) {
+    throw std::invalid_argument("BlockPartition: invalid boundaries");
+  }
+  BlockPartition p;
+  p.n_ = boundaries.back();
+  p.parts_ = static_cast<int>(boundaries.size()) - 1;
+  p.boundaries_ = std::move(boundaries);
+  return p;
+}
+
+BlockPartition BlockPartition::edge_balanced(
+    std::span<const eid_t> out_degrees, int parts) {
+  if (parts < 1) {
+    throw std::invalid_argument("edge_balanced: parts must be positive");
+  }
+  const auto n = static_cast<vid_t>(out_degrees.size());
+  eid_t total = 0;
+  for (eid_t d : out_degrees) total += d;
+
+  // Greedy sweep: close a block once it reaches the remaining-average
+  // edge load, so trailing ranks are never starved by early hubs.
+  std::vector<vid_t> boundaries{0};
+  eid_t accumulated = 0;
+  eid_t consumed = 0;
+  for (vid_t v = 0; v < n && static_cast<int>(boundaries.size()) < parts;
+       ++v) {
+    accumulated += out_degrees[static_cast<std::size_t>(v)];
+    const int blocks_left =
+        parts - static_cast<int>(boundaries.size()) + 1;
+    const double target = static_cast<double>(total - consumed) /
+                          static_cast<double>(blocks_left);
+    if (static_cast<double>(accumulated) >= target) {
+      boundaries.push_back(v + 1);
+      consumed += accumulated;
+      accumulated = 0;
+    }
+  }
+  while (static_cast<int>(boundaries.size()) < parts) {
+    boundaries.push_back(n);
+  }
+  boundaries.push_back(n);
+  return from_boundaries(std::move(boundaries));
+}
+
+LocalGraph1D LocalGraph1D::build(const graph::EdgeList& edges, vid_t n,
+                                 int ranks) {
+  return build_with_partition(edges, BlockPartition(n, ranks));
+}
+
+LocalGraph1D LocalGraph1D::build_with_partition(const graph::EdgeList& edges,
+                                                BlockPartition partition) {
+  LocalGraph1D lg;
+  const int ranks = partition.parts();
+  lg.partition_ = std::move(partition);
+  lg.offsets_.resize(static_cast<std::size_t>(ranks));
+  lg.adjacency_.resize(static_cast<std::size_t>(ranks));
+
+  // Two-pass CSR build per rank, done globally: count, prefix, place.
+  for (int r = 0; r < ranks; ++r) {
+    lg.offsets_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(lg.partition_.size(r)) + 1, 0);
+  }
+  for (const graph::Edge& e : edges.edges()) {
+    const int r = lg.partition_.owner(e.u);
+    const vid_t local = e.u - lg.partition_.begin(r);
+    ++lg.offsets_[static_cast<std::size_t>(r)][static_cast<std::size_t>(local) + 1];
+  }
+  for (int r = 0; r < ranks; ++r) {
+    auto& off = lg.offsets_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 1; i < off.size(); ++i) off[i] += off[i - 1];
+    lg.adjacency_[static_cast<std::size_t>(r)].resize(
+        static_cast<std::size_t>(off.back()));
+  }
+  std::vector<std::vector<eid_t>> cursor(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const auto& off = lg.offsets_[static_cast<std::size_t>(r)];
+    cursor[static_cast<std::size_t>(r)].assign(off.begin(), off.end() - 1);
+  }
+  for (const graph::Edge& e : edges.edges()) {
+    const int r = lg.partition_.owner(e.u);
+    const vid_t local = e.u - lg.partition_.begin(r);
+    auto& cur = cursor[static_cast<std::size_t>(r)][static_cast<std::size_t>(local)];
+    lg.adjacency_[static_cast<std::size_t>(r)][static_cast<std::size_t>(cur++)] =
+        e.v;
+  }
+  return lg;
+}
+
+}  // namespace dbfs::dist

@@ -1,0 +1,57 @@
+#include "dist/partition2d.hpp"
+
+#include <stdexcept>
+
+namespace dbfs::dist {
+
+Partition2D::Partition2D(const graph::EdgeList& edges, vid_t n,
+                         const simmpi::ProcessGrid& grid, bool triangular) {
+  if (!grid.is_square()) {
+    throw std::invalid_argument(
+        "Partition2D: the 2D BFS uses square grids (paper §6)");
+  }
+  const int s = grid.pr();
+  blocks_ = BlockPartition(n, s);
+  triangular_ = triangular;
+
+  std::vector<std::vector<sparse::Triple>> triples(
+      static_cast<std::size_t>(grid.ranks()));
+  for (const graph::Edge& e : edges.edges()) {
+    // Edge u -> v lands at matrix entry (row v, col u): pre-transposed.
+    vid_t row = e.v;
+    vid_t col = e.u;
+    if (triangular) {
+      // Keep only the upper wedge: a symmetric input carries both {u,v}
+      // and {v,u}; the one whose entry falls strictly below the diagonal
+      // is dropped (its mirror is kept by the other orientation).
+      if (row > col) continue;
+    }
+    const int i = blocks_.owner(row);
+    const int j = blocks_.owner(col);
+    triples[static_cast<std::size_t>(grid.rank_of(i, j))].push_back(
+        sparse::Triple{row - blocks_.begin(i), col - blocks_.begin(j)});
+  }
+
+  blocks_dcsc_.reserve(static_cast<std::size_t>(grid.ranks()));
+  for (int rank = 0; rank < grid.ranks(); ++rank) {
+    const int i = grid.row_of(rank);
+    const int j = grid.col_of(rank);
+    blocks_dcsc_.push_back(sparse::DcscMatrix::from_triples(
+        blocks_.size(i), blocks_.size(j),
+        std::move(triples[static_cast<std::size_t>(rank)])));
+  }
+}
+
+eid_t Partition2D::total_nnz() const noexcept {
+  eid_t sum = 0;
+  for (const auto& b : blocks_dcsc_) sum += b.nnz();
+  return sum;
+}
+
+std::size_t Partition2D::memory_bytes() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& b : blocks_dcsc_) sum += b.memory_bytes();
+  return sum;
+}
+
+}  // namespace dbfs::dist

@@ -1,0 +1,29 @@
+#include "dist/vector_dist.hpp"
+
+namespace dbfs::dist {
+
+const char* to_string(VectorDistKind kind) {
+  switch (kind) {
+    case VectorDistKind::kTwoD:
+      return "2d";
+    case VectorDistKind::kDiagonal:
+      return "diagonal";
+  }
+  return "?";
+}
+
+VectorDist::VectorDist(vid_t n, const simmpi::ProcessGrid& grid,
+                       VectorDistKind kind)
+    : kind_(kind), pc_(grid.pc()), row_blocks_(n, grid.pr()) {
+  if (!grid.is_square()) {
+    throw std::invalid_argument("VectorDist: requires a square grid");
+  }
+  if (kind_ == VectorDistKind::kTwoD) {
+    sub_.reserve(static_cast<std::size_t>(grid.pr()));
+    for (int i = 0; i < grid.pr(); ++i) {
+      sub_.emplace_back(row_blocks_.size(i), grid.pc());
+    }
+  }
+}
+
+}  // namespace dbfs::dist

@@ -1,0 +1,45 @@
+#include "graph/builder.hpp"
+
+#include <utility>
+
+#include "graph/permutation.hpp"
+
+namespace dbfs::graph {
+
+BuiltGraph build_graph(EdgeList input, const BuildOptions& opts) {
+  BuiltGraph out;
+  out.directed_edge_count = input.num_edges();
+
+  if (opts.shuffle) {
+    Permutation perm =
+        Permutation::random(input.num_vertices(), opts.shuffle_seed);
+    apply_permutation(input, perm);
+    out.new_to_old = perm.inverse().mapping();
+  }
+  if (opts.symmetrize) {
+    input.symmetrize();
+  }
+  // Deduplicate once here so every downstream structure (serial CSR, 1D
+  // local CSRs, 2D DCSC blocks) sees the identical edge multiset — edge
+  // counts and TEPS denominators then agree across algorithms.
+  input.sort_and_dedup();
+  out.csr = CsrGraph::from_edges(input, /*dedup=*/true, /*drop_loops=*/true);
+  out.edges = std::move(input);
+  return out;
+}
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    const eid_t d = g.degree(v);
+    if (d == 0) ++s.isolated;
+    if (d > s.max_degree) s.max_degree = d;
+  }
+  s.mean_degree =
+      n == 0 ? 0.0
+             : static_cast<double>(g.num_edges()) / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace dbfs::graph

@@ -1,0 +1,32 @@
+// Connected components over the (assumed symmetric) CSR graph.
+//
+// Used to pick BFS source vertices inside the largest component, as the
+// paper's TEPS methodology requires ("we only consider traversal execution
+// times from vertices that appear in the large component", §6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::graph {
+
+struct Components {
+  std::vector<vid_t> label;  ///< component id per vertex (root vertex id)
+  vid_t count = 0;           ///< number of components
+  vid_t largest_label = kNoVertex;
+  vid_t largest_size = 0;
+};
+
+/// Label components by repeated BFS. Requires a symmetric graph for the
+/// labels to be true connected components.
+Components connected_components(const CsrGraph& g);
+
+/// Sample `count` distinct vertices from the largest component, each with
+/// at least one edge. Returns fewer if the component is too small.
+std::vector<vid_t> sample_sources(const CsrGraph& g, const Components& comps,
+                                  int count, std::uint64_t seed);
+
+}  // namespace dbfs::graph

@@ -1,0 +1,44 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dbfs::graph {
+
+EdgeList::EdgeList(vid_t num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  if (!endpoints_in_range()) {
+    throw std::invalid_argument("EdgeList: endpoint out of range");
+  }
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t original = edges_.size();
+  edges_.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    const Edge e = edges_[i];
+    if (e.u != e.v) edges_.push_back(Edge{e.v, e.u});
+  }
+}
+
+eid_t EdgeList::sort_and_dedup(bool drop_self_loops) {
+  const auto before = static_cast<eid_t>(edges_.size());
+  if (drop_self_loops) {
+    std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return before - static_cast<eid_t>(edges_.size());
+}
+
+bool EdgeList::endpoints_in_range() const noexcept {
+  for (const Edge& e : edges_) {
+    if (e.u < 0 || e.u >= num_vertices_ || e.v < 0 || e.v >= num_vertices_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dbfs::graph

@@ -1,0 +1,47 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/prng.hpp"
+
+namespace dbfs::graph {
+
+EdgeList generate_erdos_renyi(const ErdosRenyiParams& params) {
+  const vid_t n = params.num_vertices;
+  const double p = params.edge_probability;
+  if (n < 0 || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("generate_erdos_renyi: invalid parameters");
+  }
+
+  EdgeList edges{n};
+  if (n == 0 || p == 0.0) return edges;
+  edges.reserve(static_cast<std::size_t>(p * static_cast<double>(n) *
+                                         static_cast<double>(n)));
+
+  util::Xoshiro256 rng{params.seed};
+  if (p >= 1.0) {
+    for (vid_t u = 0; u < n; ++u)
+      for (vid_t v = 0; v < n; ++v) edges.add(u, v);
+    return edges;
+  }
+
+  // Geometric skipping over the linearized n*n adjacency matrix: the gap
+  // to the next present edge is geometric with parameter p, giving O(m)
+  // expected work instead of O(n^2) Bernoulli trials.
+  const double log1mp = std::log1p(-p);
+  const unsigned __int128 total =
+      static_cast<unsigned __int128>(n) * static_cast<unsigned __int128>(n);
+  unsigned __int128 index = 0;
+  while (true) {
+    const double r = rng.next_double();
+    const double skip_f = std::floor(std::log1p(-r) / log1mp);
+    index += static_cast<unsigned __int128>(skip_f) + 1;
+    if (index > total) break;
+    const auto linear = static_cast<std::uint64_t>(index - 1);
+    edges.add(static_cast<vid_t>(linear / static_cast<std::uint64_t>(n)),
+              static_cast<vid_t>(linear % static_cast<std::uint64_t>(n)));
+  }
+  return edges;
+}
+
+}  // namespace dbfs::graph

@@ -1,0 +1,23 @@
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/prng.hpp"
+
+namespace dbfs::graph {
+
+EdgeList generate_uniform(const UniformParams& params) {
+  if (params.num_vertices <= 0 || params.num_edges < 0) {
+    throw std::invalid_argument("generate_uniform: invalid parameters");
+  }
+  EdgeList edges{params.num_vertices};
+  edges.reserve(static_cast<std::size_t>(params.num_edges));
+  util::Xoshiro256 rng{params.seed};
+  const auto n = static_cast<std::uint64_t>(params.num_vertices);
+  for (eid_t i = 0; i < params.num_edges; ++i) {
+    edges.add(static_cast<vid_t>(rng.next_below(n)),
+              static_cast<vid_t>(rng.next_below(n)));
+  }
+  return edges;
+}
+
+}  // namespace dbfs::graph

@@ -1,0 +1,84 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/prng.hpp"
+
+namespace dbfs::graph {
+
+// Stand-in for the uk-union web crawl (see DESIGN.md substitution table).
+// The graph is a chain of `target_diameter` communities. Each community
+// has a hub (its first vertex); hubs of consecutive communities are
+// linked, so the hub backbone fixes the diameter at ≈ target_diameter
+// (+ a small constant for intra-community hops). Within a community,
+// edges attach preferentially toward low member indices, yielding the
+// skewed (power-law-ish) degree distribution of real crawls.
+EdgeList generate_webcrawl(const WebcrawlParams& params) {
+  const vid_t n = params.num_vertices;
+  const int chain = std::max(1, params.target_diameter);
+  if (n < chain) {
+    throw std::invalid_argument(
+        "generate_webcrawl: need at least target_diameter vertices");
+  }
+  if (params.power_law_exponent <= 1.0) {
+    throw std::invalid_argument(
+        "generate_webcrawl: power_law_exponent must exceed 1");
+  }
+
+  EdgeList edges{n};
+  util::Xoshiro256 rng{params.seed};
+
+  const vid_t community_size = n / chain;
+  // Map community c to its vertex range [start, start+size).
+  auto community_start = [&](int c) {
+    return static_cast<vid_t>(c) * community_size;
+  };
+  auto community_count = [&](int c) {
+    return c == chain - 1 ? n - community_start(c) : community_size;
+  };
+
+  // Preferential member pick: u^gamma concentrates mass near index 0 (the
+  // hub); gamma derived from the requested exponent so heavier tails give
+  // stronger concentration.
+  const double gamma = params.power_law_exponent;
+  auto pick_member = [&](int c) {
+    const auto size = static_cast<double>(community_count(c));
+    const double u = rng.next_double();
+    const auto idx = static_cast<vid_t>(std::pow(u, gamma) * size);
+    return community_start(c) + std::min(idx, community_count(c) - 1);
+  };
+
+  // Intra-community edges.
+  for (int c = 0; c < chain; ++c) {
+    const auto intra = static_cast<eid_t>(
+        params.intra_edge_factor * static_cast<double>(community_count(c)));
+    const vid_t start = community_start(c);
+    const vid_t size = community_count(c);
+    for (eid_t i = 0; i < intra; ++i) {
+      vid_t u = pick_member(c);
+      vid_t v = pick_member(c);
+      if (u == v) {
+        v = start + static_cast<vid_t>(
+                        rng.next_below(static_cast<std::uint64_t>(size)));
+      }
+      edges.add(u, v);
+    }
+    // Every member reaches its hub: guarantees the community is connected
+    // and at distance <= 1 from the backbone.
+    for (vid_t off = 1; off < size; ++off) {
+      edges.add(start + off, start);
+    }
+  }
+
+  // Hub backbone plus a sprinkle of long-range leaf bridges (real crawls
+  // have a few cross-site links; too many would destroy the diameter, so
+  // keep them between adjacent communities only).
+  for (int c = 0; c + 1 < chain; ++c) {
+    edges.add(community_start(c), community_start(c + 1));
+    edges.add(pick_member(c), pick_member(c + 1));
+  }
+  return edges;
+}
+
+}  // namespace dbfs::graph

@@ -1,0 +1,39 @@
+// Graph file I/O: plain edge-list text, a compact binary format, and
+// MatrixMarket coordinate files (the format most public sparse-graph
+// collections — SuiteSparse, SNAP mirrors — distribute), so the library
+// runs on real datasets, not just its generators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace dbfs::graph {
+
+/// Text format: optional comment lines starting with '#' or '%', then one
+/// "u v" pair per line. Vertex count = max id + 1 unless a
+/// "# vertices N" header is present.
+EdgeList read_edge_list_text(std::istream& in);
+EdgeList read_edge_list_text_file(const std::string& path);
+void write_edge_list_text(std::ostream& out, const EdgeList& edges);
+void write_edge_list_text_file(const std::string& path,
+                               const EdgeList& edges);
+
+/// Binary format: magic "DBFSEDG1", little-endian int64 n, int64 m, then
+/// m (u,v) int64 pairs. Round-trips exactly.
+EdgeList read_edge_list_binary(std::istream& in);
+EdgeList read_edge_list_binary_file(const std::string& path);
+void write_edge_list_binary(std::ostream& out, const EdgeList& edges);
+void write_edge_list_binary_file(const std::string& path,
+                                 const EdgeList& edges);
+
+/// MatrixMarket "coordinate" reader. Supports pattern/integer/real
+/// fields (values are discarded — BFS is structural), "general" and
+/// "symmetric" symmetry (symmetric entries are mirrored). 1-based ids
+/// are converted to 0-based. Throws std::runtime_error on malformed
+/// input.
+EdgeList read_matrix_market(std::istream& in);
+EdgeList read_matrix_market_file(const std::string& path);
+
+}  // namespace dbfs::graph

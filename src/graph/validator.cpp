@@ -1,0 +1,137 @@
+#include "graph/validator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace dbfs::graph {
+
+namespace {
+
+ValidationResult fail(std::string message) {
+  ValidationResult r;
+  r.ok = false;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+std::vector<level_t> reference_levels(const CsrGraph& g, vid_t source) {
+  std::vector<level_t> level(static_cast<std::size_t>(g.num_vertices()),
+                             kUnreached);
+  std::deque<vid_t> queue;
+  level[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const vid_t u = queue.front();
+    queue.pop_front();
+    for (vid_t v : g.neighbors(u)) {
+      if (level[v] == kUnreached) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+ValidationResult validate_bfs_tree(
+    const CsrGraph& g, vid_t source, const std::vector<vid_t>& parent,
+    const std::vector<level_t>& ref_levels) {
+  const vid_t n = g.num_vertices();
+  if (static_cast<vid_t>(parent.size()) != n) {
+    return fail("parent array size mismatch");
+  }
+  if (source < 0 || source >= n) return fail("source out of range");
+  if (parent[source] != source) {
+    return fail("parent[source] != source (check 1)");
+  }
+
+  ValidationResult out;
+  out.levels.assign(static_cast<std::size_t>(n), kUnreached);
+
+  // Check 2: resolve levels by chasing parents with memoization; a chain
+  // longer than n vertices means a cycle.
+  std::vector<vid_t> chain;
+  for (vid_t v = 0; v < n; ++v) {
+    if (parent[v] == kNoVertex || out.levels[v] != kUnreached) continue;
+    chain.clear();
+    vid_t cur = v;
+    while (out.levels[cur] == kUnreached && cur != source) {
+      chain.push_back(cur);
+      const vid_t p = parent[cur];
+      if (p < 0 || p >= n) {
+        std::ostringstream msg;
+        msg << "vertex " << cur << " has out-of-range parent (check 2)";
+        return fail(msg.str());
+      }
+      if (static_cast<vid_t>(chain.size()) > n) {
+        return fail("parent pointers contain a cycle (check 2)");
+      }
+      cur = p;
+    }
+    level_t base = (cur == source) ? 0 : out.levels[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      out.levels[*it] = ++base;
+    }
+  }
+  out.levels[source] = 0;
+
+  for (vid_t v = 0; v < n; ++v) {
+    if (parent[v] == kNoVertex) continue;
+    ++out.visited_count;
+    // Check 3: tree edges exist (trivially true for the source self-loop).
+    if (v != source) {
+      const auto nbrs = g.neighbors(v);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(), parent[v])) {
+        std::ostringstream msg;
+        msg << "tree edge (" << v << ", " << parent[v]
+            << ") not in graph (check 3)";
+        return fail(msg.str());
+      }
+    }
+  }
+
+  // Check 4: every edge spans at most one level, and visited status agrees
+  // across each edge.
+  for (vid_t u = 0; u < n; ++u) {
+    const bool u_visited = parent[u] != kNoVertex;
+    for (vid_t v : g.neighbors(u)) {
+      const bool v_visited = parent[v] != kNoVertex;
+      if (u_visited != v_visited) {
+        std::ostringstream msg;
+        msg << "edge {" << u << "," << v
+            << "} has exactly one visited endpoint (check 4)";
+        return fail(msg.str());
+      }
+      if (u_visited) {
+        ++out.traversed_edges;
+        if (std::abs(out.levels[u] - out.levels[v]) > 1) {
+          std::ostringstream msg;
+          msg << "edge {" << u << "," << v << "} spans levels "
+              << out.levels[u] << " and " << out.levels[v] << " (check 4)";
+          return fail(msg.str());
+        }
+      }
+    }
+  }
+
+  // Check 5: shortest-path optimality against the reference.
+  if (!ref_levels.empty()) {
+    if (ref_levels.size() != out.levels.size()) {
+      return fail("reference level array size mismatch (check 5)");
+    }
+    for (vid_t v = 0; v < n; ++v) {
+      if (out.levels[v] != ref_levels[v]) {
+        std::ostringstream msg;
+        msg << "vertex " << v << " at level " << out.levels[v]
+            << ", reference says " << ref_levels[v] << " (check 5)";
+        return fail(msg.str());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbfs::graph

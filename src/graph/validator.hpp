@@ -1,0 +1,43 @@
+// Graph500-style BFS output validation (the benchmark's "kernel 2
+// validation" step). Every distributed BFS variant in this repo is run
+// through these checks in tests and in the graph500_runner example.
+//
+// Checks, per the Graph500 specification:
+//  1. parent[source] == source.
+//  2. The parent array encodes a tree: following parents from any visited
+//     vertex reaches the source without cycles.
+//  3. Every tree edge (v, parent[v]) exists in the graph.
+//  4. For every graph edge {u,v}: if one endpoint is visited both are, and
+//     their BFS levels differ by at most one.
+//  5. If reference distances are supplied, levels derived from the parent
+//     tree must equal them exactly (parents give *shortest* paths).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::graph {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< empty when ok
+
+  /// Levels derived from the parent tree (kUnreached for unvisited).
+  std::vector<level_t> levels;
+  vid_t visited_count = 0;
+  eid_t traversed_edges = 0;  ///< edges with at least one visited endpoint
+};
+
+/// Validate a BFS parent array against a symmetric graph.
+/// `reference_levels` may be empty to skip check 5.
+ValidationResult validate_bfs_tree(
+    const CsrGraph& g, vid_t source, const std::vector<vid_t>& parent,
+    const std::vector<level_t>& reference_levels = {});
+
+/// Serial reference distances (levels) used as ground truth in tests.
+std::vector<level_t> reference_levels(const CsrGraph& g, vid_t source);
+
+}  // namespace dbfs::graph

@@ -1,0 +1,50 @@
+#include "model/clocks.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbfs::model {
+
+void VirtualClocks::collective(std::span<const int> group,
+                               double transfer_seconds) {
+  double start = 0.0;
+  for (int r : group) {
+    start = std::max(start, now_[static_cast<std::size_t>(r)]);
+  }
+  const double end = start + transfer_seconds;
+  for (int r : group) {
+    const auto i = static_cast<std::size_t>(r);
+    comm_[i] += end - now_[i];
+    now_[i] = end;
+  }
+}
+
+void VirtualClocks::collective_varying(std::span<const int> group,
+                                       std::span<const double> costs) {
+  assert(group.size() == costs.size());
+  double start = 0.0;
+  for (int r : group) {
+    start = std::max(start, now_[static_cast<std::size_t>(r)]);
+  }
+  double end = start;
+  for (double c : costs) end = std::max(end, start + c);
+  for (int r : group) {
+    const auto i = static_cast<std::size_t>(r);
+    comm_[i] += end - now_[i];
+    now_[i] = end;
+  }
+}
+
+double VirtualClocks::max_now() const noexcept {
+  double best = 0.0;
+  for (double t : now_) best = std::max(best, t);
+  return best;
+}
+
+void VirtualClocks::reset() {
+  std::fill(now_.begin(), now_.end(), 0.0);
+  std::fill(comp_.begin(), comp_.end(), 0.0);
+  std::fill(comm_.begin(), comm_.end(), 0.0);
+}
+
+}  // namespace dbfs::model

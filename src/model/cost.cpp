@@ -1,0 +1,194 @@
+#include "model/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbfs::model {
+
+namespace {
+
+double log2_ceil(int g) {
+  return g <= 1 ? 1.0 : std::ceil(std::log2(static_cast<double>(g)));
+}
+
+// Empirical constants of the local model; shared by all machines (machine
+// differences enter through alpha/beta/compute_scale). See DESIGN.md §5.
+constexpr double kPackFactor = 2.0;   // owner calc + buffer write per word
+constexpr double kStackFactor = 2.0;  // push + later merge of NS pieces
+constexpr double kHeapFactor = 2.5;   // per-flop heap sift constant
+                                      // (branch-missy compare/swap chains)
+constexpr double kSpaFactor = 1.5;    // per-flop SPA streaming constant
+constexpr double kSortFactor = 1.5;   // SPA output index sort constant
+constexpr double kMergeFactor = 2.0;  // fold-side merge of received runs
+
+}  // namespace
+
+double cost_alltoallv(const MachineModel& m, int group,
+                      std::size_t max_rank_bytes) {
+  return static_cast<double>(group) * m.alpha_net +
+         static_cast<double>(max_rank_bytes) * m.a2a_beta(group);
+}
+
+const char* to_string(AllgatherAlgo algo) {
+  switch (algo) {
+    case AllgatherAlgo::kRing:
+      return "ring";
+    case AllgatherAlgo::kRecursiveDoubling:
+      return "recursive-doubling";
+    case AllgatherAlgo::kBruck:
+      return "bruck";
+    case AllgatherAlgo::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+double cost_allgatherv(const MachineModel& m, int group,
+                       std::size_t bytes_per_rank_result,
+                       AllgatherAlgo algo) {
+  const double bytes = static_cast<double>(bytes_per_rank_result);
+  switch (algo) {
+    case AllgatherAlgo::kRing:
+      // g latency steps, every byte moved once per hop on average:
+      // bandwidth-optimal for large results, latency-bound for small.
+      return static_cast<double>(group) * m.alpha_net +
+             bytes * m.ag_beta(group);
+    case AllgatherAlgo::kRecursiveDoubling:
+      // log2(g) exchange rounds of doubling payloads; the non-contiguous
+      // receive layout costs an extra fraction of bandwidth.
+      return log2_ceil(group) * m.alpha_net +
+             bytes * m.ag_beta(group) * 1.25;
+    case AllgatherAlgo::kBruck:
+      // log-latency like recursive doubling, plus a final local rotation
+      // (modelled as a 1.5x bandwidth factor).
+      return log2_ceil(group) * m.alpha_net +
+             bytes * m.ag_beta(group) * 1.5;
+    case AllgatherAlgo::kAuto:
+      return std::min(
+          {cost_allgatherv(m, group, bytes_per_rank_result,
+                           AllgatherAlgo::kRing),
+           cost_allgatherv(m, group, bytes_per_rank_result,
+                           AllgatherAlgo::kRecursiveDoubling),
+           cost_allgatherv(m, group, bytes_per_rank_result,
+                           AllgatherAlgo::kBruck)});
+  }
+  return 0.0;
+}
+
+double cost_allreduce(const MachineModel& m, int group, std::size_t bytes) {
+  return 2.0 * log2_ceil(group) * m.alpha_net +
+         2.0 * static_cast<double>(bytes) * m.beta_net;
+}
+
+double cost_broadcast(const MachineModel& m, int group, std::size_t bytes) {
+  return log2_ceil(group) *
+         (m.alpha_net + static_cast<double>(bytes) * m.beta_net);
+}
+
+double cost_gatherv(const MachineModel& m, int group, std::size_t total_bytes) {
+  return static_cast<double>(group) * m.alpha_net +
+         static_cast<double>(total_bytes) * m.beta_net;
+}
+
+double cost_p2p(const MachineModel& m, std::size_t bytes) {
+  return m.alpha_net + static_cast<double>(bytes) * m.beta_net;
+}
+
+double cost_chunked_sends(const MachineModel& m, std::size_t messages,
+                          std::size_t bytes, int ndests) {
+  // Per-message cost grows with the peer count: MPI message matching
+  // against posted-receive/unexpected queues whose length scales with the
+  // number of communicating partners. This is what makes the unaggregated
+  // baselines fall further behind as concurrency rises (§6's 2.72x ->
+  // 4.13x progression), on top of paying latency per chunk at all.
+  const double matching = 1.0 + 0.25 * log2_ceil(ndests);
+  return static_cast<double>(messages) * m.alpha_net * matching +
+         static_cast<double>(bytes) * m.a2a_beta(ndests);
+}
+
+double cost_1d_local(const MachineModel& m, const Work1D& w) {
+  const double owned_bytes = static_cast<double>(w.n_local) * kWordBytes;
+  const double alpha_owned = m.alpha_local(owned_bytes);
+
+  double serial =
+      // adjacency pointer lookups: one irregular reference per frontier
+      // vertex into the offsets array
+      static_cast<double>(w.frontier_vertices) * alpha_owned +
+      // streaming the adjacency blocks
+      static_cast<double>(w.edges_scanned) * m.beta_local +
+      // packing candidates into per-destination buffers
+      static_cast<double>(w.words_packed) * m.beta_local * kPackFactor +
+      // receive side: distance check per candidate, irregular into d[]
+      static_cast<double>(w.candidates_received) * alpha_owned +
+      // stack pushes and the NS merge
+      static_cast<double>(w.newly_visited) * m.beta_local * kStackFactor +
+      // baseline variants' extra constant per edge (PBGL property maps...)
+      static_cast<double>(w.edges_scanned) * w.extra_per_edge_seconds;
+
+  serial *= m.compute_scale;
+  const int t = std::max(1, w.threads);
+  return serial / (static_cast<double>(t) * m.thread_efficiency(t));
+}
+
+double cost_2d_local(const MachineModel& m, const Work2D& w) {
+  const double x_bytes = static_cast<double>(w.x_dim) * kWordBytes;
+  const double out_bytes = static_cast<double>(w.out_dim) * kWordBytes;
+  const double owned_bytes = static_cast<double>(w.n_local) * kWordBytes;
+  const double flops = static_cast<double>(w.spmsv_flops);
+
+  double serial =
+      // column lookups: one irregular reference per frontier nonzero into
+      // the DCSC column index (working set scales with the input block)
+      static_cast<double>(w.x_nnz) * m.alpha_local(x_bytes) +
+      // streaming the selected columns' row ids
+      flops * m.beta_local;
+
+  if (w.heap_backend) {
+    const double k = std::max<double>(2.0, static_cast<double>(w.x_nnz));
+    serial += flops * m.beta_local * kHeapFactor * std::log2(k);
+  } else {
+    // SPA: the *first* accumulation into each distinct output row is an
+    // irregular reference into the dense accumulator sized by the output
+    // block — §5.2's αL(n/pr) term, the reason 2D computation outweighs
+    // 1D computation. Subsequent accumulations hit recently-touched
+    // lines and stream; this amortization is why the SPA beats the heap
+    // while the sub-problems are dense (Fig 3's low-concurrency side).
+    serial += static_cast<double>(w.output_nnz) * m.alpha_local(out_bytes) +
+              flops * m.beta_local * kSpaFactor;
+    const double out = static_cast<double>(w.output_nnz);
+    if (out > 1.0) {
+      serial += out * std::log2(out) * m.beta_local * kSortFactor;
+    }
+  }
+
+  // Fold side: merge received runs and filter against the local parents.
+  serial +=
+      static_cast<double>(w.fold_received) * m.beta_local * kMergeFactor +
+      static_cast<double>(w.fold_received) * m.alpha_local(owned_bytes);
+
+  serial *= m.compute_scale;
+  const int t = std::max(1, w.threads);
+  return serial / (static_cast<double>(t) * m.thread_efficiency(t));
+}
+
+double cost_2d_transpose_scan(const MachineModel& m,
+                              const WorkTranspose2D& w) {
+  // One streamed read per stored nonzero plus an irregular probe into the
+  // frontier bitmask (x_dim bits).
+  const double mask_bytes = static_cast<double>(w.x_dim) / 8.0;
+  double serial =
+      static_cast<double>(w.nnz_scanned) *
+          (m.beta_local + m.alpha_local(std::max(mask_bytes, 64.0))) +
+      static_cast<double>(w.output_nnz) * m.beta_local * 2.0;
+  serial *= m.compute_scale;
+  const int t = std::max(1, w.threads);
+  return serial / (static_cast<double>(t) * m.thread_efficiency(t));
+}
+
+double cost_thread_barriers(const MachineModel& m, int threads, int barriers) {
+  if (threads <= 1) return 0.0;
+  return static_cast<double>(barriers) * m.thread_barrier_seconds *
+         (1.0 + 0.1 * static_cast<double>(threads));
+}
+
+}  // namespace dbfs::model

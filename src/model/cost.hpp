@@ -1,0 +1,103 @@
+// Cost functions turning *measured* per-rank work and traffic into
+// simulated seconds, following paper §5.
+//
+// Network costs follow §5's forms: an all-to-all among g ranks costs
+// g·αN + V·βN,a2a(g) for a per-rank volume of V bytes; an allgather costs
+// g·αN + R·βN,ag(g) where R is the bytes each rank ends up holding.
+//
+// Local costs follow §5.1 (1D: per-edge streaming plus irregular distance
+// checks against the n/p-sized owned range) and §5.2 (2D: SpMSV flops
+// plus irregular references into the n/pr- and n/pc-sized vector blocks,
+// the larger working sets that make 2D computation heavier).
+#pragma once
+
+#include <cstddef>
+
+#include "model/machine.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::model {
+
+inline constexpr double kWordBytes = 8.0;
+
+// ---------- network ----------
+
+double cost_alltoallv(const MachineModel& m, int group,
+                      std::size_t max_rank_bytes);
+
+/// Allgather implementation (paper §7, "interprocessor collective
+/// communication optimization"): real MPI libraries switch algorithms by
+/// message size and communicator shape; the expand phase's cost depends
+/// heavily on that choice at scale.
+enum class AllgatherAlgo {
+  kRing,               ///< g-1 latency steps, bandwidth-optimal (default;
+                       ///< the calibrated behavior of the figures)
+  kRecursiveDoubling,  ///< ceil(log2 g) steps, non-contiguous penalty
+  kBruck,              ///< log-latency for tiny payloads, extra copies
+  kAuto,               ///< per-call minimum of the above (ideal switcher)
+};
+
+const char* to_string(AllgatherAlgo algo);
+
+double cost_allgatherv(const MachineModel& m, int group,
+                       std::size_t bytes_per_rank_result,
+                       AllgatherAlgo algo = AllgatherAlgo::kRing);
+double cost_allreduce(const MachineModel& m, int group, std::size_t bytes);
+double cost_broadcast(const MachineModel& m, int group, std::size_t bytes);
+/// Rooted gather: the root's ingest is the bottleneck.
+double cost_gatherv(const MachineModel& m, int group, std::size_t total_bytes);
+double cost_p2p(const MachineModel& m, std::size_t bytes);
+
+/// Unaggregated point-to-point traffic (reference-code / PBGL style):
+/// `messages` individually-latencied sends carrying `bytes` in total,
+/// contending like an all-to-all among `ndests` destinations.
+double cost_chunked_sends(const MachineModel& m, std::size_t messages,
+                          std::size_t bytes, int ndests);
+
+// ---------- local work ----------
+
+/// One rank's share of one 1D BFS level (Algorithm 2 steps 13–28).
+struct Work1D {
+  eid_t frontier_vertices = 0;   ///< |FS| processed by this rank
+  eid_t edges_scanned = 0;       ///< adjacencies enumerated
+  eid_t words_packed = 0;        ///< words written into send buffers
+  eid_t candidates_received = 0; ///< words unpacked + distance-checked
+  vid_t newly_visited = 0;       ///< vertices appended to NS
+  vid_t n_local = 0;             ///< owned vertices (random-access set)
+  int threads = 1;
+  double extra_per_edge_seconds = 0.0;  ///< baseline-implementation overhead
+};
+double cost_1d_local(const MachineModel& m, const Work1D& w);
+
+/// One rank's share of one 2D BFS level (Algorithm 3 lines 5–11).
+struct Work2D {
+  eid_t spmsv_flops = 0;     ///< nonzeros touched in the local multiply
+  vid_t x_nnz = 0;           ///< gathered frontier nonzeros (input)
+  vid_t output_nnz = 0;      ///< local SpMSV output entries
+  vid_t fold_received = 0;   ///< entries merged after the fold exchange
+  vid_t x_dim = 0;           ///< input block length (n/pr per §5.2)
+  vid_t out_dim = 0;         ///< output block length (n/pc per §5.2)
+  vid_t n_local = 0;         ///< owned vector elements (parents update set)
+  bool heap_backend = false; ///< heap pays a log factor; SPA pays dense
+                             ///< working-set references + an output sort
+  int threads = 1;
+};
+double cost_2d_local(const MachineModel& m, const Work2D& w);
+
+/// Transpose-product scan over a stored block (triangular storage, §7):
+/// every stored nonzero is streamed and its row id probed against the
+/// frontier mask — an irregular reference into an x_dim-sized bit array.
+struct WorkTranspose2D {
+  eid_t nnz_scanned = 0;
+  vid_t output_nnz = 0;
+  vid_t x_dim = 0;      ///< mask length (input block size)
+  int threads = 1;
+};
+double cost_2d_transpose_scan(const MachineModel& m,
+                              const WorkTranspose2D& w);
+
+/// Per-level fixed intra-node overhead of the hybrid codes: `barriers`
+/// thread barriers (Algorithm 2 has four per level).
+double cost_thread_barriers(const MachineModel& m, int threads, int barriers);
+
+}  // namespace dbfs::model

@@ -1,0 +1,173 @@
+#include "model/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dbfs::model {
+
+double MachineModel::alpha_local(double bytes) const {
+  if (caches.empty()) return beta_local;
+  if (bytes <= caches.front().capacity_bytes) {
+    return caches.front().latency_seconds;
+  }
+  // Piecewise log-linear interpolation between levels: a working set
+  // slightly bigger than L2 still mostly hits L2, so a hard step would
+  // overstate the cliff. The last level (DRAM) is flat beyond capacity.
+  for (std::size_t i = 0; i + 1 < caches.size(); ++i) {
+    const CacheLevel& lo = caches[i];
+    const CacheLevel& hi = caches[i + 1];
+    if (bytes <= hi.capacity_bytes) {
+      const double t = (std::log(bytes) - std::log(lo.capacity_bytes)) /
+                       (std::log(hi.capacity_bytes) -
+                        std::log(lo.capacity_bytes));
+      return lo.latency_seconds +
+             t * (hi.latency_seconds - lo.latency_seconds);
+    }
+  }
+  const CacheLevel& dram = caches.back();
+  return dram.latency_seconds *
+         (1.0 + tlb_growth * std::log2(bytes / dram.capacity_bytes));
+}
+
+double MachineModel::a2a_beta(int g) const {
+  const double participants = std::max(1, g);
+  return beta_net * a2a_coeff * std::pow(participants, a2a_exponent);
+}
+
+double MachineModel::ag_beta(int g) const {
+  const double participants = std::max(1, g);
+  return beta_net * ag_coeff * std::pow(participants, ag_exponent);
+}
+
+double MachineModel::thread_efficiency(int t) const {
+  if (t <= 1) return 1.0;
+  return 1.0 / (1.0 + thread_efficiency_sigma * static_cast<double>(t - 1));
+}
+
+MachineModel franklin() {
+  MachineModel m;
+  m.name = "franklin";
+  // 2.3 GHz quad-core Opteron Budapest; DDR2-800, 12.8 GB/s per socket.
+  m.beta_local = 2.5e-9;  // ~3.2 GB/s streamed per core (socket shared by 4)
+  m.caches = {
+      {64.0 * 1024, 1.3e-9},          // L1d 64 KB
+      {512.0 * 1024, 6.5e-9},         // L2 512 KB
+      {2.0 * 1024 * 1024, 1.6e-8},    // L3 2 MB shared
+      // Working sets a few times L3 are effectively DRAM-bound; beyond
+      // this capacity alpha_local is flat at the DRAM figure.
+      {16.0 * 1024 * 1024, 1.3e-7},   // DRAM, irregular (incl. TLB)
+  };
+  m.compute_scale = 1.0;
+  // SeaStar2 3D torus; MPI latency 4.5–8.5 µs (§6), HT2 6.4 GB/s per node.
+  m.alpha_net = 7.0e-6;
+  m.beta_net = 6.25e-10;  // ~1.6 GB/s per core share of injection
+  m.nic_contention = 0.4;
+  m.a2a_coeff = 0.5;
+  m.a2a_exponent = 1.0 / 3.0;  // torus bisection: p^(2/3) aggregate
+  // Allgather replicates its result through every participant; measured
+  // XT4 allgathers are *more* expensive per received byte than a2a at
+  // these group sizes (the paper's Table 1 shows expand > fold even at
+  // equal volumes), hence the larger coefficient.
+  m.ag_coeff = 4.5;
+  m.ag_exponent = 0.0;
+  m.cores_per_node = 4;
+  m.thread_efficiency_sigma = 0.12;
+  // Includes OpenMP fork/join per region, not just the barrier itself.
+  m.thread_barrier_seconds = 6.0e-6;
+  return m;
+}
+
+MachineModel hopper() {
+  MachineModel m;
+  m.name = "hopper";
+  // 2.1 GHz Magny-Cours: notably faster integer pipeline and bigger L3,
+  // but Gemini is shared by two 24-core nodes — per-core network share
+  // regressed relative to Franklin (the paper's §6 observation).
+  m.beta_local = 2.0e-9;
+  m.caches = {
+      {64.0 * 1024, 1.2e-9},
+      {512.0 * 1024, 5.5e-9},
+      {6.0 * 1024 * 1024, 1.5e-8},    // L3 6 MB per die
+      {48.0 * 1024 * 1024, 1.05e-7},  // DRAM (flat beyond)
+  };
+  m.compute_scale = 0.6;
+  m.alpha_net = 1.5e-6;  // Gemini latency is much lower than SeaStar's
+  m.beta_net = 2.4e-9;   // ~0.42 GB/s per core share (9.8 GB/s / 2 nodes)
+  m.nic_contention = 0.06;  // 24 flat ranks share one Gemini port
+  m.a2a_coeff = 0.6;
+  m.a2a_exponent = 0.36;  // worse contention scaling than the XT4
+  m.ag_coeff = 1.0;
+  m.ag_exponent = 0.0;
+  m.cores_per_node = 24;
+  m.thread_efficiency_sigma = 0.08;  // NUMA-aware 6-way threading
+  m.thread_barrier_seconds = 5.0e-6;
+  return m;
+}
+
+MachineModel carver() {
+  MachineModel m;
+  m.name = "carver";
+  // Dual quad-core Nehalem-EP, QDR InfiniBand fat tree.
+  m.beta_local = 1.5e-9;
+  m.caches = {
+      {32.0 * 1024, 1.0e-9},
+      {256.0 * 1024, 4.0e-9},
+      {8.0 * 1024 * 1024, 1.6e-8},
+      {64.0 * 1024 * 1024, 9.0e-8},   // DRAM (flat beyond)
+  };
+  m.compute_scale = 0.55;
+  m.alpha_net = 2.0e-6;
+  m.beta_net = 2.0e-9;  // ~0.5 GB/s per core share of QDR
+  m.nic_contention = 0.2;
+  m.a2a_coeff = 1.0;
+  m.a2a_exponent = 0.1;  // fat tree: near-full bisection
+  m.ag_coeff = 1.5;
+  m.ag_exponent = 0.05;
+  m.cores_per_node = 8;
+  m.thread_efficiency_sigma = 0.07;
+  m.thread_barrier_seconds = 4.0e-6;
+  return m;
+}
+
+MachineModel generic() {
+  MachineModel m;
+  m.name = "generic";
+  m.beta_local = 2.0e-9;
+  m.caches = {
+      {32.0 * 1024, 1.0e-9},
+      {1.0 * 1024 * 1024, 6.0e-9},
+      {8.0 * 1024 * 1024, 1.8e-8},
+      {64.0 * 1024 * 1024, 1.0e-7},   // DRAM (flat beyond)
+  };
+  m.compute_scale = 0.8;
+  m.alpha_net = 3.0e-6;
+  m.beta_net = 1.0e-9;
+  m.nic_contention = 0.2;
+  m.a2a_coeff = 0.7;
+  m.a2a_exponent = 0.25;
+  m.ag_coeff = 1.5;
+  m.ag_exponent = 0.05;
+  m.cores_per_node = 16;
+  return m;
+}
+
+MachineModel miniaturized(MachineModel machine, double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("miniaturized: factor must be positive");
+  }
+  machine.alpha_net *= factor;
+  machine.thread_barrier_seconds *= factor;
+  for (auto& level : machine.caches) level.capacity_bytes *= factor;
+  return machine;
+}
+
+MachineModel preset(const std::string& name) {
+  if (name == "franklin") return franklin();
+  if (name == "hopper") return hopper();
+  if (name == "carver") return carver();
+  if (name == "generic") return generic();
+  throw std::invalid_argument("unknown machine preset: " + name);
+}
+
+}  // namespace dbfs::model

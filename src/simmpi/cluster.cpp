@@ -1,0 +1,37 @@
+#include "simmpi/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace dbfs::simmpi {
+
+Cluster::Cluster(int ranks, model::MachineModel machine, int threads_per_rank)
+    : ranks_(ranks),
+      threads_per_rank_(threads_per_rank),
+      machine_(std::move(machine)),
+      clocks_(ranks) {
+  if (ranks < 1) throw std::invalid_argument("Cluster: ranks must be >= 1");
+  if (threads_per_rank < 1) {
+    throw std::invalid_argument("Cluster: threads_per_rank must be >= 1");
+  }
+}
+
+void Cluster::for_each_rank(const std::function<void(int)>& phase) const {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 16)
+#endif
+  for (int r = 0; r < ranks_; ++r) {
+    phase(r);
+  }
+}
+
+void Cluster::reset_accounting() {
+  clocks_.reset();
+  traffic_.reset();
+}
+
+}  // namespace dbfs::simmpi

@@ -1,0 +1,70 @@
+// The cluster simulator: p logical ranks with private address spaces,
+// per-rank virtual clocks, a machine cost model, and a traffic meter.
+//
+// BFS is bulk-synchronous, so a superstep simulator is semantically exact
+// (see DESIGN.md): algorithms run their per-rank local phases through
+// `for_each_rank`, charge modelled compute via `charge_compute`, and move
+// data through the collectives in comm.hpp, which price the transfer and
+// synchronize the participants' clocks.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "model/clocks.hpp"
+#include "model/machine.hpp"
+#include "simmpi/traffic.hpp"
+
+namespace dbfs::simmpi {
+
+class Cluster {
+ public:
+  /// `threads_per_rank` models hybrid MPI+OpenMP execution: local compute
+  /// charges are divided by t·ε(t) by the cost functions, and the caller
+  /// should size the grid/partition by ranks = cores / threads_per_rank.
+  Cluster(int ranks, model::MachineModel machine, int threads_per_rank = 1);
+
+  int ranks() const noexcept { return ranks_; }
+  int threads_per_rank() const noexcept { return threads_per_rank_; }
+  /// Total simulated cores (the x-axis of the paper's scaling plots).
+  int cores() const noexcept { return ranks_ * threads_per_rank_; }
+
+  const model::MachineModel& machine() const noexcept { return machine_; }
+  model::VirtualClocks& clocks() noexcept { return clocks_; }
+  const model::VirtualClocks& clocks() const noexcept { return clocks_; }
+  TrafficMeter& traffic() noexcept { return traffic_; }
+  const TrafficMeter& traffic() const noexcept { return traffic_; }
+
+  /// Run a local phase on every rank. Phases must touch only rank-private
+  /// state (enforced by convention; phases run sequentially by default
+  /// and in parallel under OpenMP when available, so races would be real).
+  void for_each_rank(const std::function<void(int)>& phase) const;
+
+  /// Charge modelled local computation to one rank's clock.
+  void charge_compute(int rank, double seconds) {
+    clocks_.advance_compute(rank, seconds);
+  }
+
+  /// Multiplier applied to per-rank network volumes before pricing:
+  /// 1/threads (a hybrid rank owns t cores' bandwidth share) times the
+  /// NIC-contention penalty of packing many ranks onto one node.
+  double nic_factor() const noexcept {
+    const int ranks_per_node =
+        std::max(1, machine_.cores_per_node / threads_per_rank_);
+    return (1.0 + machine_.nic_contention *
+                      static_cast<double>(ranks_per_node - 1)) /
+           static_cast<double>(threads_per_rank_);
+  }
+
+  /// Reset clocks and traffic between BFS runs over the same structures.
+  void reset_accounting();
+
+ private:
+  int ranks_;
+  int threads_per_rank_;
+  model::MachineModel machine_;
+  model::VirtualClocks clocks_;
+  TrafficMeter traffic_;
+};
+
+}  // namespace dbfs::simmpi

@@ -1,0 +1,4 @@
+// Collectives are header-only templates (comm.hpp); this translation unit
+// exists so the target owns a compiled object and to host future
+// non-template plumbing.
+#include "simmpi/comm.hpp"

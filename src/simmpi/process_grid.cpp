@@ -1,0 +1,35 @@
+#include "simmpi/process_grid.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dbfs::simmpi {
+
+ProcessGrid::ProcessGrid(int pr, int pc) : pr_(pr), pc_(pc) {
+  if (pr < 1 || pc < 1) {
+    throw std::invalid_argument("ProcessGrid: dimensions must be positive");
+  }
+  rows_.resize(static_cast<std::size_t>(pr) * pc);
+  cols_.resize(static_cast<std::size_t>(pr) * pc);
+  for (int i = 0; i < pr; ++i) {
+    for (int j = 0; j < pc; ++j) {
+      rows_[static_cast<std::size_t>(i) * pc + j] = rank_of(i, j);
+      cols_[static_cast<std::size_t>(j) * pr + i] = rank_of(i, j);
+    }
+  }
+  world_.resize(static_cast<std::size_t>(pr) * pc);
+  std::iota(world_.begin(), world_.end(), 0);
+}
+
+ProcessGrid ProcessGrid::closest_square(int cores, int threads_per_rank) {
+  if (cores < 1 || threads_per_rank < 1) {
+    throw std::invalid_argument("ProcessGrid: invalid core/thread counts");
+  }
+  const int ranks = std::max(1, cores / threads_per_rank);
+  const int s = std::max(1, static_cast<int>(std::sqrt(
+                                static_cast<double>(ranks))));
+  return ProcessGrid(s, s);
+}
+
+}  // namespace dbfs::simmpi

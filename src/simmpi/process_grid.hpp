@@ -1,0 +1,65 @@
+// Logical pr×pc process grid for the 2D algorithm (paper §3.2). Rank
+// (i,j) is stored row-major. Row groups carry the "fold" Alltoallv and
+// column groups the "expand" Allgatherv; the transpose partner realizes
+// TransposeVector's pairwise exchange on square grids.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dbfs::simmpi {
+
+class ProcessGrid {
+ public:
+  ProcessGrid() = default;
+
+  /// Square s×s grid.
+  explicit ProcessGrid(int s) : ProcessGrid(s, s) {}
+
+  /// General pr×pc grid (the paper's experiments use square grids; the
+  /// general form is kept for the vector-distribution experiments).
+  ProcessGrid(int pr, int pc);
+
+  /// Largest square grid fitting within `cores/threads_per_rank` ranks —
+  /// the paper's "closest square processor grid" (§6).
+  static ProcessGrid closest_square(int cores, int threads_per_rank = 1);
+
+  int pr() const noexcept { return pr_; }
+  int pc() const noexcept { return pc_; }
+  int ranks() const noexcept { return pr_ * pc_; }
+
+  int rank_of(int i, int j) const noexcept { return i * pc_ + j; }
+  int row_of(int rank) const noexcept { return rank / pc_; }
+  int col_of(int rank) const noexcept { return rank % pc_; }
+
+  /// Ranks of processor row i: P(i, 0..pc).
+  std::span<const int> row_group(int i) const noexcept {
+    return {rows_.data() + static_cast<std::size_t>(i) * pc_,
+            static_cast<std::size_t>(pc_)};
+  }
+
+  /// Ranks of processor column j: P(0..pr, j).
+  std::span<const int> col_group(int j) const noexcept {
+    return {cols_.data() + static_cast<std::size_t>(j) * pr_,
+            static_cast<std::size_t>(pr_)};
+  }
+
+  /// All ranks, 0..ranks().
+  std::span<const int> world() const noexcept { return world_; }
+
+  /// Transpose partner of `rank` (requires a square grid): P(i,j)<->P(j,i).
+  int transpose_partner(int rank) const noexcept {
+    return rank_of(col_of(rank), row_of(rank));
+  }
+
+  bool is_square() const noexcept { return pr_ == pc_; }
+
+ private:
+  int pr_ = 0;
+  int pc_ = 0;
+  std::vector<int> rows_;   // row-group members, pr_ runs of length pc_
+  std::vector<int> cols_;   // col-group members, pc_ runs of length pr_
+  std::vector<int> world_;
+};
+
+}  // namespace dbfs::simmpi

@@ -1,0 +1,54 @@
+#include "simmpi/traffic.hpp"
+
+#include <sstream>
+
+namespace dbfs::simmpi {
+
+const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kAlltoallv:
+      return "Alltoallv";
+    case Pattern::kAllgatherv:
+      return "Allgatherv";
+    case Pattern::kAllreduce:
+      return "Allreduce";
+    case Pattern::kBroadcast:
+      return "Broadcast";
+    case Pattern::kGatherv:
+      return "Gatherv";
+    case Pattern::kTranspose:
+      return "Transpose";
+    case Pattern::kPointToPoint:
+      return "PointToPoint";
+    case Pattern::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::uint64_t TrafficMeter::total_bytes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& t : totals_) sum += t.bytes;
+  return sum;
+}
+
+double TrafficMeter::total_seconds() const noexcept {
+  double sum = 0.0;
+  for (const auto& t : totals_) sum += t.seconds;
+  return sum;
+}
+
+void TrafficMeter::reset() { totals_.fill(PatternTotals{}); }
+
+std::string TrafficMeter::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    const auto& t = totals_[i];
+    if (t.calls == 0) continue;
+    out << to_string(static_cast<Pattern>(i)) << ": " << t.calls
+        << " calls, " << t.bytes << " bytes, " << t.seconds << " s\n";
+  }
+  return out.str();
+}
+
+}  // namespace dbfs::simmpi

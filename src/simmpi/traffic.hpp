@@ -1,0 +1,64 @@
+// Exact metering of simulated inter-node traffic, per collective pattern.
+// Every byte the algorithms exchange passes through comm.hpp, which
+// records it here; benches and EXPERIMENTS.md report these totals.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dbfs::simmpi {
+
+enum class Pattern : int {
+  kAlltoallv = 0,
+  kAllgatherv,
+  kAllreduce,
+  kBroadcast,
+  kGatherv,
+  kTranspose,
+  kPointToPoint,
+  kCount,
+};
+
+const char* to_string(Pattern p);
+
+struct PatternTotals {
+  std::int64_t calls = 0;
+  std::uint64_t bytes = 0;     ///< aggregate bytes moved across the network
+  double seconds = 0.0;        ///< modelled transfer seconds (excl. waiting)
+  /// participants x seconds, summed: divide by the rank count to get the
+  /// mean time a rank spends inside this pattern (collectives over
+  /// disjoint groups run concurrently, so summing raw seconds would
+  /// overcount relative to wall time).
+  double rank_seconds = 0.0;
+};
+
+class TrafficMeter {
+ public:
+  void record(Pattern p, std::uint64_t bytes, double seconds,
+              int participants) {
+    auto& t = totals_[static_cast<std::size_t>(p)];
+    ++t.calls;
+    t.bytes += bytes;
+    t.seconds += seconds;
+    t.rank_seconds += seconds * static_cast<double>(participants);
+  }
+
+  const PatternTotals& totals(Pattern p) const noexcept {
+    return totals_[static_cast<std::size_t>(p)];
+  }
+
+  std::uint64_t total_bytes() const noexcept;
+  double total_seconds() const noexcept;
+
+  void reset();
+
+  /// Multi-line human-readable summary (used by examples).
+  std::string summary() const;
+
+ private:
+  std::array<PatternTotals, static_cast<std::size_t>(Pattern::kCount)>
+      totals_{};
+};
+
+}  // namespace dbfs::simmpi

@@ -1,0 +1,34 @@
+#include "sparse/csc_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dbfs::sparse {
+
+CscMatrix CscMatrix::from_triples(vid_t nrows, vid_t ncols,
+                                  std::vector<Triple> triples) {
+  for (const Triple& t : triples) {
+    if (t.row < 0 || t.row >= nrows || t.col < 0 || t.col >= ncols) {
+      throw std::invalid_argument("CscMatrix: triple out of range");
+    }
+  }
+  std::sort(triples.begin(), triples.end(),
+            [](const Triple& a, const Triple& b) {
+              return a.col != b.col ? a.col < b.col : a.row < b.row;
+            });
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+
+  CscMatrix m;
+  m.nrows_ = nrows;
+  m.ncols_ = ncols;
+  m.col_ptr_.assign(static_cast<std::size_t>(ncols) + 1, 0);
+  m.row_ids_.reserve(triples.size());
+  for (const Triple& t : triples) {
+    ++m.col_ptr_[t.col + 1];
+    m.row_ids_.push_back(t.row);
+  }
+  for (vid_t c = 0; c < ncols; ++c) m.col_ptr_[c + 1] += m.col_ptr_[c];
+  return m;
+}
+
+}  // namespace dbfs::sparse

@@ -1,0 +1,54 @@
+// Compressed sparse columns over a boolean (pattern-only) matrix.
+//
+// Used as the straightforward local-matrix representation and as the
+// reference against which the hypersparse DCSC structure is tested. For
+// a p-way 2D decomposition CSC costs O(ncols + nnz) per block — the
+// O(n·sqrt(p)) aggregate overhead the paper rejects in §4.1 — so the 2D
+// BFS itself uses DcscMatrix.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbfs::sparse {
+
+/// A (row, col) coordinate; values are implicitly boolean.
+struct Triple {
+  vid_t row;
+  vid_t col;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Build from coordinates (duplicates collapsed, rows sorted per column).
+  static CscMatrix from_triples(vid_t nrows, vid_t ncols,
+                                std::vector<Triple> triples);
+
+  vid_t nrows() const noexcept { return nrows_; }
+  vid_t ncols() const noexcept { return ncols_; }
+  eid_t nnz() const noexcept { return static_cast<eid_t>(row_ids_.size()); }
+
+  /// Sorted row ids of column c (empty span if none).
+  std::span<const vid_t> column(vid_t c) const noexcept {
+    return {row_ids_.data() + col_ptr_[c],
+            static_cast<std::size_t>(col_ptr_[c + 1] - col_ptr_[c])};
+  }
+
+  const std::vector<eid_t>& col_ptr() const noexcept { return col_ptr_; }
+  const std::vector<vid_t>& row_ids() const noexcept { return row_ids_; }
+
+ private:
+  vid_t nrows_ = 0;
+  vid_t ncols_ = 0;
+  std::vector<eid_t> col_ptr_;  // size ncols+1
+  std::vector<vid_t> row_ids_;  // size nnz, sorted within each column
+};
+
+}  // namespace dbfs::sparse

@@ -1,0 +1,3 @@
+// multiway_merge and KaryHeap are header-only templates; this file exists
+// to give the sparse target a home for any future non-template helpers.
+#include "sparse/merge.hpp"

@@ -1,0 +1,141 @@
+// Heap-based unbalanced multiway merge: the memory-frugal alternative to
+// the SPA for forming the column union in SpMSV (paper §4.2).
+//
+// The heap holds one cursor per selected matrix column; since columns are
+// sorted by row id, popping in order yields the merged output already
+// sorted, with duplicates combined on the fly. Memory is O(k) for k
+// selected columns — this is why the paper's polyalgorithm switches to
+// the heap at high process counts, where the SPA's O(dim) dense arrays
+// dominate the per-core footprint.
+//
+// A 4-ary heap is used instead of binary: shallower trees mean fewer
+// cache-missing levels per sift, the "cache-efficient heap" of §4.2.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/sparse_vector.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::sparse {
+
+/// Min-heap with configurable arity over POD elements.
+/// Comparator: strict-weak "less" — the minimum is at the top.
+template <typename T, typename Less, int Arity = 4>
+class KaryHeap {
+  static_assert(Arity >= 2);
+
+ public:
+  explicit KaryHeap(Less less = Less{}) : less_(less) {}
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  const T& top() const noexcept { return items_.front(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  void push(T item) {
+    items_.push_back(item);
+    sift_up(items_.size() - 1);
+  }
+
+  void pop() {
+    assert(!items_.empty());
+    items_.front() = items_.back();
+    items_.pop_back();
+    if (!items_.empty()) sift_down(0);
+  }
+
+  /// Replace the top element and restore heap order: one sift instead of
+  /// a pop+push pair — the hot operation in multiway merge.
+  void replace_top(T item) {
+    assert(!items_.empty());
+    items_.front() = item;
+    sift_down(0);
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less_(items_[i], items_[parent])) break;
+      std::swap(items_[i], items_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = items_.size();
+    while (true) {
+      const std::size_t first_child = i * Arity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child =
+          std::min(first_child + Arity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (less_(items_[c], items_[best])) best = c;
+      }
+      if (!less_(items_[best], items_[i])) break;
+      std::swap(items_[i], items_[best]);
+      i = best;
+    }
+  }
+
+  Less less_;
+  std::vector<T> items_;
+};
+
+/// Merge k sorted index runs into a sorted sparse vector.
+///   value_of(run, index) produces the payload for an occurrence;
+///   combine(a, b) merges payloads of equal indices.
+template <typename T, typename ValueOf, typename Combine>
+SparseVector<T> multiway_merge(vid_t dim,
+                               std::span<const std::span<const vid_t>> runs,
+                               ValueOf value_of, Combine combine) {
+  struct Cursor {
+    vid_t key;
+    std::uint32_t run;
+    std::uint32_t pos;
+  };
+  struct Less {
+    bool operator()(const Cursor& a, const Cursor& b) const noexcept {
+      return a.key < b.key;
+    }
+  };
+
+  KaryHeap<Cursor, Less> heap;
+  heap.reserve(runs.size());
+  for (std::uint32_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) {
+      heap.push(Cursor{runs[r][0], r, 0});
+    }
+  }
+
+  SparseVector<T> out{dim};
+  while (!heap.empty()) {
+    const Cursor c = heap.top();
+    T value = value_of(c.run, c.key);
+    // Advance this run's cursor before draining equal keys from others.
+    if (c.pos + 1 < runs[c.run].size()) {
+      heap.replace_top(Cursor{runs[c.run][c.pos + 1], c.run, c.pos + 1});
+    } else {
+      heap.pop();
+    }
+    while (!heap.empty() && heap.top().key == c.key) {
+      const Cursor dup = heap.top();
+      value = combine(value, value_of(dup.run, dup.key));
+      if (dup.pos + 1 < runs[dup.run].size()) {
+        heap.replace_top(
+            Cursor{runs[dup.run][dup.pos + 1], dup.run, dup.pos + 1});
+      } else {
+        heap.pop();
+      }
+    }
+    out.push_back(c.key, value);
+  }
+  return out;
+}
+
+}  // namespace dbfs::sparse

@@ -1,0 +1,8 @@
+#include "sparse/spa.hpp"
+
+namespace dbfs::sparse {
+
+template class Spa<vid_t>;
+template class Spa<double>;
+
+}  // namespace dbfs::sparse

@@ -1,0 +1,11 @@
+// SparseVector is fully templated; this translation unit pins the
+// instantiation used throughout the BFS code so its symbols are compiled
+// once, and gives the target a source file.
+#include "sparse/sparse_vector.hpp"
+
+namespace dbfs::sparse {
+
+template class SparseVector<vid_t>;
+template class SparseVector<double>;
+
+}  // namespace dbfs::sparse

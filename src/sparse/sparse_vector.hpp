@@ -1,0 +1,113 @@
+// Sorted sparse vector: the frontier representation of the 2D algorithm
+// (paper §4.1: "a sorted sparse vector in the 2D implementation").
+//
+// Entries are (index, value) pairs kept sorted by index with unique
+// indices. For BFS the value is the parent payload carried by the
+// (select, max) semiring; other semirings are exercised in tests.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbfs::sparse {
+
+template <typename T>
+struct SvEntry {
+  vid_t index;
+  T value;
+
+  friend bool operator==(const SvEntry&, const SvEntry&) = default;
+};
+
+template <typename T>
+class SparseVector {
+ public:
+  SparseVector() = default;
+  explicit SparseVector(vid_t dim) : dim_(dim) {}
+
+  /// Build from entries that are already sorted by index and unique
+  /// (asserted in debug builds).
+  static SparseVector from_sorted(vid_t dim, std::vector<SvEntry<T>> entries) {
+    SparseVector v{dim};
+    v.entries_ = std::move(entries);
+    assert(v.invariants_hold());
+    return v;
+  }
+
+  /// Build from arbitrary entries; duplicates combined with `combine`.
+  template <typename Combine>
+  static SparseVector from_unsorted(vid_t dim,
+                                    std::vector<SvEntry<T>> entries,
+                                    Combine combine) {
+    std::sort(entries.begin(), entries.end(),
+              [](const SvEntry<T>& a, const SvEntry<T>& b) {
+                return a.index < b.index;
+              });
+    std::vector<SvEntry<T>> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) {
+      if (!out.empty() && out.back().index == e.index) {
+        out.back().value = combine(out.back().value, e.value);
+      } else {
+        out.push_back(e);
+      }
+    }
+    SparseVector v{dim};
+    v.entries_ = std::move(out);
+    return v;
+  }
+
+  vid_t dim() const noexcept { return dim_; }
+  vid_t nnz() const noexcept { return static_cast<vid_t>(entries_.size()); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  void push_back(vid_t index, T value) {
+    assert(entries_.empty() || entries_.back().index < index);
+    entries_.push_back(SvEntry<T>{index, value});
+  }
+
+  const std::vector<SvEntry<T>>& entries() const noexcept { return entries_; }
+  std::vector<SvEntry<T>>& entries() noexcept { return entries_; }
+
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+
+  /// Value lookup by binary search; nullptr when absent.
+  const T* find(vid_t index) const noexcept {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), index,
+        [](const SvEntry<T>& e, vid_t i) { return e.index < i; });
+    if (it == entries_.end() || it->index != index) return nullptr;
+    return &it->value;
+  }
+
+  /// Sorted + unique + in-range; used by tests and debug assertions.
+  bool invariants_hold() const noexcept {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].index < 0 || entries_[i].index >= dim_) return false;
+      if (i > 0 && entries_[i - 1].index >= entries_[i].index) return false;
+    }
+    return true;
+  }
+
+ private:
+  vid_t dim_ = 0;
+  std::vector<SvEntry<T>> entries_;
+};
+
+/// Remove from `v` every entry whose index is flagged in `mask` (dense,
+/// size v.dim()). This is the "t ⊙ complement(pi)" step of Algorithm 3.
+template <typename T, typename Pred>
+void filter_inplace(SparseVector<T>& v, Pred keep) {
+  auto& e = v.entries();
+  e.erase(std::remove_if(
+              e.begin(), e.end(),
+              [&](const SvEntry<T>& entry) { return !keep(entry.index); }),
+          e.end());
+}
+
+}  // namespace dbfs::sparse

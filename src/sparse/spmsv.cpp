@@ -1,0 +1,28 @@
+#include "sparse/spmsv.hpp"
+
+namespace dbfs::sparse {
+
+const char* to_string(SpmsvBackend backend) {
+  switch (backend) {
+    case SpmsvBackend::kAuto:
+      return "auto";
+    case SpmsvBackend::kSpa:
+      return "spa";
+    case SpmsvBackend::kHeap:
+      return "heap";
+  }
+  return "?";
+}
+
+SpmsvBackend choose_backend(eid_t selected_nnz, vid_t dim) {
+  // The SPA pays O(dim)-footprint cache traffic plus a final sort; the
+  // heap pays a log factor on flops. When the touched volume is a small
+  // fraction of the output dimension the dense accumulator's working set
+  // is mostly wasted, so switch to the heap. The 1/32 density threshold
+  // places the crossover in the same regime as the paper's ~10K-core
+  // transition for weak-scaled R-MAT inputs (see bench/fig3_spa_vs_heap).
+  if (dim <= 0) return SpmsvBackend::kHeap;
+  return (selected_nnz * 32 < dim) ? SpmsvBackend::kHeap : SpmsvBackend::kSpa;
+}
+
+}  // namespace dbfs::sparse

@@ -1,0 +1,143 @@
+// Sparse matrix – sparse vector multiplication (SpMSV) over a generic
+// semiring: the computational core of one 2D BFS level (paper §3.2):
+//
+//     y = A ⊗ x,  y(r) = combine over { multiply(r, c, x(c)) : A(r,c)≠0,
+//                                       c ∈ indices(x) }
+//
+// Two union-forming back ends, per §4.2:
+//   * SPA  — dense accumulator; fast at low concurrency, O(dim) memory.
+//   * Heap — multiway merge of the selected columns; O(nnz(x)) memory,
+//            an extra log factor of compute.
+// The polyalgorithm (kAuto) picks the heap when the selected columns are
+// few relative to the output dimension — the regime corresponding to the
+// paper's >10K-core crossover (Fig 3).
+#pragma once
+
+#include <span>
+
+#include "sparse/dcsc_matrix.hpp"
+#include "sparse/merge.hpp"
+#include "sparse/spa.hpp"
+#include "sparse/sparse_vector.hpp"
+#include "util/types.hpp"
+
+namespace dbfs::sparse {
+
+enum class SpmsvBackend { kAuto, kSpa, kHeap };
+
+const char* to_string(SpmsvBackend backend);
+
+struct SpmsvStats {
+  eid_t flops = 0;          ///< nonzeros touched (multiply invocations)
+  vid_t output_nnz = 0;
+  SpmsvBackend used = SpmsvBackend::kAuto;  ///< back end actually run
+};
+
+/// Polyalgorithm decision. `selected_nnz` is the total nonzeros in the
+/// columns indexed by x (= flops); `dim` is the output dimension.
+SpmsvBackend choose_backend(eid_t selected_nnz, vid_t dim);
+
+/// Generic SpMSV.
+///   Multiply: T mul(vid_t row, vid_t col, const T& xval)
+///   Combine:  T comb(T a, T b)  (associative, commutative)
+/// `workspace` is required for the SPA back end (and for kAuto); it is
+/// resized if smaller than a.nrows().
+template <typename T, typename Multiply, typename Combine>
+SparseVector<T> spmsv(const DcscMatrix& a, const SparseVector<T>& x,
+                      Multiply mul, Combine comb,
+                      SpmsvBackend backend = SpmsvBackend::kAuto,
+                      Spa<T>* workspace = nullptr,
+                      SpmsvStats* stats = nullptr) {
+  // Gather the selected columns once; both back ends consume this view.
+  std::vector<std::span<const vid_t>> columns;
+  std::vector<const SvEntry<T>*> col_entries;
+  columns.reserve(static_cast<std::size_t>(x.nnz()));
+  col_entries.reserve(static_cast<std::size_t>(x.nnz()));
+  eid_t flops = 0;
+  for (const SvEntry<T>& e : x.entries()) {
+    const auto rows = a.column(e.index);
+    if (rows.empty()) continue;
+    columns.push_back(rows);
+    col_entries.push_back(&e);
+    flops += static_cast<eid_t>(rows.size());
+  }
+
+  SpmsvBackend used = backend;
+  if (used == SpmsvBackend::kAuto) {
+    used = choose_backend(flops, a.nrows());
+  }
+  if (used == SpmsvBackend::kSpa && workspace == nullptr) {
+    used = SpmsvBackend::kHeap;  // no dense workspace available
+  }
+
+  SparseVector<T> result{a.nrows()};
+  if (used == SpmsvBackend::kSpa) {
+    if (workspace->dim() < a.nrows()) workspace->resize(a.nrows());
+    for (std::size_t k = 0; k < columns.size(); ++k) {
+      const SvEntry<T>& xe = *col_entries[k];
+      for (vid_t row : columns[k]) {
+        workspace->accumulate(row, mul(row, xe.index, xe.value), comb);
+      }
+    }
+    result = workspace->extract_and_clear();
+    // extract gives dim == workspace dim; re-wrap with the matrix's rows.
+    result = SparseVector<T>::from_sorted(
+        a.nrows(), std::move(result.entries()));
+  } else {
+    result = multiway_merge<T>(
+        a.nrows(), columns,
+        [&](std::uint32_t run, vid_t row) {
+          const SvEntry<T>& xe = *col_entries[run];
+          return mul(row, xe.index, xe.value);
+        },
+        comb);
+  }
+
+  if (stats != nullptr) {
+    stats->flops = flops;
+    stats->output_nnz = result.nnz();
+    stats->used = used;
+  }
+  return result;
+}
+
+/// Transpose product y = Aᵀ ⊗ x over the same semiring, *without* a
+/// transposed copy of A: DCSC is column-major, so the only way to apply
+/// Aᵀ is to scan every stored column and test each entry's row id against
+/// x's support. Work is O(nnz(A) + nzc(A)) per call regardless of nnz(x)
+/// — the computational price of the paper's §7 triangular-storage space
+/// optimization (quantified in bench/ablation_triangular).
+///
+///   InSupport: const T* lookup(vid_t row)  — null when x has no entry
+///   Multiply:  T mul(vid_t out_col, vid_t in_row, const T& xval)
+///   Combine:   T comb(T a, T b)
+template <typename T, typename InSupport, typename Multiply,
+          typename Combine>
+SparseVector<T> spmsv_transpose(const DcscMatrix& a, InSupport lookup,
+                                Multiply mul, Combine comb,
+                                SpmsvStats* stats = nullptr) {
+  SparseVector<T> out{a.ncols()};
+  eid_t scanned = 0;
+  for (vid_t k = 0; k < a.nzc(); ++k) {
+    const vid_t col = a.nonzero_column_id(k);
+    bool have = false;
+    T acc{};
+    for (vid_t row : a.nonzero_column(k)) {
+      ++scanned;
+      if (const T* xval = lookup(row)) {
+        const T candidate = mul(col, row, *xval);
+        acc = have ? comb(acc, candidate) : candidate;
+        have = true;
+      }
+    }
+    if (have) out.push_back(col, acc);
+  }
+  if (stats != nullptr) {
+    stats->flops = scanned;
+    stats->output_nnz = out.nnz();
+    stats->used = SpmsvBackend::kHeap;  // scan-based; no SPA involved
+  }
+  return out;
+}
+
+}  // namespace dbfs::sparse

@@ -1,0 +1,91 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace dbfs::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare flag
+    }
+  }
+}
+
+ArgParser& ArgParser::describe(const std::string& key, const std::string& help,
+                               const std::string& default_text) {
+  descriptions_.push_back({key, help, default_text});
+  return *this;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? fallback : static_cast<std::int64_t>(v);
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : v;
+}
+
+bool ArgParser::get_flag(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  return it->second.empty() || (it->second != "0" && it->second != "false");
+}
+
+std::vector<std::string> ArgParser::unknown_keys() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    const bool described =
+        std::any_of(descriptions_.begin(), descriptions_.end(),
+                    [&](const Description& d) { return d.key == key; });
+    if (!described) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_ << " [options]\n";
+  for (const auto& d : descriptions_) {
+    out << "  --" << d.key;
+    if (!d.default_text.empty()) out << " (default: " << d.default_text << ")";
+    out << "\n      " << d.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dbfs::util

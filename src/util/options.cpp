@@ -1,0 +1,44 @@
+#include "util/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+namespace dbfs::util {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return false;
+  const std::string_view v{raw};
+  return !v.empty() && v != "0" && v != "false" && v != "FALSE";
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string{raw};
+}
+
+int bench_scale(int dflt) {
+  if (env_flag("BFSSIM_FAST")) dflt = std::max(10, dflt - 4);
+  return static_cast<int>(env_int("BFSSIM_SCALE", dflt));
+}
+
+}  // namespace dbfs::util

@@ -1,0 +1,30 @@
+// Environment-variable driven knobs shared by benches and examples, so a
+// single binary can be re-run at larger scale without a rebuild:
+//
+//   BFSSIM_SCALE=20 ./bench/fig5_strong_scaling_franklin
+//   BFSSIM_FAST=1   ctest          (shrinks everything for smoke runs)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dbfs::util {
+
+/// Read an integer environment variable, returning `fallback` when the
+/// variable is unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a floating-point environment variable with a fallback.
+double env_double(const char* name, double fallback);
+
+/// True when the variable is set to anything other than "", "0", "false".
+bool env_flag(const char* name);
+
+/// Read a string environment variable with a fallback.
+std::string env_str(const char* name, const std::string& fallback);
+
+/// Problem scale for benches: log2 of the vertex count. Honors
+/// BFSSIM_SCALE; `dflt` applies otherwise, halved-ish under BFSSIM_FAST.
+int bench_scale(int dflt);
+
+}  // namespace dbfs::util

@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbfs::util {
+
+namespace {
+
+double interp_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = interp_sorted(sorted, 0.5);
+  s.p25 = interp_sorted(sorted, 0.25);
+  s.p75 = interp_sorted(sorted, 0.75);
+
+  double sum = 0.0;
+  double recip_sum = 0.0;
+  bool has_zero = false;
+  for (double x : sorted) {
+    sum += x;
+    if (x == 0.0) {
+      has_zero = true;
+    } else {
+      recip_sum += 1.0 / x;
+    }
+  }
+  const auto n = static_cast<double>(s.count);
+  s.mean = sum / n;
+  s.harmonic_mean = (has_zero || recip_sum == 0.0) ? 0.0 : n / recip_sum;
+
+  double sq = 0.0;
+  for (double x : sorted) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(sq / n);
+  return s;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return interp_sorted(samples, std::clamp(q, 0.0, 1.0));
+}
+
+double imbalance(std::span<const double> samples) {
+  if (samples.empty()) return 1.0;
+  double sum = 0.0;
+  double max = 0.0;
+  for (double x : samples) {
+    sum += x;
+    max = std::max(max, x);
+  }
+  if (sum <= 0.0) return 1.0;
+  return max * static_cast<double>(samples.size()) / sum;
+}
+
+}  // namespace dbfs::util

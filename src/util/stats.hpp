@@ -1,0 +1,37 @@
+// Small descriptive-statistics helpers for benchmark reporting.
+//
+// The Graph500 rules report the harmonic mean of TEPS over the sampled
+// sources (equivalently: total edges / total time), plus quartiles; we
+// provide those here so every bench prints consistent summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dbfs::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;          ///< arithmetic mean
+  double harmonic_mean = 0.0; ///< 0 when any sample is 0
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double stddev = 0.0;        ///< population standard deviation
+};
+
+/// Full summary of a sample set. Input need not be sorted; empty input
+/// yields a zeroed Summary.
+Summary summarize(std::span<const double> samples);
+
+/// Interpolated percentile (q in [0,1]) of an unsorted sample set.
+double percentile(std::vector<double> samples, double q);
+
+/// max/mean ratio, the load-imbalance factor used throughout the bench
+/// harness (1.0 = perfectly balanced). Returns 1.0 for empty/zero input.
+double imbalance(std::span<const double> samples);
+
+}  // namespace dbfs::util

@@ -1,0 +1,39 @@
+// Wall-clock timing helpers used by benchmarks and the real (host-side)
+// kernels. Simulated time lives in model/clocks.hpp, not here.
+#pragma once
+
+#include <chrono>
+
+namespace dbfs::util {
+
+/// Monotonic stopwatch returning seconds as double.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double elapsed() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (per-phase totals).
+class AccumTimer {
+ public:
+  void start() noexcept { timer_.reset(); }
+  void stop() noexcept { total_ += timer_.elapsed(); }
+  double total() const noexcept { return total_; }
+  void clear() noexcept { total_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace dbfs::util

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bfs/baseline_graph500.hpp"
+#include "bfs/baseline_pbgl.hpp"
+#include "bfs/serial.hpp"
+#include "test_helpers.hpp"
+
+namespace dbfs::bfs {
+namespace {
+
+TEST(Graph500Ref, ProducesCorrectBfs) {
+  const auto built = test::rmat_graph(9);
+  const vid_t n = built.csr.num_vertices();
+  Graph500RefOptions opts;
+  opts.ranks = 8;
+  opts.machine = model::franklin();
+  Bfs1D baseline{built.edges, n, graph500_reference_options(opts)};
+  const vid_t source = test::hub_source(built.csr);
+  const auto out = baseline.run(source);
+  const auto serial = serial_bfs(built.csr, source);
+  EXPECT_EQ(out.level, serial.level);
+}
+
+TEST(Graph500Ref, SlowerThanTunedFlat1D) {
+  const auto built = test::rmat_graph(11, 16);
+  const vid_t n = built.csr.num_vertices();
+  const auto machine = model::franklin();
+
+  Bfs1DOptions tuned;
+  tuned.ranks = 64;
+  tuned.machine = machine;
+  Bfs1D ours{built.edges, n, tuned};
+
+  Graph500RefOptions ref_opts;
+  ref_opts.ranks = 64;
+  ref_opts.machine = machine;
+  Bfs1D reference{built.edges, n, graph500_reference_options(ref_opts)};
+
+  const vid_t source = test::hub_source(built.csr);
+  const double ours_t = ours.run(source).report.total_seconds;
+  const double ref_t = reference.run(source).report.total_seconds;
+  // The paper reports 2.7-4.1x; require a clear gap in the right
+  // direction without pinning the exact constant.
+  EXPECT_GT(ref_t / ours_t, 1.5);
+}
+
+TEST(Graph500Ref, GapGrowsWithConcurrency) {
+  // §6: 2.72x at 512, 3.43x at 1024, 4.13x at 2048 cores. The paper's
+  // runs keep per-rank volume substantial at every core count (scale 32),
+  // so we test the progression under the same regime: fixed edges per
+  // rank (weak scaling), where the reference's per-message overheads
+  // degrade with the peer count.
+  std::vector<double> gaps;
+  // The growth regime matches the paper's core counts (hundreds to
+  // thousands); at tens of ranks both codes are compute-bound and the
+  // ratio is noisy, so the sweep starts at 256.
+  const int ranks_list[] = {512, 1024, 2048};
+  const int scale_list[] = {13, 14, 15};
+  for (int i = 0; i < 3; ++i) {
+    const int ranks = ranks_list[i];
+    const auto built = test::rmat_graph(scale_list[i], 16);
+    const vid_t n = built.csr.num_vertices();
+    // Miniaturized machine, like the bench harness: fixed latencies are
+    // scaled by the problem-size ratio so the compute:latency balance
+    // matches the paper's operating point.
+    const auto machine = model::miniaturized(
+        model::franklin(), static_cast<double>(built.directed_edge_count) /
+                               std::pow(2.0, 33.0));
+    Bfs1DOptions tuned;
+    tuned.ranks = ranks;
+    tuned.machine = machine;
+    Bfs1D ours{built.edges, n, tuned};
+    Graph500RefOptions ref_opts;
+    ref_opts.ranks = ranks;
+    ref_opts.machine = machine;
+    Bfs1D reference{built.edges, n, graph500_reference_options(ref_opts)};
+    const vid_t source = test::hub_source(built.csr);
+    gaps.push_back(reference.run(source).report.total_seconds /
+                   ours.run(source).report.total_seconds);
+  }
+  // The gap is multi-x at every concurrency and larger at the top of the
+  // sweep than at the bottom (the paper's 2.72x -> 4.13x direction);
+  // strict level-by-level monotonicity is noise-sensitive at miniature
+  // scale, so only the endpoints are pinned.
+  for (double gap : gaps) EXPECT_GT(gap, 1.5);
+  EXPECT_GT(gaps.back(), gaps.front());
+}
+
+TEST(PbglLike, ProducesCorrectBfs) {
+  const auto built = test::rmat_graph(9);
+  const vid_t n = built.csr.num_vertices();
+  PbglLikeOptions opts;
+  opts.ranks = 8;
+  opts.machine = model::carver();
+  Bfs1D baseline{built.edges, n, pbgl_like_options(opts)};
+  const vid_t source = test::hub_source(built.csr);
+  const auto out = baseline.run(source);
+  const auto serial = serial_bfs(built.csr, source);
+  EXPECT_EQ(out.level, serial.level);
+}
+
+TEST(PbglLike, MuchSlowerThanGraph500Ref) {
+  // Table 2's ordering: PBGL is the slowest implementation by a wide
+  // margin (10x+ behind the tuned codes).
+  const auto built = test::rmat_graph(10, 16);
+  const vid_t n = built.csr.num_vertices();
+  const auto machine = model::carver();
+
+  PbglLikeOptions pbgl_opts;
+  pbgl_opts.ranks = 64;
+  pbgl_opts.machine = machine;
+  Bfs1D pbgl{built.edges, n, pbgl_like_options(pbgl_opts)};
+
+  Graph500RefOptions ref_opts;
+  ref_opts.ranks = 64;
+  ref_opts.machine = machine;
+  Bfs1D reference{built.edges, n, graph500_reference_options(ref_opts)};
+
+  const vid_t source = test::hub_source(built.csr);
+  EXPECT_GT(pbgl.run(source).report.total_seconds,
+            reference.run(source).report.total_seconds);
+}
+
+TEST(Baselines, OptionLabelsDistinguishAlgorithms) {
+  EXPECT_EQ(graph500_reference_options({}).label, "graph500-ref");
+  EXPECT_EQ(pbgl_like_options({}).label, "pbgl-like");
+  EXPECT_EQ(graph500_reference_options({}).comm_mode,
+            CommMode::kChunkedSends);
+  EXPECT_EQ(pbgl_like_options({}).comm_mode, CommMode::kPerEdgeSends);
+  EXPECT_GT(pbgl_like_options({}).extra_per_edge_seconds,
+            graph500_reference_options({}).extra_per_edge_seconds);
+}
+
+}  // namespace
+}  // namespace dbfs::bfs

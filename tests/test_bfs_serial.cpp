@@ -1,0 +1,101 @@
+#include "bfs/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/validator.hpp"
+#include "test_helpers.hpp"
+
+namespace dbfs::bfs {
+namespace {
+
+TEST(SerialBfs, PathDistances) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(6));
+  const auto out = serial_bfs(g, 0);
+  for (vid_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(out.level[v], v);
+  }
+  EXPECT_EQ(out.parent[0], 0);
+  EXPECT_EQ(out.parent[3], 2);
+}
+
+TEST(SerialBfs, PathFromMiddle) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(7));
+  const auto out = serial_bfs(g, 3);
+  EXPECT_EQ(out.level[0], 3);
+  EXPECT_EQ(out.level[6], 3);
+  EXPECT_EQ(out.level[3], 0);
+}
+
+TEST(SerialBfs, StarIsOneLevel) {
+  const auto g = graph::CsrGraph::from_edges(test::star_edges(100));
+  const auto out = serial_bfs(g, 0);
+  for (vid_t v = 1; v < 100; ++v) {
+    EXPECT_EQ(out.level[v], 1);
+    EXPECT_EQ(out.parent[v], 0);
+  }
+  EXPECT_EQ(out.report.levels.size(), 2u);  // frontier levels 0 and 1
+}
+
+TEST(SerialBfs, DisconnectedUnreached) {
+  const auto g = graph::CsrGraph::from_edges(test::two_triangles());
+  const auto out = serial_bfs(g, 0);
+  EXPECT_EQ(out.parent[3], kNoVertex);
+  EXPECT_EQ(out.level[4], kUnreached);
+  EXPECT_EQ(out.parent[6], kNoVertex);
+  EXPECT_NE(out.level[2], kUnreached);
+}
+
+TEST(SerialBfs, MatchesReferenceLevels) {
+  const auto built = test::rmat_graph(10);
+  const auto out = serial_bfs(built.csr, 0);
+  const auto ref = graph::reference_levels(built.csr, 0);
+  EXPECT_EQ(out.level, ref);
+}
+
+TEST(SerialBfs, PassesGraph500Validation) {
+  const auto built = test::rmat_graph(10);
+  const auto out = serial_bfs(built.csr, 5);
+  const auto v = graph::validate_bfs_tree(
+      built.csr, 5, out.parent, graph::reference_levels(built.csr, 5));
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(SerialBfs, LevelStatsConsistent) {
+  const auto built = test::rmat_graph(9);
+  const auto out = serial_bfs(built.csr, 0);
+  vid_t visited = 0;
+  for (const auto& l : out.report.levels) visited += l.newly_visited;
+  vid_t expected = 0;
+  for (vid_t v = 0; v < built.csr.num_vertices(); ++v) {
+    if (out.level[v] > 0) ++expected;  // excludes source and unreached
+  }
+  EXPECT_EQ(visited, expected);
+  EXPECT_GT(out.report.edges_traversed, 0);
+}
+
+TEST(SerialBfs, FrontierSizesTelescope) {
+  const auto built = test::rmat_graph(9);
+  const auto out = serial_bfs(built.csr, 0);
+  const auto& levels = out.report.levels;
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_EQ(levels[i].frontier, levels[i - 1].newly_visited);
+  }
+  EXPECT_EQ(levels[0].frontier, 1);
+}
+
+TEST(SerialBfs, RejectsBadSource) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(4));
+  EXPECT_THROW(serial_bfs(g, -1), std::out_of_range);
+  EXPECT_THROW(serial_bfs(g, 4), std::out_of_range);
+}
+
+TEST(SerialBfs, SingleVertexGraph) {
+  graph::EdgeList e{1};
+  const auto g = graph::CsrGraph::from_edges(e);
+  const auto out = serial_bfs(g, 0);
+  EXPECT_EQ(out.parent[0], 0);
+  EXPECT_EQ(out.level[0], 0);
+}
+
+}  // namespace
+}  // namespace dbfs::bfs

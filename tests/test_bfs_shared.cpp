@@ -1,0 +1,101 @@
+#include "bfs/shared.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/serial.hpp"
+#include "graph/validator.hpp"
+#include "test_helpers.hpp"
+
+namespace dbfs::bfs {
+namespace {
+
+class SharedBfsModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SharedBfsModes, MatchesSerialLevels) {
+  const auto built = test::rmat_graph(10);
+  SharedBfsOptions opts;
+  opts.use_atomics = GetParam();
+  const auto shared = shared_bfs(built.csr, 0, opts);
+  const auto serial = serial_bfs(built.csr, 0);
+  EXPECT_EQ(shared.out.level, serial.level);
+}
+
+TEST_P(SharedBfsModes, PassesValidation) {
+  const auto built = test::rmat_graph(10, 16, 3);
+  SharedBfsOptions opts;
+  opts.use_atomics = GetParam();
+  const auto result = shared_bfs(built.csr, 7, opts);
+  const auto v = graph::validate_bfs_tree(
+      built.csr, 7, result.out.parent,
+      graph::reference_levels(built.csr, 7));
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST_P(SharedBfsModes, HandlesDisconnectedGraph) {
+  const auto g = graph::CsrGraph::from_edges(test::two_triangles());
+  SharedBfsOptions opts;
+  opts.use_atomics = GetParam();
+  const auto result = shared_bfs(g, 3, opts);
+  EXPECT_EQ(result.out.level[4], 1);
+  EXPECT_EQ(result.out.level[0], kUnreached);
+}
+
+TEST_P(SharedBfsModes, HighDiameterGraph) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(200));
+  SharedBfsOptions opts;
+  opts.use_atomics = GetParam();
+  const auto result = shared_bfs(g, 0, opts);
+  EXPECT_EQ(result.out.level[199], 199);
+  EXPECT_EQ(result.out.report.levels.size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AtomicsAndBenign, SharedBfsModes,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "atomics" : "benign";
+                         });
+
+TEST(SharedBfs, AtomicModeHasNoDuplicates) {
+  const auto built = test::rmat_graph(11);
+  SharedBfsOptions opts;
+  opts.use_atomics = true;
+  const auto result = shared_bfs(built.csr, 0, opts);
+  EXPECT_EQ(result.duplicate_insertions, 0);
+}
+
+TEST(SharedBfs, BenignRaceDuplicateRateIsTiny) {
+  // The paper's §4.2 measurement: extra insertions < 0.5% of vertices.
+  // Single-threaded CI can't produce real races; the invariant still
+  // holds (trivially 0) and the bound is what the ablation bench reports.
+  const auto built = test::rmat_graph(12);
+  const auto result = shared_bfs(built.csr, 0, SharedBfsOptions{});
+  const auto visited = static_cast<double>(built.csr.num_vertices());
+  EXPECT_LT(static_cast<double>(result.duplicate_insertions),
+            0.005 * visited + 1.0);
+}
+
+TEST(SharedBfs, ExplicitThreadCount) {
+  const auto built = test::rmat_graph(9);
+  SharedBfsOptions opts;
+  opts.num_threads = 3;
+  const auto result = shared_bfs(built.csr, 0, opts);
+  EXPECT_EQ(result.out.report.threads_per_rank, 3);
+  const auto serial = serial_bfs(built.csr, 0);
+  EXPECT_EQ(result.out.level, serial.level);
+}
+
+TEST(SharedBfs, EdgeCountMatchesSerial) {
+  const auto built = test::rmat_graph(10);
+  const auto shared = shared_bfs(built.csr, 2, SharedBfsOptions{});
+  const auto serial = serial_bfs(built.csr, 2);
+  EXPECT_EQ(shared.out.report.edges_traversed,
+            serial.report.edges_traversed);
+}
+
+TEST(SharedBfs, RejectsBadSource) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(4));
+  EXPECT_THROW(shared_bfs(g, 99, SharedBfsOptions{}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dbfs::bfs

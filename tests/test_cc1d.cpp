@@ -1,0 +1,116 @@
+#include "bfs/cc1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/components.hpp"
+#include "test_helpers.hpp"
+
+namespace dbfs::bfs {
+namespace {
+
+// The distributed labels must induce the same partition of vertices as
+// the host-side connected_components (labels themselves may differ —
+// ours are minima, the host's are BFS roots).
+void expect_same_partition(const std::vector<vid_t>& ours,
+                           const std::vector<vid_t>& host) {
+  ASSERT_EQ(ours.size(), host.size());
+  std::map<vid_t, vid_t> forward;
+  std::map<vid_t, vid_t> backward;
+  for (std::size_t v = 0; v < ours.size(); ++v) {
+    auto [fit, finserted] = forward.emplace(ours[v], host[v]);
+    EXPECT_EQ(fit->second, host[v]) << "vertex " << v;
+    auto [bit, binserted] = backward.emplace(host[v], ours[v]);
+    EXPECT_EQ(bit->second, ours[v]) << "vertex " << v;
+  }
+}
+
+TEST(Cc1D, TwoTriangles) {
+  const auto edges = test::two_triangles();
+  Cc1DOptions opts;
+  opts.ranks = 3;
+  const auto result = connected_components_1d(edges, 7, opts);
+  EXPECT_EQ(result.num_components, 3);  // two triangles + isolated vertex
+  EXPECT_EQ(result.label[0], result.label[2]);
+  EXPECT_EQ(result.label[3], result.label[5]);
+  EXPECT_NE(result.label[0], result.label[3]);
+  EXPECT_EQ(result.label[6], 6);
+  // Labels are component minima.
+  EXPECT_EQ(result.label[2], 0);
+  EXPECT_EQ(result.label[4], 3);
+}
+
+class Cc1DRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Cc1DRankSweep, MatchesHostComponents) {
+  const auto built = test::rmat_graph(10, 4, 31);  // sparse: many components
+  Cc1DOptions opts;
+  opts.ranks = GetParam();
+  const auto result = connected_components_1d(
+      built.edges, built.csr.num_vertices(), opts);
+  const auto host = graph::connected_components(built.csr);
+  expect_same_partition(result.label, host.label);
+  EXPECT_EQ(result.num_components, host.count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, Cc1DRankSweep,
+                         ::testing::Values(1, 2, 4, 16, 64));
+
+TEST(Cc1D, PathNeedsDiameterRounds) {
+  const auto edges = test::path_edges(50);
+  Cc1DOptions opts;
+  opts.ranks = 4;
+  const auto result = connected_components_1d(edges, 50, opts);
+  EXPECT_EQ(result.num_components, 1);
+  for (vid_t v = 0; v < 50; ++v) EXPECT_EQ(result.label[v], 0);
+  // Label 0 propagates one hop per round.
+  EXPECT_GE(result.rounds, 49);
+  EXPECT_LE(result.rounds, 51);
+}
+
+TEST(Cc1D, StarConvergesInTwoRounds) {
+  const auto edges = test::star_edges(64);
+  Cc1DOptions opts;
+  opts.ranks = 8;
+  const auto result = connected_components_1d(edges, 64, opts);
+  EXPECT_EQ(result.num_components, 1);
+  EXPECT_LE(result.rounds, 3);
+}
+
+TEST(Cc1D, ReportIsPopulated) {
+  const auto built = test::rmat_graph(9);
+  Cc1DOptions opts;
+  opts.ranks = 8;
+  opts.machine = model::franklin();
+  const auto result = connected_components_1d(
+      built.edges, built.csr.num_vertices(), opts);
+  EXPECT_GT(result.report.total_seconds, 0.0);
+  EXPECT_GT(result.report.alltoall_bytes, 0u);
+  EXPECT_EQ(result.report.levels.size(),
+            static_cast<std::size_t>(result.rounds));
+  EXPECT_EQ(result.report.algorithm, "cc-1d");
+}
+
+TEST(Cc1D, HybridLabelMatchesFlat) {
+  const auto built = test::rmat_graph(9, 4, 8);
+  Cc1DOptions flat;
+  flat.ranks = 16;
+  Cc1DOptions hybrid;
+  hybrid.ranks = 4;
+  hybrid.threads_per_rank = 4;
+  const auto a =
+      connected_components_1d(built.edges, built.csr.num_vertices(), flat);
+  const auto b =
+      connected_components_1d(built.edges, built.csr.num_vertices(), hybrid);
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST(Cc1D, RejectsEmptyGraph) {
+  graph::EdgeList empty{0};
+  EXPECT_THROW(connected_components_1d(empty, 0, Cc1DOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbfs::bfs

@@ -1,0 +1,83 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbfs::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgParser, KeyValuePairs) {
+  const auto args = parse({"prog", "--scale", "16", "--machine", "hopper"});
+  EXPECT_EQ(args.get_int("scale", 0), 16);
+  EXPECT_EQ(args.get("machine", ""), "hopper");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  const auto args = parse({"prog", "--scale=20", "--ratio=2.5"});
+  EXPECT_EQ(args.get_int("scale", 0), 20);
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 2.5);
+}
+
+TEST(ArgParser, BareFlags) {
+  const auto args = parse({"prog", "--verbose", "--scale", "8"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_FALSE(args.get_flag("quiet"));
+  EXPECT_EQ(args.get_int("scale", 0), 8);
+}
+
+TEST(ArgParser, FlagFollowedByFlag) {
+  const auto args = parse({"prog", "--a", "--b"});
+  EXPECT_TRUE(args.get_flag("a"));
+  EXPECT_TRUE(args.get_flag("b"));
+}
+
+TEST(ArgParser, ExplicitFalseFlag) {
+  const auto args = parse({"prog", "--check=0", "--other=false"});
+  EXPECT_FALSE(args.get_flag("check"));
+  EXPECT_FALSE(args.get_flag("other"));
+}
+
+TEST(ArgParser, Fallbacks) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParser, GarbageNumbersFallBack) {
+  const auto args = parse({"prog", "--scale", "zebra"});
+  EXPECT_EQ(args.get_int("scale", 3), 3);
+}
+
+TEST(ArgParser, Positional) {
+  const auto args = parse({"prog", "input.txt", "--scale", "8", "more"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(ArgParser, UnknownKeysDetected) {
+  auto args = parse({"prog", "--scale", "8", "--typo", "x"});
+  args.describe("scale", "the scale");
+  const auto unknown = args.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ArgParser, UsageMentionsDescribedOptions) {
+  auto args = parse({"prog"});
+  args.describe("scale", "log2 vertices", "14");
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--scale"), std::string::npos);
+  EXPECT_NE(usage.find("log2 vertices"), std::string::npos);
+  EXPECT_NE(usage.find("default: 14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbfs::util

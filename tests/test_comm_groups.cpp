@@ -1,0 +1,126 @@
+// Subgroup-scoped collective semantics: the 2D algorithm's correctness
+// hinges on collectives over processor rows/columns leaving the rest of
+// the cluster untouched, and on the miniaturization/NIC plumbing.
+#include <gtest/gtest.h>
+
+#include "model/machine.hpp"
+#include "simmpi/comm.hpp"
+
+namespace dbfs::simmpi {
+namespace {
+
+TEST(GroupComm, AlltoallvOverSubgroupOnly) {
+  Cluster c{6, model::generic()};
+  const std::vector<int> group{1, 3, 5};
+  auto send = FlatExchange<int>::sized(3);
+  send.data[0] = {42};
+  send.counts[0] = {0, 1, 0};  // slot 0 (rank 1) -> slot 1 (rank 3)
+  send.counts[1] = {0, 0, 0};
+  send.counts[2] = {0, 0, 0};
+  const auto recv = alltoallv(c, group, std::move(send));
+  EXPECT_EQ(recv.data[1], (std::vector<int>{42}));
+  // Non-members' clocks untouched.
+  EXPECT_DOUBLE_EQ(c.clocks().now(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.clocks().now(2), 0.0);
+  EXPECT_DOUBLE_EQ(c.clocks().now(4), 0.0);
+  EXPECT_GT(c.clocks().now(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.clocks().now(1), c.clocks().now(3));
+}
+
+TEST(GroupComm, DisjointGroupsAdvanceIndependently) {
+  Cluster c{4, model::generic()};
+  const std::vector<int> g1{0, 1};
+  const std::vector<int> g2{2, 3};
+  (void)allgatherv(c, g1, std::vector<std::vector<int>>{{1, 2, 3}, {4}});
+  (void)allgatherv(c, g2, std::vector<std::vector<int>>{{9}, {}});
+  // Different payload sizes => different costs; groups don't synchronize
+  // with each other.
+  EXPECT_GT(c.clocks().now(0), c.clocks().now(2));
+}
+
+TEST(GroupComm, AllgathervWithEmptyPieces) {
+  Cluster c{3, model::generic()};
+  const std::vector<int> group{0, 1, 2};
+  const auto result =
+      allgatherv(c, group, std::vector<std::vector<int>>{{}, {7}, {}});
+  EXPECT_EQ(result, (std::vector<int>{7}));
+}
+
+TEST(GroupComm, TransposeWithUnequalPieces) {
+  Cluster c{4, model::generic()};
+  const ProcessGrid grid{2};
+  std::vector<std::vector<int>> pieces{{1, 2, 3}, {}, {4, 5, 6, 7, 8}, {9}};
+  const auto out = transpose_exchange(c, grid, std::move(pieces));
+  EXPECT_EQ(out[0], (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(out[2], (std::vector<int>{}));
+  EXPECT_EQ(out[1], (std::vector<int>{4, 5, 6, 7, 8}));
+  EXPECT_EQ(out[3], (std::vector<int>{9}));
+}
+
+TEST(GroupComm, SingleRankCollectivesAreCheap) {
+  Cluster c{1, model::generic()};
+  const std::vector<int> group{0};
+  auto send = FlatExchange<int>::sized(1);
+  send.data[0] = {1, 2};
+  send.counts[0] = {2};
+  const auto recv = alltoallv(c, group, std::move(send));
+  EXPECT_EQ(recv.data[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(c.traffic().total_bytes(), 0u);  // self-send, nothing metered
+}
+
+TEST(NicFactor, FlatPaysContentionHybridOwnsBandwidth) {
+  auto machine = model::hopper();  // 24 cores/node, nic_contention > 0
+  Cluster flat{48, machine, 1};
+  Cluster hybrid{8, machine, 6};
+  // Flat: 24 ranks share a node -> heavy contention multiplier.
+  EXPECT_GT(flat.nic_factor(), 1.0);
+  // Hybrid: 6-thread ranks own 6 cores' bandwidth; factor well below 1.
+  EXPECT_LT(hybrid.nic_factor(), 0.5);
+  EXPECT_GT(flat.nic_factor() / hybrid.nic_factor(), 3.0);
+}
+
+TEST(NicFactor, NoContentionMachineIsPureBandwidthShare) {
+  auto machine = model::generic();
+  machine.nic_contention = 0.0;
+  Cluster flat{16, machine, 1};
+  Cluster hybrid{4, machine, 4};
+  EXPECT_DOUBLE_EQ(flat.nic_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(hybrid.nic_factor(), 0.25);
+}
+
+TEST(Miniaturized, ScalesLatenciesAndCachesOnly) {
+  const auto full = model::franklin();
+  const auto mini = model::miniaturized(full, 1e-3);
+  EXPECT_DOUBLE_EQ(mini.alpha_net, full.alpha_net * 1e-3);
+  EXPECT_DOUBLE_EQ(mini.thread_barrier_seconds,
+                   full.thread_barrier_seconds * 1e-3);
+  ASSERT_EQ(mini.caches.size(), full.caches.size());
+  for (std::size_t i = 0; i < full.caches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(mini.caches[i].capacity_bytes,
+                     full.caches[i].capacity_bytes * 1e-3);
+    EXPECT_DOUBLE_EQ(mini.caches[i].latency_seconds,
+                     full.caches[i].latency_seconds);
+  }
+  EXPECT_DOUBLE_EQ(mini.beta_net, full.beta_net);
+  EXPECT_DOUBLE_EQ(mini.beta_local, full.beta_local);
+}
+
+TEST(Miniaturized, PreservesWorkingSetRelationships) {
+  // If a working set is DRAM-bound on the full machine, the same set
+  // scaled by the factor must be DRAM-bound on the mini machine.
+  const auto full = model::franklin();
+  const auto mini = model::miniaturized(full, 1e-4);
+  const double full_ws = 64.0 * 1024 * 1024;  // 64 MB: deep DRAM
+  EXPECT_NEAR(mini.alpha_local(full_ws * 1e-4), full.alpha_local(full_ws),
+              full.alpha_local(full_ws) * 1e-9);
+}
+
+TEST(Miniaturized, RejectsNonPositiveFactor) {
+  EXPECT_THROW(model::miniaturized(model::generic(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(model::miniaturized(model::generic(), -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbfs::simmpi

@@ -1,0 +1,81 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/edge_list.hpp"
+
+namespace dbfs::graph {
+namespace {
+
+CsrGraph two_components() {
+  // {0,1,2} triangle, {3,4} edge, {5} isolated.
+  EdgeList e{6};
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(3, 4);
+  e.symmetrize();
+  return CsrGraph::from_edges(e);
+}
+
+TEST(Components, CountsAndLabels) {
+  const CsrGraph g = two_components();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[5], c.label[0]);
+}
+
+TEST(Components, LargestIdentified) {
+  const CsrGraph g = two_components();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.largest_size, 3);
+  EXPECT_EQ(c.label[0], c.largest_label);
+}
+
+TEST(Components, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList{0});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 0);
+  EXPECT_EQ(c.largest_size, 0);
+}
+
+TEST(SampleSources, AllFromLargestComponentWithEdges) {
+  const CsrGraph g = two_components();
+  const Components c = connected_components(g);
+  const auto sources = sample_sources(g, c, 3, 1);
+  EXPECT_EQ(sources.size(), 3u);
+  for (vid_t s : sources) {
+    EXPECT_EQ(c.label[s], c.largest_label);
+    EXPECT_GT(g.degree(s), 0);
+  }
+}
+
+TEST(SampleSources, Distinct) {
+  const CsrGraph g = two_components();
+  const Components c = connected_components(g);
+  const auto sources = sample_sources(g, c, 3, 2);
+  const std::set<vid_t> unique(sources.begin(), sources.end());
+  EXPECT_EQ(unique.size(), sources.size());
+}
+
+TEST(SampleSources, CappedByComponentSize) {
+  const CsrGraph g = two_components();
+  const Components c = connected_components(g);
+  const auto sources = sample_sources(g, c, 100, 3);
+  EXPECT_EQ(sources.size(), 3u);  // largest component has 3 vertices
+}
+
+TEST(SampleSources, DeterministicPerSeed) {
+  const CsrGraph g = two_components();
+  const Components c = connected_components(g);
+  EXPECT_EQ(sample_sources(g, c, 2, 9), sample_sources(g, c, 2, 9));
+}
+
+}  // namespace
+}  // namespace dbfs::graph

@@ -1,0 +1,162 @@
+#include "model/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbfs::model {
+namespace {
+
+TEST(NetworkCost, AlltoallvLatencyPlusBandwidth) {
+  const MachineModel m = generic();
+  const double zero_bytes = cost_alltoallv(m, 64, 0);
+  EXPECT_DOUBLE_EQ(zero_bytes, 64 * m.alpha_net);
+  const double with_data = cost_alltoallv(m, 64, 1 << 20);
+  EXPECT_GT(with_data, zero_bytes);
+}
+
+TEST(NetworkCost, AlltoallvGrowsWithGroup) {
+  const MachineModel m = franklin();
+  EXPECT_LT(cost_alltoallv(m, 64, 1 << 20), cost_alltoallv(m, 4096, 1 << 20));
+}
+
+TEST(NetworkCost, AllgatherCheaperThanAlltoallAtScale) {
+  // βN,ag grows more slowly with participants than βN,a2a on the torus
+  // presets — the structural reason 2D's expand outlives its fold.
+  const MachineModel m = franklin();
+  EXPECT_LT(m.ag_beta(4096) / m.ag_beta(64),
+            m.a2a_beta(4096) / m.a2a_beta(64));
+}
+
+TEST(NetworkCost, AllreduceLogarithmicLatency) {
+  const MachineModel m = generic();
+  const double g64 = cost_allreduce(m, 64, 8);
+  const double g4096 = cost_allreduce(m, 4096, 8);
+  EXPECT_NEAR(g4096 / g64, 2.0, 0.1);  // log2: 12/6
+}
+
+TEST(NetworkCost, BroadcastScalesWithTreeDepth) {
+  const MachineModel m = generic();
+  EXPECT_LT(cost_broadcast(m, 2, 4096), cost_broadcast(m, 1024, 4096));
+}
+
+TEST(NetworkCost, P2pIsCheapest) {
+  const MachineModel m = generic();
+  const std::size_t bytes = 1 << 16;
+  EXPECT_LT(cost_p2p(m, bytes), cost_alltoallv(m, 64, bytes));
+}
+
+TEST(NetworkCost, ChunkedSendsPayPerMessage) {
+  const MachineModel m = generic();
+  const double few = cost_chunked_sends(m, 10, 1 << 20, 64);
+  const double many = cost_chunked_sends(m, 10000, 1 << 20, 64);
+  EXPECT_GT(many, few);
+  // Per-message cost includes the matching factor 1 + 0.25*ceil(log2(64)).
+  EXPECT_NEAR(many - few, 9990 * m.alpha_net * 2.5, 1e-12);
+}
+
+TEST(NetworkCost, ChunkedSendsMatchingGrowsWithPeers) {
+  const MachineModel m = generic();
+  EXPECT_GT(cost_chunked_sends(m, 1000, 0, 4096),
+            cost_chunked_sends(m, 1000, 0, 16));
+}
+
+TEST(LocalCost1D, ZeroWorkZeroCost) {
+  const MachineModel m = franklin();
+  EXPECT_DOUBLE_EQ(cost_1d_local(m, Work1D{}), 0.0);
+}
+
+TEST(LocalCost1D, ScalesWithEdges) {
+  const MachineModel m = franklin();
+  Work1D w;
+  w.n_local = 1 << 16;
+  w.edges_scanned = 1000;
+  w.words_packed = 2000;
+  const double c1 = cost_1d_local(m, w);
+  w.edges_scanned = 2000;
+  w.words_packed = 4000;
+  const double c2 = cost_1d_local(m, w);
+  EXPECT_NEAR(c2 / c1, 2.0, 1e-9);
+}
+
+TEST(LocalCost1D, ThreadingDividesWork) {
+  const MachineModel m = franklin();
+  Work1D w;
+  w.n_local = 1 << 16;
+  w.edges_scanned = 100000;
+  w.candidates_received = 100000;
+  const double flat = cost_1d_local(m, w);
+  w.threads = 4;
+  const double threaded = cost_1d_local(m, w);
+  EXPECT_LT(threaded, flat);
+  // Not perfectly: efficiency < 1.
+  EXPECT_GT(threaded, flat / 4.0);
+}
+
+TEST(LocalCost1D, SmallerWorkingSetCheaperChecks) {
+  // The §5.1 benefit of distribution: distance checks against n/p-sized
+  // arrays get cheaper as p grows (cache-resident).
+  const MachineModel m = franklin();
+  Work1D big;
+  big.n_local = 1 << 26;
+  big.candidates_received = 1 << 20;
+  Work1D small = big;
+  small.n_local = 1 << 12;
+  EXPECT_GT(cost_1d_local(m, big), cost_1d_local(m, small));
+}
+
+TEST(LocalCost2D, SpaPaysWorkingSetHeapPaysLogFactor) {
+  const MachineModel m = franklin();
+  // Hypersparse regime (Fig 3's high-p side): output nnz ~ flops, so the
+  // SPA pays a full irregular reference per flop into a DRAM-sized
+  // accumulator and loses to the heap.
+  Work2D w;
+  w.spmsv_flops = 1 << 12;
+  w.x_nnz = 1 << 6;
+  w.output_nnz = 1 << 12;
+  w.x_dim = 1 << 22;
+  w.out_dim = 1 << 22;
+  w.n_local = 1 << 14;
+  w.heap_backend = false;
+  const double spa_sparse = cost_2d_local(m, w);
+  w.heap_backend = true;
+  const double heap_sparse = cost_2d_local(m, w);
+  EXPECT_GT(spa_sparse, heap_sparse);
+
+  // Dense regime (low-p side): many accumulations per distinct output
+  // row amortize the SPA's first-touch misses; the heap pays its log
+  // factor on every flop and loses.
+  w.spmsv_flops = 1 << 18;
+  w.x_nnz = 1 << 14;
+  w.output_nnz = 1 << 12;
+  w.heap_backend = false;
+  const double spa_dense = cost_2d_local(m, w);
+  w.heap_backend = true;
+  const double heap_dense = cost_2d_local(m, w);
+  EXPECT_LT(spa_dense, heap_dense);
+}
+
+TEST(LocalCost2D, BiggerBlocksCostMore) {
+  // §5.2: the 2D algorithm's n/pr, n/pc working sets exceed 1D's n/p —
+  // same flops, more expensive references.
+  const MachineModel m = franklin();
+  Work2D w;
+  w.spmsv_flops = 1 << 18;
+  w.x_nnz = 1 << 12;
+  w.x_dim = 1 << 24;
+  w.out_dim = 1 << 24;
+  w.n_local = 1 << 16;
+  const double big_blocks = cost_2d_local(m, w);
+  w.x_dim = 1 << 14;
+  w.out_dim = 1 << 14;
+  const double small_blocks = cost_2d_local(m, w);
+  EXPECT_GT(big_blocks, small_blocks);
+}
+
+TEST(ThreadBarriers, FlatIsFree) {
+  const MachineModel m = hopper();
+  EXPECT_DOUBLE_EQ(cost_thread_barriers(m, 1, 4), 0.0);
+  EXPECT_GT(cost_thread_barriers(m, 6, 4), 0.0);
+  EXPECT_GT(cost_thread_barriers(m, 6, 8), cost_thread_barriers(m, 6, 4));
+}
+
+}  // namespace
+}  // namespace dbfs::model

@@ -1,0 +1,104 @@
+#include "bfs/direction_optimizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/serial.hpp"
+#include "graph/validator.hpp"
+#include "test_helpers.hpp"
+
+namespace dbfs::bfs {
+namespace {
+
+TEST(DirectionOptimizing, MatchesSerialOnRmat) {
+  const auto built = test::rmat_graph(11, 16);
+  const vid_t source = test::hub_source(built.csr);
+  const auto result = direction_optimizing_bfs(built.csr, source);
+  const auto serial = serial_bfs(built.csr, source);
+  EXPECT_EQ(result.out.level, serial.level);
+}
+
+TEST(DirectionOptimizing, PassesValidation) {
+  const auto built = test::rmat_graph(10, 16, 5);
+  const vid_t source = test::hub_source(built.csr);
+  const auto result = direction_optimizing_bfs(built.csr, source);
+  const auto v = graph::validate_bfs_tree(
+      built.csr, source, result.out.parent,
+      graph::reference_levels(built.csr, source));
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(DirectionOptimizing, UsesBottomUpOnLowDiameterGraphs) {
+  // Dense R-MAT: the middle levels cover most of the graph, so the
+  // heuristic must fire and skip a large share of edge examinations.
+  const auto built = test::rmat_graph(12, 16);
+  const vid_t source = test::hub_source(built.csr);
+  const auto opt = direction_optimizing_bfs(built.csr, source);
+  EXPECT_GT(opt.bottom_up_levels, 0);
+
+  DirectionOptimizingOptions classic;
+  classic.force_top_down = true;
+  const auto baseline = direction_optimizing_bfs(built.csr, source, classic);
+  EXPECT_EQ(baseline.bottom_up_levels, 0);
+  // The headline property: strictly fewer edges examined.
+  EXPECT_LT(opt.top_down_edges + opt.bottom_up_edges,
+            baseline.top_down_edges);
+  EXPECT_EQ(opt.out.level, baseline.out.level);
+}
+
+TEST(DirectionOptimizing, StaysTopDownOnHighDiameterGraphs) {
+  // A path's frontier is a single vertex: bottom-up would scan the whole
+  // graph every level; the heuristic must never engage.
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(512));
+  const auto result = direction_optimizing_bfs(g, 0);
+  EXPECT_EQ(result.bottom_up_levels, 0);
+  EXPECT_EQ(result.out.level[511], 511);
+}
+
+TEST(DirectionOptimizing, ForceTopDownMatchesSerial) {
+  const auto built = test::rmat_graph(10);
+  const vid_t source = test::hub_source(built.csr);
+  DirectionOptimizingOptions opts;
+  opts.force_top_down = true;
+  const auto result = direction_optimizing_bfs(built.csr, source, opts);
+  const auto serial = serial_bfs(built.csr, source);
+  EXPECT_EQ(result.out.level, serial.level);
+  // Classic top-down touches every adjacency of the component once.
+  EXPECT_EQ(result.top_down_edges, serial.report.edges_traversed);
+}
+
+class DoAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DoAlphaSweep, CorrectAcrossSwitchThresholds) {
+  // The heuristic parameters change *when* directions switch, never the
+  // answer.
+  const auto built = test::rmat_graph(10, 16, 9);
+  const vid_t source = test::hub_source(built.csr);
+  DirectionOptimizingOptions opts;
+  opts.alpha = GetParam();
+  const auto result = direction_optimizing_bfs(built.csr, source, opts);
+  const auto serial = serial_bfs(built.csr, source);
+  EXPECT_EQ(result.out.level, serial.level) << "alpha=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DoAlphaSweep,
+                         ::testing::Values(1.0, 4.0, 14.0, 100.0, 1e9),
+                         [](const auto& info) {
+                           return "alpha" +
+                                  std::to_string(static_cast<int>(
+                                      std::min(info.param, 1e6)));
+                         });
+
+TEST(DirectionOptimizing, DisconnectedComponentsUntouched) {
+  const auto g = graph::CsrGraph::from_edges(test::two_triangles());
+  const auto result = direction_optimizing_bfs(g, 0);
+  EXPECT_EQ(result.out.level[4], kUnreached);
+  EXPECT_EQ(result.out.parent[6], kNoVertex);
+}
+
+TEST(DirectionOptimizing, RejectsBadSource) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(4));
+  EXPECT_THROW(direction_optimizing_bfs(g, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dbfs::bfs

@@ -1,0 +1,78 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbfs::graph {
+namespace {
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList e{10};
+  EXPECT_EQ(e.num_vertices(), 10);
+  EXPECT_EQ(e.num_edges(), 0);
+}
+
+TEST(EdgeList, AddAccumulates) {
+  EdgeList e{4};
+  e.add(0, 1);
+  e.add(1, 2);
+  EXPECT_EQ(e.num_edges(), 2);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(e.edges()[1], (Edge{1, 2}));
+}
+
+TEST(EdgeList, ConstructorRejectsOutOfRange) {
+  EXPECT_THROW(EdgeList(3, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(EdgeList(3, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(EdgeList, SymmetrizeAddsReverses) {
+  EdgeList e{4};
+  e.add(0, 1);
+  e.add(2, 3);
+  e.symmetrize();
+  EXPECT_EQ(e.num_edges(), 4);
+  EXPECT_EQ(e.edges()[2], (Edge{1, 0}));
+  EXPECT_EQ(e.edges()[3], (Edge{3, 2}));
+}
+
+TEST(EdgeList, SymmetrizeSkipsSelfLoopMirrors) {
+  EdgeList e{4};
+  e.add(1, 1);
+  e.add(0, 2);
+  e.symmetrize();
+  EXPECT_EQ(e.num_edges(), 3);  // only (0,2) mirrored
+}
+
+TEST(EdgeList, SortAndDedupRemovesDuplicatesAndLoops) {
+  EdgeList e{4};
+  e.add(1, 2);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(3, 3);
+  const eid_t removed = e.sort_and_dedup();
+  EXPECT_EQ(removed, 2);
+  ASSERT_EQ(e.num_edges(), 2);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(e.edges()[1], (Edge{1, 2}));
+}
+
+TEST(EdgeList, SortAndDedupCanKeepLoops) {
+  EdgeList e{4};
+  e.add(3, 3);
+  e.add(3, 3);
+  const eid_t removed = e.sort_and_dedup(/*drop_self_loops=*/false);
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(e.num_edges(), 1);
+  EXPECT_EQ(e.edges()[0], (Edge{3, 3}));
+}
+
+TEST(EdgeList, EndpointsInRange) {
+  EdgeList e{4};
+  e.add(0, 3);
+  EXPECT_TRUE(e.endpoints_in_range());
+  e.edges().push_back(Edge{0, 4});
+  EXPECT_FALSE(e.endpoints_in_range());
+}
+
+}  // namespace
+}  // namespace dbfs::graph

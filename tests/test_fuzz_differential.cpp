@@ -1,0 +1,119 @@
+// Differential fuzzing: every distributed implementation must agree with
+// the serial reference on randomized (generator, density, seed, source,
+// core-count, option) combinations. Each case validates the Graph500
+// invariants as well — the broadest correctness net in the suite.
+#include <gtest/gtest.h>
+
+#include "bfs/serial.hpp"
+#include "core/engine.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/validator.hpp"
+#include "test_helpers.hpp"
+#include "util/prng.hpp"
+
+namespace dbfs {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(DifferentialFuzz, AllAlgorithmsAgreeWithSerial) {
+  util::Xoshiro256 rng{GetParam().seed};
+
+  // Random graph family and shape.
+  graph::EdgeList raw{0};
+  switch (rng.next_below(3)) {
+    case 0: {
+      graph::RmatParams p;
+      p.scale = 7 + static_cast<int>(rng.next_below(3));
+      p.edge_factor = 4 << rng.next_below(3);
+      p.seed = rng();
+      raw = graph::generate_rmat(p);
+      break;
+    }
+    case 1: {
+      graph::ErdosRenyiParams p;
+      p.num_vertices = vid_t{1} << (7 + rng.next_below(3));
+      p.edge_probability =
+          static_cast<double>(4 + rng.next_below(20)) /
+          static_cast<double>(p.num_vertices);
+      p.seed = rng();
+      raw = graph::generate_erdos_renyi(p);
+      break;
+    }
+    default: {
+      graph::WebcrawlParams p;
+      p.num_vertices = vid_t{1} << (8 + rng.next_below(3));
+      p.target_diameter = 10 + static_cast<int>(rng.next_below(40));
+      p.seed = rng();
+      raw = graph::generate_webcrawl(p);
+      break;
+    }
+  }
+
+  graph::BuildOptions build;
+  build.shuffle = rng.next_below(2) == 0;
+  build.shuffle_seed = rng();
+  const auto built = graph::build_graph(std::move(raw), build);
+  const vid_t n = built.csr.num_vertices();
+
+  // Random source with at least one edge.
+  vid_t source = test::hub_source(built.csr);
+  for (int tries = 0; tries < 20; ++tries) {
+    const auto candidate =
+        static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (built.csr.degree(candidate) > 0) {
+      source = candidate;
+      break;
+    }
+  }
+
+  const auto serial = bfs::serial_bfs(built.csr, source);
+  const auto reference = graph::reference_levels(built.csr, source);
+
+  const core::Algorithm algorithms[] = {
+      core::Algorithm::kOneDFlat, core::Algorithm::kOneDHybrid,
+      core::Algorithm::kTwoDFlat, core::Algorithm::kTwoDHybrid};
+  for (core::Algorithm algorithm : algorithms) {
+    core::EngineOptions opts;
+    opts.algorithm = algorithm;
+    opts.cores = 1 << (1 + rng.next_below(7));  // 2..128
+    opts.machine = rng.next_below(2) == 0 ? model::franklin()
+                                          : model::hopper();
+    opts.backend = static_cast<sparse::SpmsvBackend>(rng.next_below(3));
+    if ((algorithm == core::Algorithm::kTwoDFlat ||
+         algorithm == core::Algorithm::kTwoDHybrid) &&
+        rng.next_below(3) == 0) {
+      opts.triangular_storage = true;
+    }
+    core::Engine engine{built.edges, n, opts};
+    const auto out = engine.run(source);
+
+    EXPECT_EQ(out.level, serial.level)
+        << core::to_string(algorithm) << " cores=" << opts.cores
+        << " seed=" << GetParam().seed;
+    const auto v =
+        graph::validate_bfs_tree(built.csr, source, out.parent, reference);
+    EXPECT_TRUE(v.ok) << core::to_string(algorithm)
+                      << " seed=" << GetParam().seed << ": " << v.error;
+  }
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t s = 1; s <= 12; ++s) cases.push_back({s * 7919});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::ValuesIn(fuzz_cases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace dbfs

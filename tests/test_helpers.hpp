@@ -1,0 +1,65 @@
+// Shared fixtures for the BFS correctness tests: small structured graphs
+// with known answers, plus generated graphs validated against the serial
+// reference.
+#pragma once
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+
+namespace dbfs::test {
+
+/// Undirected path 0-1-2-...-(n-1).
+inline graph::EdgeList path_edges(vid_t n) {
+  graph::EdgeList e{n};
+  for (vid_t v = 0; v + 1 < n; ++v) e.add(v, v + 1);
+  e.symmetrize();
+  return e;
+}
+
+/// Undirected star: center 0 with n-1 leaves.
+inline graph::EdgeList star_edges(vid_t n) {
+  graph::EdgeList e{n};
+  for (vid_t v = 1; v < n; ++v) e.add(0, v);
+  e.symmetrize();
+  return e;
+}
+
+/// Two disconnected triangles: {0,1,2} and {3,4,5}, plus isolated 6.
+inline graph::EdgeList two_triangles() {
+  graph::EdgeList e{7};
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(3, 4);
+  e.add(4, 5);
+  e.add(5, 3);
+  e.symmetrize();
+  return e;
+}
+
+/// A guaranteed-useful BFS source: the maximum-degree vertex (a hub,
+/// inside the giant component for any connected-enough instance). Tests
+/// must not use vertex 0 on shuffled graphs — it may be isolated.
+inline vid_t hub_source(const graph::CsrGraph& g) {
+  vid_t best = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > g.degree(best)) best = v;
+  }
+  return best;
+}
+
+/// Symmetrized, shuffled R-MAT test instance.
+inline graph::BuiltGraph rmat_graph(int scale, int edge_factor = 8,
+                                    std::uint64_t seed = 1) {
+  graph::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = seed;
+  graph::BuildOptions build;
+  build.shuffle_seed = seed + 1000;
+  return graph::build_graph(graph::generate_rmat(params), build);
+}
+
+}  // namespace dbfs::test

@@ -1,0 +1,92 @@
+#include "model/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbfs::model {
+namespace {
+
+TEST(MachineModel, PresetsResolve) {
+  EXPECT_EQ(preset("franklin").name, "franklin");
+  EXPECT_EQ(preset("hopper").name, "hopper");
+  EXPECT_EQ(preset("carver").name, "carver");
+  EXPECT_EQ(preset("generic").name, "generic");
+  EXPECT_THROW(preset("roadrunner"), std::invalid_argument);
+}
+
+TEST(MachineModel, AlphaLocalMonotoneInWorkingSet) {
+  const MachineModel m = franklin();
+  double prev = 0.0;
+  for (double bytes = 1024; bytes < 1e10; bytes *= 4) {
+    const double a = m.alpha_local(bytes);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(MachineModel, AlphaLocalHitsCacheLatencies) {
+  const MachineModel m = franklin();
+  // Inside L1, latency equals the L1 figure.
+  EXPECT_DOUBLE_EQ(m.alpha_local(1024), m.caches.front().latency_seconds);
+  // At exactly the last level's capacity, latency equals the DRAM figure;
+  // beyond it the TLB-growth term takes over (gently, not a cliff).
+  const double cap = m.caches.back().capacity_bytes;
+  EXPECT_DOUBLE_EQ(m.alpha_local(cap), m.caches.back().latency_seconds);
+  EXPECT_GT(m.alpha_local(64 * cap), m.caches.back().latency_seconds);
+  EXPECT_LT(m.alpha_local(64 * cap), 3 * m.caches.back().latency_seconds);
+}
+
+TEST(MachineModel, TlbGrowthIsMonotoneBeyondDram) {
+  const MachineModel m = hopper();
+  const double cap = m.caches.back().capacity_bytes;
+  EXPECT_LT(m.alpha_local(2 * cap), m.alpha_local(16 * cap));
+  EXPECT_LT(m.alpha_local(16 * cap), m.alpha_local(256 * cap));
+}
+
+TEST(MachineModel, AlphaLocalInterpolatesBetweenLevels) {
+  const MachineModel m = franklin();
+  const double l2 = m.caches[1].capacity_bytes;
+  const double l3 = m.caches[2].capacity_bytes;
+  const double mid = m.alpha_local((l2 + l3) / 2);
+  EXPECT_GT(mid, m.caches[1].latency_seconds);
+  EXPECT_LT(mid, m.caches[2].latency_seconds);
+}
+
+TEST(MachineModel, A2aBetaGrowsWithParticipants) {
+  const MachineModel m = franklin();
+  EXPECT_LT(m.a2a_beta(64), m.a2a_beta(4096));
+  // Allgather's effective beta is calibrated to Table 1: higher than a2a
+  // per byte at these group sizes, growing no faster than a2a.
+  EXPECT_GE(m.ag_beta(512), m.ag_beta(8));
+  EXPECT_GT(m.ag_beta(32), m.a2a_beta(32));
+}
+
+TEST(MachineModel, A2aBetaTorusExponent) {
+  const MachineModel m = franklin();
+  // p^(1/3) scaling: 8x participants -> 2x beta.
+  EXPECT_NEAR(m.a2a_beta(4096) / m.a2a_beta(512), 2.0, 0.01);
+}
+
+TEST(MachineModel, ThreadEfficiencyDecreasing) {
+  const MachineModel m = hopper();
+  EXPECT_DOUBLE_EQ(m.thread_efficiency(1), 1.0);
+  EXPECT_GT(m.thread_efficiency(2), m.thread_efficiency(6));
+  EXPECT_GT(m.thread_efficiency(6), 0.5);
+}
+
+TEST(MachineModel, HopperFasterCoresSlowerNetworkThanFranklin) {
+  const MachineModel f = franklin();
+  const MachineModel h = hopper();
+  // The paper's §6 observation that drives the Fig 5 vs Fig 7 reversal.
+  EXPECT_LT(h.compute_scale, f.compute_scale);
+  EXPECT_GT(h.beta_net, f.beta_net);
+  EXPECT_LT(h.alpha_net, f.alpha_net);
+}
+
+TEST(MachineModel, HandlesDegenerateGroupSizes) {
+  const MachineModel m = generic();
+  EXPECT_GT(m.a2a_beta(0), 0.0);
+  EXPECT_GT(m.a2a_beta(1), 0.0);
+}
+
+}  // namespace
+}  // namespace dbfs::model

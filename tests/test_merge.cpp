@@ -1,0 +1,150 @@
+#include "sparse/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace dbfs::sparse {
+namespace {
+
+struct IntLess {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+TEST(KaryHeap, PopsInSortedOrder) {
+  KaryHeap<int, IntLess> heap;
+  for (int x : {5, 1, 9, 3, 7, 2, 8, 4, 6, 0}) heap.push(x);
+  std::vector<int> out;
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(KaryHeap, ReplaceTopKeepsOrder) {
+  KaryHeap<int, IntLess> heap;
+  for (int x : {2, 4, 6, 8}) heap.push(x);
+  heap.replace_top(10);  // 2 -> 10
+  std::vector<int> out;
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  EXPECT_EQ(out, (std::vector<int>{4, 6, 8, 10}));
+}
+
+TEST(KaryHeap, DuplicatesSupported) {
+  KaryHeap<int, IntLess> heap;
+  for (int x : {3, 3, 3, 1, 1}) heap.push(x);
+  std::vector<int> out;
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 3, 3, 3}));
+}
+
+TEST(KaryHeap, RandomizedSortsLikeStdSort) {
+  util::Xoshiro256 rng{77};
+  std::vector<int> values;
+  KaryHeap<int, IntLess, 4> heap;
+  for (int i = 0; i < 10000; ++i) {
+    const int v = static_cast<int>(rng.next_below(1000));
+    values.push_back(v);
+    heap.push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (int expected : values) {
+    EXPECT_EQ(heap.top(), expected);
+    heap.pop();
+  }
+}
+
+vid_t self_value(std::uint32_t, vid_t key) { return key; }
+vid_t max_combine(vid_t a, vid_t b) { return std::max(a, b); }
+
+TEST(MultiwayMerge, MergesDisjointRuns) {
+  const std::vector<vid_t> r1{1, 4, 7};
+  const std::vector<vid_t> r2{2, 5, 8};
+  const std::vector<std::span<const vid_t>> runs{r1, r2};
+  const auto v = multiway_merge<vid_t>(10, runs, self_value, max_combine);
+  ASSERT_EQ(v.nnz(), 6);
+  EXPECT_TRUE(v.invariants_hold());
+}
+
+TEST(MultiwayMerge, CombinesAcrossRuns) {
+  const std::vector<vid_t> r1{3, 5};
+  const std::vector<vid_t> r2{3, 7};
+  const std::vector<vid_t> r3{3};
+  const std::vector<std::span<const vid_t>> runs{r1, r2, r3};
+  int combines = 0;
+  const auto v = multiway_merge<vid_t>(
+      10, runs, [](std::uint32_t run, vid_t key) {
+        return key * 10 + static_cast<vid_t>(run);
+      },
+      [&combines](vid_t a, vid_t b) {
+        ++combines;
+        return std::max(a, b);
+      });
+  ASSERT_EQ(v.nnz(), 3);
+  EXPECT_EQ(v.entries()[0].index, 3);
+  EXPECT_EQ(v.entries()[0].value, 32);  // max over runs 0,1,2
+  EXPECT_EQ(combines, 2);
+}
+
+TEST(MultiwayMerge, EmptyRunsIgnored) {
+  const std::vector<vid_t> r1{1};
+  const std::vector<vid_t> empty;
+  const std::vector<std::span<const vid_t>> runs{empty, r1, empty};
+  const auto v = multiway_merge<vid_t>(10, runs, self_value, max_combine);
+  EXPECT_EQ(v.nnz(), 1);
+}
+
+TEST(MultiwayMerge, NoRunsEmptyResult) {
+  const std::vector<std::span<const vid_t>> runs;
+  const auto v = multiway_merge<vid_t>(10, runs, self_value, max_combine);
+  EXPECT_EQ(v.nnz(), 0);
+}
+
+TEST(MultiwayMerge, RandomizedAgainstMapUnion) {
+  util::Xoshiro256 rng{13};
+  std::vector<std::vector<vid_t>> storage(8);
+  std::map<vid_t, vid_t> expected;
+  for (std::size_t r = 0; r < storage.size(); ++r) {
+    const auto len = static_cast<int>(rng.next_below(50));
+    for (int i = 0; i < len; ++i) {
+      storage[r].push_back(static_cast<vid_t>(rng.next_below(200)));
+    }
+    std::sort(storage[r].begin(), storage[r].end());
+    storage[r].erase(std::unique(storage[r].begin(), storage[r].end()),
+                     storage[r].end());
+    for (vid_t key : storage[r]) {
+      const vid_t val = key * 100 + static_cast<vid_t>(r);
+      auto [it, inserted] = expected.emplace(key, val);
+      if (!inserted) it->second = std::max(it->second, val);
+    }
+  }
+  std::vector<std::span<const vid_t>> runs(storage.begin(), storage.end());
+  const auto v = multiway_merge<vid_t>(
+      200, runs,
+      [](std::uint32_t run, vid_t key) {
+        return key * 100 + static_cast<vid_t>(run);
+      },
+      max_combine);
+  ASSERT_EQ(static_cast<std::size_t>(v.nnz()), expected.size());
+  auto it = expected.begin();
+  for (const auto& e : v.entries()) {
+    EXPECT_EQ(e.index, it->first);
+    EXPECT_EQ(e.value, it->second);
+    ++it;
+  }
+}
+
+}  // namespace
+}  // namespace dbfs::sparse

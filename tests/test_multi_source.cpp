@@ -1,0 +1,153 @@
+#include "bfs/multi_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/serial.hpp"
+#include "graph/components.hpp"
+#include "test_helpers.hpp"
+#include "util/prng.hpp"
+
+namespace dbfs::bfs {
+namespace {
+
+TEST(MultiSource, SingleSourceMatchesSerial) {
+  const auto built = test::rmat_graph(10);
+  const vid_t source = test::hub_source(built.csr);
+  const std::vector<vid_t> sources{source};
+  const auto ms = multi_source_bfs(built.csr, sources);
+  const auto serial = serial_bfs(built.csr, source);
+  for (vid_t v = 0; v < built.csr.num_vertices(); ++v) {
+    EXPECT_EQ(ms.level(v, 0), serial.level[v]) << "v=" << v;
+  }
+}
+
+TEST(MultiSource, BatchMatchesPerSourceSerial) {
+  const auto built = test::rmat_graph(10, 8, 21);
+  const auto comps = graph::connected_components(built.csr);
+  const auto sources = graph::sample_sources(built.csr, comps, 16, 4);
+  ASSERT_EQ(sources.size(), 16u);
+  const auto ms = multi_source_bfs(built.csr, sources);
+  for (int s = 0; s < 16; ++s) {
+    const auto serial = serial_bfs(built.csr, sources[static_cast<std::size_t>(s)]);
+    for (vid_t v = 0; v < built.csr.num_vertices(); ++v) {
+      ASSERT_EQ(ms.level(v, s), serial.level[v])
+          << "source " << s << " vertex " << v;
+    }
+  }
+}
+
+TEST(MultiSource, FullBatchOf64) {
+  const auto built = test::rmat_graph(9, 16, 3);
+  const auto comps = graph::connected_components(built.csr);
+  auto sources = graph::sample_sources(built.csr, comps, 64, 9);
+  // Pad with repeats if the component is small: duplicates are legal.
+  while (sources.size() < 64) sources.push_back(sources.front());
+  const auto ms = multi_source_bfs(built.csr, sources);
+  // Spot-check three lanes against serial.
+  for (int s : {0, 31, 63}) {
+    const auto serial = serial_bfs(built.csr, sources[static_cast<std::size_t>(s)]);
+    for (vid_t v = 0; v < built.csr.num_vertices(); v += 7) {
+      ASSERT_EQ(ms.level(v, s), serial.level[v]);
+    }
+  }
+}
+
+TEST(MultiSource, DuplicateSourcesGetIdenticalLanes) {
+  const auto built = test::rmat_graph(9);
+  const vid_t source = test::hub_source(built.csr);
+  const std::vector<vid_t> sources{source, source, source};
+  const auto ms = multi_source_bfs(built.csr, sources);
+  for (vid_t v = 0; v < built.csr.num_vertices(); ++v) {
+    EXPECT_EQ(ms.level(v, 0), ms.level(v, 1));
+    EXPECT_EQ(ms.level(v, 1), ms.level(v, 2));
+  }
+  EXPECT_EQ(ms.visited_counts[0], ms.visited_counts[1]);
+}
+
+TEST(MultiSource, VisitedCountsMatchLevels) {
+  const auto built = test::rmat_graph(10);
+  const auto comps = graph::connected_components(built.csr);
+  const auto sources = graph::sample_sources(built.csr, comps, 8, 2);
+  const auto ms = multi_source_bfs(built.csr, sources);
+  for (int s = 0; s < static_cast<int>(sources.size()); ++s) {
+    vid_t reached = 0;
+    for (vid_t v = 0; v < built.csr.num_vertices(); ++v) {
+      if (ms.level(v, s) != kUnreached) ++reached;
+    }
+    EXPECT_EQ(ms.visited_counts[static_cast<std::size_t>(s)], reached);
+  }
+}
+
+TEST(MultiSource, DisconnectedSourcesStayInTheirComponents) {
+  const auto edges = test::two_triangles();
+  const auto g = graph::CsrGraph::from_edges(edges);
+  const std::vector<vid_t> sources{0, 3};
+  const auto ms = multi_source_bfs(g, sources);
+  EXPECT_EQ(ms.level(1, 0), 1);
+  EXPECT_EQ(ms.level(4, 0), kUnreached);  // source 0 can't reach triangle 2
+  EXPECT_EQ(ms.level(4, 1), 1);
+  EXPECT_EQ(ms.level(1, 1), kUnreached);
+  EXPECT_EQ(ms.level(6, 0), kUnreached);  // isolated vertex
+  EXPECT_EQ(ms.level(6, 1), kUnreached);
+}
+
+TEST(MultiSource, PathGraphDistances) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(20));
+  const std::vector<vid_t> sources{0, 19, 10};
+  const auto ms = multi_source_bfs(g, sources);
+  for (vid_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(ms.level(v, 0), v);
+    EXPECT_EQ(ms.level(v, 1), 19 - v);
+    EXPECT_EQ(ms.level(v, 2), std::abs(v - 10));
+  }
+}
+
+TEST(MultiSource, SharedTraversalScansFewerEdges) {
+  // The point of batching: k lanes share adjacency scans, so the batched
+  // edge count is far below k independent traversals'.
+  const auto built = test::rmat_graph(11, 16);
+  const auto comps = graph::connected_components(built.csr);
+  const auto sources = graph::sample_sources(built.csr, comps, 32, 6);
+  const auto ms = multi_source_bfs(built.csr, sources);
+  eid_t independent = 0;
+  for (vid_t s : sources) {
+    independent += serial_bfs(built.csr, s).report.edges_traversed;
+  }
+  EXPECT_LT(ms.report.edges_traversed, independent / 4);
+}
+
+TEST(MultiSource, RejectsBadInput) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(4));
+  const std::vector<vid_t> none;
+  EXPECT_THROW(multi_source_bfs(g, none), std::invalid_argument);
+  const std::vector<vid_t> too_many(65, 0);
+  EXPECT_THROW(multi_source_bfs(g, too_many), std::invalid_argument);
+  const std::vector<vid_t> out_of_range{99};
+  EXPECT_THROW(multi_source_bfs(g, out_of_range), std::out_of_range);
+}
+
+TEST(MultiSource, RandomizedAgainstSerial) {
+  util::Xoshiro256 rng{123};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto built = test::rmat_graph(8, 8, 100 + trial);
+    const vid_t n = built.csr.num_vertices();
+    std::vector<vid_t> sources;
+    const int k = 1 + static_cast<int>(rng.next_below(12));
+    for (int s = 0; s < k; ++s) {
+      sources.push_back(
+          static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    const auto ms = multi_source_bfs(built.csr, sources);
+    for (int s = 0; s < k; ++s) {
+      const auto serial =
+          serial_bfs(built.csr, sources[static_cast<std::size_t>(s)]);
+      for (vid_t v = 0; v < n; ++v) {
+        ASSERT_EQ(ms.level(v, s), serial.level[v])
+            << "trial " << trial << " source " << s << " vertex " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbfs::bfs

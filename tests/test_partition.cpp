@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "dist/local_graph1d.hpp"
+#include "dist/partition1d.hpp"
+#include "dist/partition2d.hpp"
+#include "graph/generators.hpp"
+
+namespace dbfs::dist {
+namespace {
+
+TEST(BlockPartition, EvenSplit) {
+  const BlockPartition p{100, 4};
+  EXPECT_EQ(p.block_size(), 25);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(p.size(r), 25);
+  EXPECT_EQ(p.owner(0), 0);
+  EXPECT_EQ(p.owner(24), 0);
+  EXPECT_EQ(p.owner(25), 1);
+  EXPECT_EQ(p.owner(99), 3);
+}
+
+TEST(BlockPartition, RemainderGoesToLastRank) {
+  const BlockPartition p{10, 3};  // floor(10/3)=3: sizes 3,3,4
+  EXPECT_EQ(p.size(0), 3);
+  EXPECT_EQ(p.size(1), 3);
+  EXPECT_EQ(p.size(2), 4);
+  EXPECT_EQ(p.owner(9), 2);
+}
+
+TEST(BlockPartition, OwnerMatchesRanges) {
+  const BlockPartition p{1000, 7};
+  for (vid_t v = 0; v < 1000; ++v) {
+    const int r = p.owner(v);
+    EXPECT_GE(v, p.begin(r));
+    EXPECT_LT(v, p.end(r));
+  }
+}
+
+TEST(BlockPartition, LocalGlobalRoundTrip) {
+  const BlockPartition p{100, 8};
+  for (vid_t v = 0; v < 100; ++v) {
+    const int r = p.owner(v);
+    EXPECT_EQ(p.to_global(r, p.to_local(v)), v);
+  }
+}
+
+TEST(BlockPartition, MoreRanksThanVertices) {
+  const BlockPartition p{3, 8};
+  // Trailing ranks own empty ranges; every vertex still has an owner.
+  vid_t covered = 0;
+  for (int r = 0; r < 8; ++r) covered += p.size(r);
+  EXPECT_EQ(covered, 3);
+  EXPECT_EQ(p.owner(2), 2);
+}
+
+TEST(BlockPartition, RejectsInvalid) {
+  EXPECT_THROW(BlockPartition(-1, 4), std::invalid_argument);
+  EXPECT_THROW(BlockPartition(10, 0), std::invalid_argument);
+}
+
+TEST(LocalGraph1D, PreservesAllEdges) {
+  graph::RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  const auto edges = graph::generate_rmat(params);
+  const int ranks = 5;
+  const auto lg = LocalGraph1D::build(edges, edges.num_vertices(), ranks);
+
+  eid_t total = 0;
+  for (int r = 0; r < ranks; ++r) total += lg.local_edges(r);
+  EXPECT_EQ(total, edges.num_edges());
+}
+
+TEST(LocalGraph1D, NeighborsMatchEdgeList) {
+  graph::EdgeList e{10};
+  e.add(3, 7);
+  e.add(3, 1);
+  e.add(9, 0);
+  const auto lg = LocalGraph1D::build(e, 10, 3);
+  const auto& part = lg.partition();
+  const int owner3 = part.owner(3);
+  const auto nbrs = lg.neighbors(owner3, 3 - part.begin(owner3));
+  ASSERT_EQ(nbrs.size(), 2u);
+  // Insertion order preserved (no sorting required for the 1D scan).
+  EXPECT_EQ(nbrs[0], 7);
+  EXPECT_EQ(nbrs[1], 1);
+
+  const int owner9 = part.owner(9);
+  EXPECT_EQ(lg.neighbors(owner9, 9 - part.begin(owner9))[0], 0);
+}
+
+TEST(Partition2D, TotalNnzMatchesDedupedEdges) {
+  graph::RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  auto edges = graph::generate_rmat(params);
+  edges.sort_and_dedup();
+  const simmpi::ProcessGrid grid{3};
+  const Partition2D part{edges, edges.num_vertices(), grid};
+  EXPECT_EQ(part.total_nnz(), edges.num_edges());
+}
+
+TEST(Partition2D, EntriesLandInCorrectBlocks) {
+  graph::EdgeList e{12};
+  e.add(1, 10);   // matrix entry (row 10, col 1) -> block (2, 0) on 3x3/4
+  e.add(11, 2);   // entry (row 2, col 11) -> block (0, 2)
+  const simmpi::ProcessGrid grid{3};
+  const Partition2D part{e, 12, grid};
+  const auto& blocks = part.blocks();
+  EXPECT_EQ(blocks.block_size(), 4);
+
+  // Edge u->v becomes entry (v, u): v=10 row-block 2, u=1 col-block 0.
+  const auto& b20 = part.block(grid.rank_of(2, 0));
+  EXPECT_EQ(b20.nnz(), 1);
+  EXPECT_EQ(b20.column(1).size(), 1u);   // local col = 1 - 0
+  EXPECT_EQ(b20.column(1)[0], 2);        // local row = 10 - 8
+
+  const auto& b02 = part.block(grid.rank_of(0, 2));
+  EXPECT_EQ(b02.nnz(), 1);
+  EXPECT_EQ(b02.column(3)[0], 2);        // col 11-8, row 2-0
+}
+
+TEST(Partition2D, RequiresSquareGrid) {
+  graph::EdgeList e{4};
+  EXPECT_THROW(Partition2D(e, 4, simmpi::ProcessGrid(2, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbfs::dist

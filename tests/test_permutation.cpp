@@ -1,0 +1,82 @@
+#include "graph/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbfs::graph {
+namespace {
+
+TEST(Permutation, IdentityMapsToSelf) {
+  const Permutation p = Permutation::identity(5);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(p(v), v);
+  EXPECT_TRUE(p.is_valid());
+}
+
+TEST(Permutation, RandomIsBijection) {
+  const Permutation p = Permutation::random(1000, 7);
+  EXPECT_TRUE(p.is_valid());
+}
+
+TEST(Permutation, RandomIsDeterministicPerSeed) {
+  const Permutation a = Permutation::random(100, 7);
+  const Permutation b = Permutation::random(100, 7);
+  EXPECT_EQ(a.mapping(), b.mapping());
+  const Permutation c = Permutation::random(100, 8);
+  EXPECT_NE(a.mapping(), c.mapping());
+}
+
+TEST(Permutation, RandomActuallyShuffles) {
+  const Permutation p = Permutation::random(1000, 3);
+  int fixed = 0;
+  for (vid_t v = 0; v < 1000; ++v) {
+    if (p(v) == v) ++fixed;
+  }
+  // Expected number of fixed points of a random permutation is 1.
+  EXPECT_LT(fixed, 10);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation p = Permutation::random(200, 11);
+  const Permutation inv = p.inverse();
+  for (vid_t v = 0; v < 200; ++v) {
+    EXPECT_EQ(inv(p(v)), v);
+    EXPECT_EQ(p(inv(v)), v);
+  }
+}
+
+TEST(Permutation, ValidityRejectsDuplicates) {
+  const Permutation p{{0, 0, 2}};
+  EXPECT_FALSE(p.is_valid());
+}
+
+TEST(Permutation, ValidityRejectsOutOfRange) {
+  const Permutation p{{0, 3, 1}};
+  EXPECT_FALSE(p.is_valid());
+}
+
+TEST(ApplyPermutation, RelabelsEndpoints) {
+  EdgeList e{3};
+  e.add(0, 1);
+  e.add(1, 2);
+  const Permutation p{{2, 0, 1}};
+  apply_permutation(e, p);
+  EXPECT_EQ(e.edges()[0], (Edge{2, 0}));
+  EXPECT_EQ(e.edges()[1], (Edge{0, 1}));
+}
+
+TEST(ApplyPermutation, PreservesDegreeMultiset) {
+  EdgeList e{4};
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(0, 3);
+  const Permutation p = Permutation::random(4, 5);
+  apply_permutation(e, p);
+  // Vertex p(0) must now have out-degree 3.
+  int count = 0;
+  for (const Edge& edge : e.edges()) {
+    if (edge.u == p(0)) ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace dbfs::graph

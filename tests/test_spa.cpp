@@ -1,0 +1,114 @@
+#include "sparse/spa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace dbfs::sparse {
+namespace {
+
+auto max_combine = [](vid_t a, vid_t b) { return std::max(a, b); };
+
+TEST(Spa, AccumulateAndExtractSorted) {
+  Spa<vid_t> spa{10};
+  spa.accumulate(7, 70, max_combine);
+  spa.accumulate(2, 20, max_combine);
+  spa.accumulate(5, 50, max_combine);
+  const auto v = spa.extract_and_clear();
+  ASSERT_EQ(v.nnz(), 3);
+  EXPECT_EQ(v.entries()[0].index, 2);
+  EXPECT_EQ(v.entries()[1].index, 5);
+  EXPECT_EQ(v.entries()[2].index, 7);
+  EXPECT_TRUE(v.invariants_hold());
+}
+
+TEST(Spa, CombinesDuplicates) {
+  Spa<vid_t> spa{10};
+  spa.accumulate(3, 5, max_combine);
+  spa.accumulate(3, 9, max_combine);
+  spa.accumulate(3, 1, max_combine);
+  const auto v = spa.extract_and_clear();
+  ASSERT_EQ(v.nnz(), 1);
+  EXPECT_EQ(v.entries()[0].value, 9);
+}
+
+TEST(Spa, OccupiedTracking) {
+  Spa<vid_t> spa{10};
+  EXPECT_FALSE(spa.occupied(4));
+  spa.accumulate(4, 1, max_combine);
+  EXPECT_TRUE(spa.occupied(4));
+  EXPECT_FALSE(spa.occupied(5));
+}
+
+TEST(Spa, ExtractClearsForReuse) {
+  Spa<vid_t> spa{10};
+  spa.accumulate(1, 1, max_combine);
+  (void)spa.extract_and_clear();
+  EXPECT_EQ(spa.touched_count(), 0);
+  EXPECT_FALSE(spa.occupied(1));
+  spa.accumulate(2, 2, max_combine);
+  const auto v = spa.extract_and_clear();
+  ASSERT_EQ(v.nnz(), 1);
+  EXPECT_EQ(v.entries()[0].index, 2);
+}
+
+TEST(Spa, ClearWithoutExtract) {
+  Spa<vid_t> spa{10};
+  spa.accumulate(1, 1, max_combine);
+  spa.clear();
+  EXPECT_FALSE(spa.occupied(1));
+  EXPECT_EQ(spa.extract_and_clear().nnz(), 0);
+}
+
+TEST(Spa, ResizeGrowsAndClears) {
+  Spa<vid_t> spa{4};
+  spa.accumulate(3, 1, max_combine);
+  spa.resize(100);
+  EXPECT_EQ(spa.dim(), 100);
+  EXPECT_FALSE(spa.occupied(3));
+  spa.accumulate(99, 5, max_combine);
+  EXPECT_TRUE(spa.occupied(99));
+}
+
+TEST(Spa, ResizeSmallerJustClears) {
+  Spa<vid_t> spa{100};
+  spa.accumulate(50, 1, max_combine);
+  spa.resize(10);
+  EXPECT_EQ(spa.dim(), 100);  // capacity kept
+  EXPECT_FALSE(spa.occupied(50));
+}
+
+TEST(Spa, MemoryBytesGrowsWithDim) {
+  Spa<vid_t> small{64};
+  Spa<vid_t> big{1 << 16};
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+  // The O(dim) footprint the paper cites: at least dim values.
+  EXPECT_GE(big.memory_bytes(), (1u << 16) * sizeof(vid_t));
+}
+
+TEST(Spa, RandomizedAgainstReferenceMap) {
+  util::Xoshiro256 rng{5};
+  Spa<vid_t> spa{1000};
+  std::vector<vid_t> reference(1000, -1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto idx = static_cast<vid_t>(rng.next_below(1000));
+    const auto val = static_cast<vid_t>(rng.next_below(1 << 20));
+    spa.accumulate(idx, val, max_combine);
+    reference[static_cast<std::size_t>(idx)] =
+        std::max(reference[static_cast<std::size_t>(idx)], val);
+  }
+  const auto v = spa.extract_and_clear();
+  for (const auto& e : v.entries()) {
+    EXPECT_EQ(e.value, reference[static_cast<std::size_t>(e.index)]);
+  }
+  vid_t expected_nnz = 0;
+  for (vid_t r : reference) {
+    if (r >= 0) ++expected_nnz;
+  }
+  EXPECT_EQ(v.nnz(), expected_nnz);
+}
+
+}  // namespace
+}  // namespace dbfs::sparse

@@ -1,0 +1,84 @@
+#include "sparse/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dbfs::sparse {
+namespace {
+
+TEST(SparseVector, EmptyByDefault) {
+  SparseVector<vid_t> v{10};
+  EXPECT_EQ(v.dim(), 10);
+  EXPECT_EQ(v.nnz(), 0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVector, FromSortedKeepsEntries) {
+  auto v = SparseVector<vid_t>::from_sorted(10, {{1, 100}, {5, 500}});
+  EXPECT_EQ(v.nnz(), 2);
+  EXPECT_EQ(v.entries()[0].index, 1);
+  EXPECT_EQ(v.entries()[1].value, 500);
+  EXPECT_TRUE(v.invariants_hold());
+}
+
+TEST(SparseVector, FromUnsortedSortsAndCombines) {
+  auto v = SparseVector<vid_t>::from_unsorted(
+      10, {{5, 1}, {1, 2}, {5, 7}, {3, 3}},
+      [](vid_t a, vid_t b) { return std::max(a, b); });
+  ASSERT_EQ(v.nnz(), 3);
+  EXPECT_EQ(v.entries()[0].index, 1);
+  EXPECT_EQ(v.entries()[1].index, 3);
+  EXPECT_EQ(v.entries()[2].index, 5);
+  EXPECT_EQ(v.entries()[2].value, 7);  // max combine
+  EXPECT_TRUE(v.invariants_hold());
+}
+
+TEST(SparseVector, PushBackMaintainsOrder) {
+  SparseVector<vid_t> v{10};
+  v.push_back(2, 20);
+  v.push_back(7, 70);
+  EXPECT_EQ(v.nnz(), 2);
+  EXPECT_TRUE(v.invariants_hold());
+}
+
+TEST(SparseVector, FindLocatesValues) {
+  auto v = SparseVector<vid_t>::from_sorted(10, {{1, 11}, {4, 44}, {9, 99}});
+  ASSERT_NE(v.find(4), nullptr);
+  EXPECT_EQ(*v.find(4), 44);
+  EXPECT_EQ(v.find(5), nullptr);
+  EXPECT_EQ(v.find(0), nullptr);
+}
+
+TEST(SparseVector, InvariantsCatchDisorder) {
+  SparseVector<vid_t> v{10};
+  v.entries().push_back({5, 1});
+  v.entries().push_back({2, 1});
+  EXPECT_FALSE(v.invariants_hold());
+}
+
+TEST(SparseVector, InvariantsCatchOutOfRange) {
+  SparseVector<vid_t> v{3};
+  v.entries().push_back({5, 1});
+  EXPECT_FALSE(v.invariants_hold());
+}
+
+TEST(SparseVector, FilterInplaceDropsFlagged) {
+  auto v = SparseVector<vid_t>::from_sorted(
+      10, {{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  // Keep only even indices: the "t ⊙ complement(pi)" pattern.
+  filter_inplace(v, [](vid_t i) { return i % 2 == 0; });
+  ASSERT_EQ(v.nnz(), 2);
+  EXPECT_EQ(v.entries()[0].index, 2);
+  EXPECT_EQ(v.entries()[1].index, 4);
+}
+
+TEST(SparseVector, ClearResetsContent) {
+  auto v = SparseVector<vid_t>::from_sorted(10, {{1, 1}});
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.dim(), 10);
+}
+
+}  // namespace
+}  // namespace dbfs::sparse

@@ -1,0 +1,160 @@
+#include "sparse/spmsv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/prng.hpp"
+
+namespace dbfs::sparse {
+namespace {
+
+vid_t col_id_mul(vid_t /*row*/, vid_t col, vid_t /*xval*/) { return col; }
+vid_t max_combine(vid_t a, vid_t b) { return std::max(a, b); }
+
+DcscMatrix tiny_matrix() {
+  // 4x4, columns: 0 -> rows {1,2}; 2 -> rows {0,1}; 3 -> row {3}.
+  return DcscMatrix::from_triples(
+      4, 4, {{1, 0}, {2, 0}, {0, 2}, {1, 2}, {3, 3}});
+}
+
+TEST(Spmsv, EmptyVectorGivesEmptyResult) {
+  const auto a = tiny_matrix();
+  SparseVector<vid_t> x{4};
+  Spa<vid_t> spa{4};
+  SpmsvStats st;
+  const auto y = spmsv<vid_t>(a, x, col_id_mul, max_combine,
+                              SpmsvBackend::kAuto, &spa, &st);
+  EXPECT_EQ(y.nnz(), 0);
+  EXPECT_EQ(st.flops, 0);
+}
+
+TEST(Spmsv, SingleColumnSelection) {
+  const auto a = tiny_matrix();
+  auto x = SparseVector<vid_t>::from_sorted(4, {{0, 0}});
+  Spa<vid_t> spa{4};
+  const auto y =
+      spmsv<vid_t>(a, x, col_id_mul, max_combine, SpmsvBackend::kSpa, &spa);
+  ASSERT_EQ(y.nnz(), 2);
+  EXPECT_EQ(y.entries()[0].index, 1);
+  EXPECT_EQ(y.entries()[1].index, 2);
+  EXPECT_EQ(y.entries()[0].value, 0);  // parent = column id
+}
+
+TEST(Spmsv, MaxSemiringPicksLargestColumn) {
+  const auto a = tiny_matrix();
+  // Row 1 is hit by columns 0 and 2; (select, max) keeps 2.
+  auto x = SparseVector<vid_t>::from_sorted(4, {{0, 0}, {2, 2}});
+  for (auto backend : {SpmsvBackend::kSpa, SpmsvBackend::kHeap}) {
+    Spa<vid_t> spa{4};
+    const auto y = spmsv<vid_t>(a, x, col_id_mul, max_combine, backend, &spa);
+    const vid_t* row1 = y.find(1);
+    ASSERT_NE(row1, nullptr);
+    EXPECT_EQ(*row1, 2);
+  }
+}
+
+TEST(Spmsv, BackendsAgreeOnRandomInputs) {
+  util::Xoshiro256 rng{31};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Triple> triples;
+    const int nnz = 200;
+    for (int i = 0; i < nnz; ++i) {
+      triples.push_back(
+          Triple{static_cast<vid_t>(rng.next_below(64)),
+                 static_cast<vid_t>(rng.next_below(64))});
+    }
+    const auto a = DcscMatrix::from_triples(64, 64, triples);
+    std::vector<SvEntry<vid_t>> xe;
+    for (vid_t c = 0; c < 64; ++c) {
+      if (rng.next_double() < 0.3) xe.push_back({c, c});
+    }
+    const auto x = SparseVector<vid_t>::from_sorted(64, xe);
+
+    Spa<vid_t> spa{64};
+    SpmsvStats st_spa;
+    SpmsvStats st_heap;
+    const auto y_spa = spmsv<vid_t>(a, x, col_id_mul, max_combine,
+                                    SpmsvBackend::kSpa, &spa, &st_spa);
+    const auto y_heap = spmsv<vid_t>(a, x, col_id_mul, max_combine,
+                                     SpmsvBackend::kHeap, nullptr, &st_heap);
+    ASSERT_EQ(y_spa.nnz(), y_heap.nnz()) << "trial " << trial;
+    EXPECT_EQ(y_spa.entries(), y_heap.entries());
+    EXPECT_EQ(st_spa.flops, st_heap.flops);
+    EXPECT_EQ(st_spa.used, SpmsvBackend::kSpa);
+    EXPECT_EQ(st_heap.used, SpmsvBackend::kHeap);
+  }
+}
+
+TEST(Spmsv, MatchesDenseReference) {
+  util::Xoshiro256 rng{47};
+  std::vector<Triple> triples;
+  for (int i = 0; i < 500; ++i) {
+    triples.push_back(Triple{static_cast<vid_t>(rng.next_below(100)),
+                             static_cast<vid_t>(rng.next_below(100))});
+  }
+  const auto a = DcscMatrix::from_triples(100, 100, triples);
+  std::vector<SvEntry<vid_t>> xe;
+  for (vid_t c = 0; c < 100; c += 3) xe.push_back({c, c});
+  const auto x = SparseVector<vid_t>::from_sorted(100, xe);
+
+  // Dense reference on the same semiring.
+  std::map<vid_t, vid_t> expected;
+  for (const auto& e : x.entries()) {
+    for (vid_t row : a.column(e.index)) {
+      auto [it, inserted] = expected.emplace(row, e.index);
+      if (!inserted) it->second = std::max(it->second, e.index);
+    }
+  }
+
+  Spa<vid_t> spa{100};
+  const auto y =
+      spmsv<vid_t>(a, x, col_id_mul, max_combine, SpmsvBackend::kAuto, &spa);
+  ASSERT_EQ(static_cast<std::size_t>(y.nnz()), expected.size());
+  for (const auto& e : y.entries()) {
+    EXPECT_EQ(e.value, expected.at(e.index));
+  }
+}
+
+TEST(Spmsv, AutoWithoutWorkspaceFallsBackToHeap) {
+  const auto a = tiny_matrix();
+  auto x = SparseVector<vid_t>::from_sorted(4, {{0, 0}, {2, 2}, {3, 3}});
+  SpmsvStats st;
+  const auto y = spmsv<vid_t>(a, x, col_id_mul, max_combine,
+                              SpmsvBackend::kSpa, nullptr, &st);
+  EXPECT_EQ(st.used, SpmsvBackend::kHeap);
+  EXPECT_EQ(y.nnz(), 4);
+}
+
+TEST(Spmsv, AlternativeSemiringCountsContributions) {
+  const auto a = tiny_matrix();
+  auto x = SparseVector<vid_t>::from_sorted(4, {{0, 1}, {2, 1}});
+  Spa<vid_t> spa{4};
+  // (+, *1): counts how many selected columns hit each row.
+  const auto y = spmsv<vid_t>(
+      a, x, [](vid_t, vid_t, vid_t xval) { return xval; },
+      [](vid_t p, vid_t q) { return p + q; }, SpmsvBackend::kSpa, &spa);
+  EXPECT_EQ(*y.find(1), 2);  // columns 0 and 2 both hit row 1
+  EXPECT_EQ(*y.find(0), 1);
+  EXPECT_EQ(*y.find(2), 1);
+}
+
+TEST(ChooseBackend, DenseSelectsSpaSparsePicksHeap) {
+  EXPECT_EQ(choose_backend(1000, 1000), SpmsvBackend::kSpa);
+  EXPECT_EQ(choose_backend(10, 100000), SpmsvBackend::kHeap);
+  EXPECT_EQ(choose_backend(0, 0), SpmsvBackend::kHeap);
+}
+
+TEST(Spmsv, WorkspaceGrowsOnDemand) {
+  const auto a = tiny_matrix();
+  auto x = SparseVector<vid_t>::from_sorted(4, {{0, 0}});
+  Spa<vid_t> spa{1};  // smaller than a.nrows()
+  const auto y =
+      spmsv<vid_t>(a, x, col_id_mul, max_combine, SpmsvBackend::kSpa, &spa);
+  EXPECT_EQ(y.nnz(), 2);
+  EXPECT_GE(spa.dim(), 4);
+}
+
+}  // namespace
+}  // namespace dbfs::sparse

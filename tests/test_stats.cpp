@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dbfs::util {
+namespace {
+
+TEST(Summarize, EmptyInputIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.harmonic_mean, 0.0);
+}
+
+TEST(Summarize, SingleSample) {
+  const std::vector<double> v{3.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.harmonic_mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.harmonic_mean, 3.0 / (1.0 + 0.5 + 0.25));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, HarmonicMeanZeroWhenSampleZero) {
+  const std::vector<double> v{0.0, 1.0, 2.0};
+  EXPECT_EQ(summarize(v).harmonic_mean, 0.0);
+}
+
+TEST(Summarize, HarmonicNeverExceedsArithmetic) {
+  const std::vector<double> v{0.5, 1.5, 2.5, 9.0, 3.25};
+  const Summary s = summarize(v);
+  EXPECT_LE(s.harmonic_mean, s.mean);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 2.0), 3.0);
+}
+
+TEST(Imbalance, BalancedIsOne) {
+  const std::vector<double> v{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(imbalance(v), 1.0);
+}
+
+TEST(Imbalance, MaxOverMean) {
+  const std::vector<double> v{1.0, 3.0};  // mean 2, max 3
+  EXPECT_DOUBLE_EQ(imbalance(v), 1.5);
+}
+
+TEST(Imbalance, DegenerateInputsReturnOne) {
+  EXPECT_DOUBLE_EQ(imbalance({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(imbalance(zeros), 1.0);
+}
+
+}  // namespace
+}  // namespace dbfs::util

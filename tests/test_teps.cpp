@@ -1,0 +1,58 @@
+#include "core/teps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbfs::core {
+namespace {
+
+bfs::RunReport report_with_seconds(double seconds) {
+  bfs::RunReport r;
+  r.total_seconds = seconds;
+  return r;
+}
+
+TEST(Teps, SingleRun) {
+  const std::vector<bfs::RunReport> reports{report_with_seconds(2.0)};
+  const auto stats = compute_teps(reports, 1000);
+  EXPECT_DOUBLE_EQ(stats.harmonic_mean, 500.0);
+  EXPECT_DOUBLE_EQ(stats.mean_seconds, 2.0);
+}
+
+TEST(Teps, HarmonicMeanEqualsTotalOverTotal) {
+  // Graph500 identity: harmonic mean of (m/t_i) == k*m / sum(t_i).
+  const std::vector<bfs::RunReport> reports{
+      report_with_seconds(1.0), report_with_seconds(2.0),
+      report_with_seconds(4.0)};
+  const eid_t m = 700;
+  const auto stats = compute_teps(reports, m);
+  const double expected = 3.0 * 700.0 / (1.0 + 2.0 + 4.0);
+  EXPECT_NEAR(stats.harmonic_mean, expected, 1e-9);
+}
+
+TEST(Teps, HarmonicLeqMean) {
+  const std::vector<bfs::RunReport> reports{
+      report_with_seconds(0.5), report_with_seconds(5.0)};
+  const auto stats = compute_teps(reports, 100);
+  EXPECT_LE(stats.harmonic_mean, stats.samples.mean);
+}
+
+TEST(Teps, GtepsScaling) {
+  const std::vector<bfs::RunReport> reports{report_with_seconds(1.0)};
+  const auto stats = compute_teps(reports, 2'000'000'000);
+  EXPECT_NEAR(stats.gteps, 2.0, 1e-9);
+}
+
+TEST(Teps, EmptyInput) {
+  const auto stats = compute_teps({}, 100);
+  EXPECT_EQ(stats.harmonic_mean, 0.0);
+  EXPECT_EQ(stats.mean_seconds, 0.0);
+}
+
+TEST(Teps, ZeroTimeRunYieldsZeroSample) {
+  const std::vector<bfs::RunReport> reports{report_with_seconds(0.0)};
+  const auto stats = compute_teps(reports, 100);
+  EXPECT_EQ(stats.harmonic_mean, 0.0);
+}
+
+}  // namespace
+}  // namespace dbfs::core

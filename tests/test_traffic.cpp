@@ -1,0 +1,64 @@
+#include "simmpi/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbfs::simmpi {
+namespace {
+
+TEST(TrafficMeter, StartsEmpty) {
+  TrafficMeter m;
+  EXPECT_EQ(m.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(m.total_seconds(), 0.0);
+  EXPECT_EQ(m.totals(Pattern::kAlltoallv).calls, 0);
+}
+
+TEST(TrafficMeter, RecordAccumulatesPerPattern) {
+  TrafficMeter m;
+  m.record(Pattern::kAlltoallv, 100, 0.5, 4);
+  m.record(Pattern::kAlltoallv, 50, 0.25, 4);
+  m.record(Pattern::kAllgatherv, 10, 0.1, 8);
+  const auto& a2a = m.totals(Pattern::kAlltoallv);
+  EXPECT_EQ(a2a.calls, 2);
+  EXPECT_EQ(a2a.bytes, 150u);
+  EXPECT_DOUBLE_EQ(a2a.seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a2a.rank_seconds, 3.0);  // 4 participants each call
+  EXPECT_EQ(m.totals(Pattern::kAllgatherv).calls, 1);
+  EXPECT_EQ(m.total_bytes(), 160u);
+  EXPECT_DOUBLE_EQ(m.total_seconds(), 0.85);
+}
+
+TEST(TrafficMeter, RankSecondsScaleWithParticipants) {
+  TrafficMeter m;
+  m.record(Pattern::kBroadcast, 8, 1.0, 2);
+  m.record(Pattern::kBroadcast, 8, 1.0, 32);
+  EXPECT_DOUBLE_EQ(m.totals(Pattern::kBroadcast).rank_seconds, 34.0);
+}
+
+TEST(TrafficMeter, ResetClearsEverything) {
+  TrafficMeter m;
+  m.record(Pattern::kTranspose, 99, 9.0, 2);
+  m.reset();
+  EXPECT_EQ(m.total_bytes(), 0u);
+  EXPECT_EQ(m.totals(Pattern::kTranspose).calls, 0);
+  EXPECT_DOUBLE_EQ(m.totals(Pattern::kTranspose).rank_seconds, 0.0);
+}
+
+TEST(TrafficMeter, SummaryListsActivePatternsOnly) {
+  TrafficMeter m;
+  m.record(Pattern::kAllreduce, 8, 0.01, 16);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("Allreduce"), std::string::npos);
+  EXPECT_EQ(s.find("Gatherv"), std::string::npos);
+}
+
+TEST(PatternNames, AllDistinct) {
+  for (int i = 0; i < static_cast<int>(Pattern::kCount); ++i) {
+    for (int j = i + 1; j < static_cast<int>(Pattern::kCount); ++j) {
+      EXPECT_STRNE(to_string(static_cast<Pattern>(i)),
+                   to_string(static_cast<Pattern>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbfs::simmpi

@@ -1,0 +1,115 @@
+#include "graph/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+
+namespace dbfs::graph {
+namespace {
+
+// Path 0-1-2-3 plus a chord 0-2.
+CsrGraph small_graph() {
+  EdgeList e{5};
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 3);
+  e.add(0, 2);
+  e.symmetrize();
+  return CsrGraph::from_edges(e);
+}
+
+TEST(ReferenceLevels, ShortestDistances) {
+  const CsrGraph g = small_graph();
+  const auto levels = reference_levels(g, 0);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);  // via the chord
+  EXPECT_EQ(levels[3], 2);
+  EXPECT_EQ(levels[4], kUnreached);
+}
+
+TEST(Validator, AcceptsCorrectTree) {
+  const CsrGraph g = small_graph();
+  const std::vector<vid_t> parent{0, 0, 0, 2, kNoVertex};
+  const auto r = validate_bfs_tree(g, 0, parent, reference_levels(g, 0));
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.visited_count, 4);
+  EXPECT_EQ(r.levels[3], 2);
+}
+
+TEST(Validator, RejectsWrongSourceParent) {
+  const CsrGraph g = small_graph();
+  const std::vector<vid_t> parent{1, 0, 0, 2, kNoVertex};
+  EXPECT_FALSE(validate_bfs_tree(g, 0, parent).ok);
+}
+
+TEST(Validator, RejectsParentCycle) {
+  const CsrGraph g = small_graph();
+  // 1 and 2 point at each other; both claim reachability.
+  const std::vector<vid_t> parent{0, 2, 1, 2, kNoVertex};
+  const auto r = validate_bfs_tree(g, 0, parent);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cycle"), std::string::npos);
+}
+
+TEST(Validator, RejectsNonEdgeTreeEdge) {
+  const CsrGraph g = small_graph();
+  // 3's parent claimed to be 0, but {0,3} is not an edge.
+  const std::vector<vid_t> parent{0, 0, 0, 0, kNoVertex};
+  const auto r = validate_bfs_tree(g, 0, parent);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("check 3"), std::string::npos);
+}
+
+TEST(Validator, RejectsUnvisitedReachable) {
+  const CsrGraph g = small_graph();
+  // 3 is reachable but left unvisited: edge {2,3} spans visited/unvisited.
+  const std::vector<vid_t> parent{0, 0, 0, kNoVertex, kNoVertex};
+  const auto r = validate_bfs_tree(g, 0, parent);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("check 4"), std::string::npos);
+}
+
+TEST(Validator, RejectsNonShortestTree) {
+  const CsrGraph g = small_graph();
+  // 2 hung off 1 (level 2) instead of 0 (level 1): a valid tree, but not
+  // a breadth-first one. Caught by check 4 or check 5.
+  const std::vector<vid_t> parent{0, 0, 1, 2, kNoVertex};
+  const auto r = validate_bfs_tree(g, 0, parent, reference_levels(g, 0));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Validator, RejectsSizeMismatch) {
+  const CsrGraph g = small_graph();
+  EXPECT_FALSE(validate_bfs_tree(g, 0, {0, 0}).ok);
+}
+
+TEST(Validator, RejectsOutOfRangeParent) {
+  const CsrGraph g = small_graph();
+  const std::vector<vid_t> parent{0, 99, kNoVertex, kNoVertex, kNoVertex};
+  EXPECT_FALSE(validate_bfs_tree(g, 0, parent).ok);
+}
+
+TEST(Validator, CountsTraversedEdges) {
+  const CsrGraph g = small_graph();
+  const std::vector<vid_t> parent{0, 0, 0, 2, kNoVertex};
+  const auto r = validate_bfs_tree(g, 0, parent);
+  ASSERT_TRUE(r.ok);
+  // All 8 directed adjacencies are within the visited set.
+  EXPECT_EQ(r.traversed_edges, 8);
+}
+
+TEST(Validator, SingletonSourceOk) {
+  EdgeList e{3};
+  e.add(1, 2);
+  e.symmetrize();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  // BFS from isolated vertex 0 visits only itself.
+  const std::vector<vid_t> parent{0, kNoVertex, kNoVertex};
+  const auto r = validate_bfs_tree(g, 0, parent);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.visited_count, 1);
+}
+
+}  // namespace
+}  // namespace dbfs::graph

@@ -1,0 +1,90 @@
+#include "dist/vector_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dbfs::dist {
+namespace {
+
+TEST(VectorDist, TwoDSpreadsOverAllRanks) {
+  const simmpi::ProcessGrid grid{4};
+  const VectorDist vd{64, grid, VectorDistKind::kTwoD};
+  std::map<int, vid_t> owned;
+  for (vid_t v = 0; v < 64; ++v) ++owned[vd.owner_rank(v)];
+  EXPECT_EQ(owned.size(), 16u);
+  for (const auto& [rank, count] : owned) EXPECT_EQ(count, 4);
+}
+
+TEST(VectorDist, TwoDPieceRangesTileRowBlocks) {
+  const simmpi::ProcessGrid grid{3};
+  const VectorDist vd{30, grid, VectorDistKind::kTwoD};
+  for (int i = 0; i < 3; ++i) {
+    vid_t cursor = vd.row_blocks().begin(i);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(vd.piece_begin(i, j), cursor);
+      cursor = vd.piece_end(i, j);
+    }
+    EXPECT_EQ(cursor, vd.row_blocks().end(i));
+  }
+}
+
+TEST(VectorDist, TwoDOwnerMatchesPieceRange) {
+  const simmpi::ProcessGrid grid{3};
+  const VectorDist vd{100, grid, VectorDistKind::kTwoD};
+  for (vid_t v = 0; v < 100; ++v) {
+    const int rank = vd.owner_rank(v);
+    const int i = grid.row_of(rank);
+    const int j = grid.col_of(rank);
+    EXPECT_GE(v, vd.piece_begin(i, j));
+    EXPECT_LT(v, vd.piece_end(i, j));
+  }
+}
+
+TEST(VectorDist, TwoDOwnerColConsistent) {
+  const simmpi::ProcessGrid grid{4};
+  const VectorDist vd{128, grid, VectorDistKind::kTwoD};
+  for (vid_t v = 0; v < 128; ++v) {
+    const int i = vd.row_blocks().owner(v);
+    const int j = vd.owner_col(i, v - vd.row_blocks().begin(i));
+    EXPECT_EQ(vd.owner_rank(v), grid.rank_of(i, j));
+  }
+}
+
+TEST(VectorDist, DiagonalOwnsWholeRowBlocks) {
+  const simmpi::ProcessGrid grid{4};
+  const VectorDist vd{64, grid, VectorDistKind::kDiagonal};
+  for (vid_t v = 0; v < 64; ++v) {
+    const int i = vd.row_blocks().owner(v);
+    EXPECT_EQ(vd.owner_rank(v), grid.rank_of(i, i));
+    EXPECT_EQ(vd.owner_col(i, v - vd.row_blocks().begin(i)), i);
+  }
+}
+
+TEST(VectorDist, DiagonalOffDiagonalPiecesEmpty) {
+  const simmpi::ProcessGrid grid{3};
+  const VectorDist vd{27, grid, VectorDistKind::kDiagonal};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) {
+        EXPECT_EQ(vd.piece_size(i, j), vd.row_blocks().size(i));
+      } else {
+        EXPECT_EQ(vd.piece_size(i, j), 0);
+      }
+    }
+  }
+}
+
+TEST(VectorDist, RequiresSquareGrid) {
+  EXPECT_THROW(VectorDist(16, simmpi::ProcessGrid(2, 4),
+                          VectorDistKind::kTwoD),
+               std::invalid_argument);
+}
+
+TEST(VectorDist, ToStringNames) {
+  EXPECT_STREQ(to_string(VectorDistKind::kTwoD), "2d");
+  EXPECT_STREQ(to_string(VectorDistKind::kDiagonal), "diagonal");
+}
+
+}  // namespace
+}  // namespace dbfs::dist

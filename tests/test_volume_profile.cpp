@@ -1,0 +1,159 @@
+#include "core/volume_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/bfs1d.hpp"
+#include "bfs/bfs2d.hpp"
+#include "test_helpers.hpp"
+
+namespace dbfs::core {
+namespace {
+
+TEST(VolumeProfile, MeasuresPathGraph) {
+  const auto g = graph::CsrGraph::from_edges(test::path_edges(10));
+  const auto profile = VolumeProfile::measure(g, 0);
+  ASSERT_EQ(profile.levels.size(), 10u);
+  EXPECT_EQ(profile.levels[0].frontier, 1);
+  EXPECT_EQ(profile.levels[0].edges_scanned, 1);  // only 0->1
+  EXPECT_EQ(profile.levels[5].edges_scanned, 2);  // 5->4 and 5->6
+  EXPECT_EQ(profile.levels[5].touched, 2);
+  EXPECT_EQ(profile.levels[5].newly_visited, 1);
+}
+
+TEST(VolumeProfile, TotalsMatchGraph) {
+  const auto built = test::rmat_graph(10);
+  const auto profile =
+      VolumeProfile::measure(built.csr, test::hub_source(built.csr));
+  eid_t scanned = 0;
+  vid_t visited = 1;  // source
+  for (const auto& l : profile.levels) {
+    scanned += l.edges_scanned;
+    visited += l.newly_visited;
+    EXPECT_LE(l.newly_visited, l.touched);
+    EXPECT_LE(l.touched, l.edges_scanned);
+  }
+  // Every adjacency of the reachable component is scanned exactly once.
+  EXPECT_LE(scanned, built.csr.num_edges());
+  EXPECT_GT(scanned, 0);
+  EXPECT_LE(visited, built.csr.num_vertices());
+}
+
+TEST(Price1D, TracksFunctionalSimulatorShape) {
+  // The pricing path and the functional simulator must agree on the
+  // ordering and rough magnitude of configurations, since the benches mix
+  // them across core counts.
+  const auto built = test::rmat_graph(11, 16);
+  const vid_t n = built.csr.num_vertices();
+  const vid_t source = test::hub_source(built.csr);
+  const auto profile = VolumeProfile::measure(built.csr, source);
+  const auto machine = model::franklin();
+
+  for (int cores : {16, 64}) {
+    bfs::Bfs1DOptions fopts;
+    fopts.ranks = cores;
+    fopts.machine = machine;
+    bfs::Bfs1D functional{built.edges, n, fopts};
+    const double functional_t = functional.run(source).report.total_seconds;
+
+    Price1DOptions popts;
+    popts.cores = cores;
+    const auto priced = price_1d(profile, machine, popts);
+    EXPECT_GT(priced.total_seconds, functional_t * 0.3) << cores;
+    EXPECT_LT(priced.total_seconds, functional_t * 3.0) << cores;
+  }
+}
+
+TEST(Price2D, TracksFunctionalSimulatorShape) {
+  const auto built = test::rmat_graph(11, 16);
+  const vid_t n = built.csr.num_vertices();
+  const vid_t source = test::hub_source(built.csr);
+  const auto profile = VolumeProfile::measure(built.csr, source);
+  const auto machine = model::franklin();
+
+  for (int cores : {16, 64}) {
+    bfs::Bfs2DOptions fopts;
+    fopts.cores = cores;
+    fopts.machine = machine;
+    bfs::Bfs2D functional{built.edges, n, fopts};
+    const double functional_t = functional.run(source).report.total_seconds;
+
+    Price2DOptions popts;
+    popts.cores = cores;
+    const auto priced = price_2d(profile, machine, popts);
+    EXPECT_GT(priced.total_seconds, functional_t * 0.3) << cores;
+    EXPECT_LT(priced.total_seconds, functional_t * 3.0) << cores;
+  }
+}
+
+TEST(Price1D, CompShrinksCommGrowsWithCores) {
+  const auto built = test::rmat_graph(10, 16);
+  const auto profile =
+      VolumeProfile::measure(built.csr, test::hub_source(built.csr));
+  const auto machine = model::franklin();
+  Price1DOptions small;
+  small.cores = 64;
+  Price1DOptions large;
+  large.cores = 4096;
+  const auto a = price_1d(profile, machine, small);
+  const auto b = price_1d(profile, machine, large);
+  EXPECT_LT(b.comp_seconds, a.comp_seconds);
+  EXPECT_GT(b.comm_seconds / b.total_seconds,
+            a.comm_seconds / a.total_seconds);
+}
+
+TEST(Price2D, CollectiveGroupsAreSqrtP) {
+  // 2D comm should scale better than 1D comm at high core counts: the
+  // central claim of the paper.
+  const auto built = test::rmat_graph(10, 16);
+  const auto profile =
+      VolumeProfile::measure(built.csr, test::hub_source(built.csr));
+  const auto machine = model::hopper();
+  Price1DOptions p1;
+  p1.cores = 16384;
+  Price2DOptions p2;
+  p2.cores = 16384;
+  const auto one_d = price_1d(profile, machine, p1);
+  const auto two_d = price_2d(profile, machine, p2);
+  EXPECT_LT(two_d.comm_seconds, one_d.comm_seconds);
+}
+
+TEST(Price1D, HybridCutsCommunication) {
+  const auto built = test::rmat_graph(10, 16);
+  const auto profile =
+      VolumeProfile::measure(built.csr, test::hub_source(built.csr));
+  const auto machine = model::hopper();
+  Price1DOptions flat;
+  flat.cores = 8192;
+  Price1DOptions hybrid = flat;
+  hybrid.threads_per_rank = 6;
+  const auto f = price_1d(profile, machine, flat);
+  const auto h = price_1d(profile, machine, hybrid);
+  EXPECT_LT(h.comm_seconds, f.comm_seconds);
+}
+
+TEST(Price1D, ChunkedModeCostsMore) {
+  const auto built = test::rmat_graph(10, 16);
+  const auto profile =
+      VolumeProfile::measure(built.csr, test::hub_source(built.csr));
+  const auto machine = model::franklin();
+  Price1DOptions agg;
+  agg.cores = 1024;
+  Price1DOptions chunked = agg;
+  chunked.comm_mode = bfs::CommMode::kChunkedSends;
+  chunked.chunk_bytes = 4096;
+  EXPECT_GT(price_1d(profile, machine, chunked).total_seconds,
+            price_1d(profile, machine, agg).total_seconds);
+}
+
+TEST(Price2D, CoresUsedRoundsToSquare) {
+  const auto built = test::rmat_graph(8);
+  const auto profile =
+      VolumeProfile::measure(built.csr, test::hub_source(built.csr));
+  Price2DOptions opts;
+  opts.cores = 5040;
+  const auto priced = price_2d(profile, model::hopper(), opts);
+  EXPECT_EQ(priced.cores_used, 70 * 70);
+}
+
+}  // namespace
+}  // namespace dbfs::core
