@@ -17,6 +17,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "util/cli.hpp"
+#include "util/options.hpp"
 
 namespace {
 
@@ -98,6 +99,16 @@ int main(int argc, char** argv) {
       .describe("no-shuffle", "skip the random vertex relabeling")
       .describe("save", "write the prepared graph to this file and exit")
       .describe("json", "print the first run's full report as JSON")
+      .describe("fault-seed", "seed for deterministic fault injection", "0")
+      .describe("straggler",
+                "compute stragglers as rank:factor[,rank:factor...]")
+      .describe("degrade-nic",
+                "degraded links as rank:factor[,rank:factor...]")
+      .describe("fail-rate",
+                "transient collective failure probability (0..1)", "0")
+      .describe("corrupt-rate",
+                "payload corruption probability per exchange (0..1)", "0")
+      .describe("corrupt-mode", "bitflip | drop | dup | mix", "mix")
       .describe("help", "print this message");
 
   if (args.get_flag("help")) {
@@ -141,6 +152,19 @@ int main(int argc, char** argv) {
     opts.backend = backend == "spa"    ? sparse::SpmsvBackend::kSpa
                    : backend == "heap" ? sparse::SpmsvBackend::kHeap
                                        : sparse::SpmsvBackend::kAuto;
+
+    simmpi::FaultPlan faults;
+    faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+    faults.collective_fail_rate = args.get_double("fail-rate", 0.0);
+    faults.corrupt_rate = args.get_double("corrupt-rate", 0.0);
+    faults.corrupt_kind =
+        simmpi::parse_corrupt_kind(args.get("corrupt-mode", "mix"));
+    faults.compute_stragglers =
+        util::parse_rank_factors(args.get("straggler", ""));
+    faults.nic_stragglers =
+        util::parse_rank_factors(args.get("degrade-nic", ""));
+    opts.faults = faults;
+
     core::Engine engine{built.edges, n, opts};
     std::printf("engine: %s on %s, %d cores used\n",
                 core::to_string(opts.algorithm), opts.machine.name.c_str(),
@@ -171,6 +195,17 @@ int main(int argc, char** argv) {
     const auto& r = batch.reports.front();
     std::printf("first run: %zu levels, comm %.1f%% of rank time\n",
                 r.levels.size(), 100.0 * r.comm_fraction());
+    if (r.faults.enabled) {
+      std::printf(
+          "faults (first run): %lld transient failures (%lld re-issues, "
+          "%.2e s backoff), %lld corrupted payloads repaired in %lld "
+          "retries\n",
+          static_cast<long long>(r.faults.collective_failures),
+          static_cast<long long>(r.faults.collective_retries),
+          r.faults.backoff_seconds,
+          static_cast<long long>(r.faults.payload_corruptions),
+          static_cast<long long>(r.faults.payload_retries));
+    }
     if (args.get_flag("json")) {
       std::printf("%s\n", bfs::report_to_json(r).c_str());
     }

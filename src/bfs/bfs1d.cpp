@@ -55,6 +55,7 @@ struct Bfs1D::Impl {
         cluster(opts.ranks, opts.machine, opts.threads_per_rank),
         world(static_cast<std::size_t>(opts.ranks)) {
     std::iota(world.begin(), world.end(), 0);
+    cluster.set_fault_plan(opts.faults);
   }
 
   /// Charge per-rank compute costs, blended toward the group mean by
@@ -77,7 +78,12 @@ struct Bfs1D::Impl {
     const auto p = static_cast<std::size_t>(opts.ranks);
 
     if (opts.comm_mode == CommMode::kAlltoallv) {
-      auto recv = simmpi::alltoallv(cluster, world, std::move(send));
+      // The checked wrapper verifies a per-level checksum over the
+      // exchanged candidates and re-issues the exchange when the fault
+      // plan corrupted the payload; without payload faults it is a plain
+      // alltoallv.
+      auto recv = simmpi::checked_alltoallv(cluster, world, std::move(send),
+                                            "1d-exchange");
       return std::move(recv.data);
     }
 
@@ -125,13 +131,15 @@ struct Bfs1D::Impl {
     }
     mean_msgs /= p;
     mean_bytes /= p;
-    const double max_cost =
+    const double max_cost = simmpi::faulted_cost(
+        cluster, world,
         static_cast<double>(opts.ranks) * cluster.machine().alpha_net +
-        model::cost_chunked_sends(
-            cluster.machine(), mean_msgs,
-            static_cast<std::size_t>(static_cast<double>(mean_bytes) *
-                                     cluster.nic_factor()),
-            opts.ranks);
+            model::cost_chunked_sends(
+                cluster.machine(), mean_msgs,
+                static_cast<std::size_t>(static_cast<double>(mean_bytes) *
+                                         cluster.nic_factor()),
+                opts.ranks),
+        "1d-chunked");
     cluster.clocks().collective(world, max_cost);
     cluster.traffic().record(simmpi::Pattern::kPointToPoint, network_bytes,
                              max_cost, opts.ranks);

@@ -61,6 +61,10 @@ struct Bfs1DOptions {
   /// dwarfs a rank's mean level volume. 0 prices each rank on its exact
   /// volumes (used by the shuffle ablation to expose real imbalance).
   double load_smoothing = 1.0;
+  /// Deterministic perturbations (stragglers, transient collective
+  /// failures, payload corruption); see simmpi/fault.hpp. A zero plan
+  /// leaves the run bit-identical to an unfaulted build.
+  simmpi::FaultPlan faults;
   std::string label = "1d";
 };
 

@@ -55,6 +55,7 @@ struct Bfs2D::Impl {
         world(static_cast<std::size_t>(grid.ranks())),
         spa(static_cast<std::size_t>(grid.ranks())) {
     std::iota(world.begin(), world.end(), 0);
+    cluster.set_fault_plan(opts.faults);
     if (opts.threads_per_rank > 1) {
       thread_pieces.resize(static_cast<std::size_t>(grid.ranks()));
       for (int r = 0; r < grid.ranks(); ++r) {
@@ -142,9 +143,12 @@ BfsOutput Bfs2D::run(vid_t source) {
           pieces.push_back(std::move(
               transposed[static_cast<std::size_t>(im.grid.rank_of(i, j))]));
         }
-        gathered[static_cast<std::size_t>(j)] =
-            simmpi::allgatherv(im.cluster, im.grid.col_group(j),
-                               std::move(pieces), im.opts.allgather_algo);
+        // Checksum-verified when the fault plan corrupts payloads: a
+        // mangled frontier piece is detected and re-gathered before any
+        // rank consumes it.
+        gathered[static_cast<std::size_t>(j)] = simmpi::checked_allgatherv(
+            im.cluster, im.grid.col_group(j), std::move(pieces),
+            "2d-expand", im.opts.allgather_algo);
       }
       fs.assign(static_cast<std::size_t>(p), {});
     } else {
@@ -343,7 +347,8 @@ BfsOutput Bfs2D::run(vid_t source) {
             data[static_cast<std::size_t>(cur++)] = c;
           }
         }
-        auto recv = simmpi::alltoallv(im.cluster, row_group, std::move(send));
+        auto recv = simmpi::checked_alltoallv(im.cluster, row_group,
+                                              std::move(send), "2d-fold");
         received = std::move(recv.data);
       } else {
         // Diagonal distribution: everything gathers at P(i,i), which then

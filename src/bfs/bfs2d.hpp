@@ -22,6 +22,7 @@
 #include "graph/edge_list.hpp"
 #include "model/cost.hpp"
 #include "model/machine.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/process_grid.hpp"
 #include "sparse/spmsv.hpp"
 
@@ -50,6 +51,10 @@ struct Bfs2DOptions {
   /// diagonal-only merge of the 1D vector distribution, Fig 4) is never
   /// smoothed away.
   double load_smoothing = 1.0;
+  /// Deterministic perturbations (stragglers, transient collective
+  /// failures, payload corruption); see simmpi/fault.hpp. A zero plan
+  /// leaves the run bit-identical to an unfaulted build.
+  simmpi::FaultPlan faults;
   std::string label = "2d";
 };
 

@@ -56,6 +56,21 @@ void finalize_report(RunReport& report, const simmpi::Cluster& cluster) {
   eid_t scanned = 0;
   for (const LevelStats& l : report.levels) scanned += l.edges_scanned;
   report.edges_traversed = scanned;
+
+  const simmpi::FaultPlan& plan = cluster.faults();
+  const simmpi::FaultCounters& fc = cluster.fault_counters();
+  report.faults.enabled = cluster.faults_enabled();
+  report.faults.seed = plan.seed;
+  report.faults.collective_failures = fc.collective_failures;
+  report.faults.collective_retries = fc.collective_retries;
+  report.faults.backoff_seconds = fc.backoff_seconds;
+  report.faults.reissue_seconds = fc.reissue_seconds;
+  report.faults.payload_corruptions = fc.payload_corruptions;
+  report.faults.checksum_checks = fc.checksum_checks;
+  report.faults.payload_retries = fc.payload_retries;
+  report.faults.compute_stragglers =
+      static_cast<int>(plan.compute_stragglers.size());
+  report.faults.nic_stragglers = static_cast<int>(plan.nic_stragglers.size());
 }
 
 }  // namespace dbfs::bfs

@@ -25,6 +25,23 @@ struct LevelStats {
   double comp_seconds = 0.0;         ///< mean per-rank compute delta
 };
 
+/// Fault-injection outcome of one run (plain fields so this header stays
+/// free of simulator dependencies; finalize_report copies them from the
+/// cluster's FaultCounters). All-zero when no fault plan was configured.
+struct FaultReport {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  std::int64_t collective_failures = 0;  ///< transient failures injected
+  std::int64_t collective_retries = 0;   ///< re-issues that went through
+  double backoff_seconds = 0.0;          ///< total backoff waited
+  double reissue_seconds = 0.0;          ///< transfer time paid again
+  std::int64_t payload_corruptions = 0;  ///< items mangled in flight
+  std::int64_t checksum_checks = 0;      ///< verification rounds run
+  std::int64_t payload_retries = 0;      ///< exchanges re-issued on mismatch
+  int compute_stragglers = 0;            ///< plan entries, not cluster hits
+  int nic_stragglers = 0;
+};
+
 struct RunReport {
   std::string algorithm;
   std::string machine;
@@ -61,6 +78,9 @@ struct RunReport {
   /// SpMSV back-end usage over the run (2D algorithms; ablation C).
   std::int64_t spmsv_spa_calls = 0;
   std::int64_t spmsv_heap_calls = 0;
+
+  /// Fault injection outcome (zero when no plan was configured).
+  FaultReport faults;
 
   /// TEPS for a given edge denominator (Graph500 counts the input's
   /// directed edges): edges / total_seconds.

@@ -81,6 +81,20 @@ void write_report_json(std::ostream& out, const RunReport& report,
   out << ",\"spmsv\":{\"spa_calls\":" << report.spmsv_spa_calls
       << ",\"heap_calls\":" << report.spmsv_heap_calls << "}";
 
+  const FaultReport& f = report.faults;
+  out << ",\"faults\":{"
+      << "\"enabled\":" << (f.enabled ? "true" : "false")
+      << ",\"seed\":" << f.seed
+      << ",\"collective_failures\":" << f.collective_failures
+      << ",\"collective_retries\":" << f.collective_retries
+      << ",\"backoff_seconds\":" << f.backoff_seconds
+      << ",\"reissue_seconds\":" << f.reissue_seconds
+      << ",\"payload_corruptions\":" << f.payload_corruptions
+      << ",\"checksum_checks\":" << f.checksum_checks
+      << ",\"payload_retries\":" << f.payload_retries
+      << ",\"compute_stragglers\":" << f.compute_stragglers
+      << ",\"nic_stragglers\":" << f.nic_stragglers << "}";
+
   out << ",\"levels\":[";
   for (std::size_t i = 0; i < report.levels.size(); ++i) {
     const LevelStats& l = report.levels[i];

@@ -15,6 +15,10 @@ namespace dbfs::bfs {
 /// {algorithm, machine, ranks, threads_per_rank, cores, total_seconds,
 ///  comm_seconds_{mean,max}, comp_seconds_{mean,max}, comm_fraction,
 ///  edges_traversed, traffic:{...bytes,...seconds}, spmsv:{spa,heap},
+///  faults:{enabled, seed, collective_failures, collective_retries,
+///          backoff_seconds, reissue_seconds, payload_corruptions,
+///          checksum_checks, payload_retries, compute_stragglers,
+///          nic_stragglers},
 ///  levels:[{level, frontier, edges, newly_visited, wall_seconds,
 ///           a2a_bytes, expand_bytes, other_bytes}, ...]}
 /// `include_per_rank` appends per_rank_comm / per_rank_comp arrays.

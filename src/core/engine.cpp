@@ -78,6 +78,7 @@ struct Engine::Impl {
         o.threads_per_rank = threads;
         o.machine = opts.machine;
         o.load_smoothing = opts.load_smoothing;
+        o.faults = opts.faults;
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -91,6 +92,7 @@ struct Engine::Impl {
         o.vector_dist = opts.vector_dist;
         o.triangular_storage = opts.triangular_storage;
         o.load_smoothing = opts.load_smoothing;
+        o.faults = opts.faults;
         two_d = std::make_unique<bfs::Bfs2D>(edges, n, std::move(o));
         break;
       }
@@ -98,16 +100,18 @@ struct Engine::Impl {
         bfs::Graph500RefOptions g;
         g.ranks = opts.cores;
         g.machine = opts.machine;
-        one_d = std::make_unique<bfs::Bfs1D>(
-            edges, n, bfs::graph500_reference_options(g));
+        auto o = bfs::graph500_reference_options(g);
+        o.faults = opts.faults;
+        one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
       case Algorithm::kPbglLike: {
         bfs::PbglLikeOptions g;
         g.ranks = opts.cores;
         g.machine = opts.machine;
-        one_d =
-            std::make_unique<bfs::Bfs1D>(edges, n, bfs::pbgl_like_options(g));
+        auto o = bfs::pbgl_like_options(g);
+        o.faults = opts.faults;
+        one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
     }

@@ -21,6 +21,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "model/machine.hpp"
+#include "simmpi/fault.hpp"
 #include "sparse/spmsv.hpp"
 #include "util/stats.hpp"
 
@@ -58,6 +59,12 @@ struct EngineOptions {
   /// bfs::Bfs1DOptions::load_smoothing); 1 = the balanced regime of the
   /// paper's §5 model, 0 = exact per-rank volumes.
   double load_smoothing = 1.0;
+  /// Deterministic fault injection for the distributed algorithms
+  /// (stragglers, degraded NICs, transient collective failures, payload
+  /// corruption); see simmpi/fault.hpp. Ignored by kSerial/kShared. A
+  /// run whose corruption cannot be repaired within the retry budget
+  /// throws simmpi::FaultError rather than returning a wrong tree.
+  simmpi::FaultPlan faults;
 };
 
 /// Graph500-style batch statistics over multiple sources.

@@ -29,9 +29,39 @@ void Cluster::for_each_rank(const std::function<void(int)>& phase) const {
   }
 }
 
+void Cluster::set_fault_plan(FaultPlan plan) {
+  for (const auto& list : {plan.compute_stragglers, plan.nic_stragglers}) {
+    for (const auto& [rank, factor] : list) {
+      if (factor <= 0.0) {
+        throw std::invalid_argument(
+            "Cluster: straggler factors must be positive");
+      }
+      (void)rank;  // out-of-cluster ranks are ignored, not errors
+    }
+  }
+  faults_ = std::move(plan);
+  faults_enabled_ = faults_.enabled();
+  fault_compute_factor_.clear();
+  fault_nic_slowdown_.clear();
+  if (faults_enabled_) {
+    fault_compute_factor_.resize(static_cast<std::size_t>(ranks_));
+    fault_nic_slowdown_.resize(static_cast<std::size_t>(ranks_));
+    for (int r = 0; r < ranks_; ++r) {
+      fault_compute_factor_[static_cast<std::size_t>(r)] =
+          faults_.compute_factor(r);
+      fault_nic_slowdown_[static_cast<std::size_t>(r)] =
+          faults_.nic_slowdown(r);
+    }
+  }
+  fault_events_ = 0;
+  fault_counters_.reset();
+}
+
 void Cluster::reset_accounting() {
   clocks_.reset();
   traffic_.reset();
+  fault_events_ = 0;
+  fault_counters_.reset();
 }
 
 }  // namespace dbfs::simmpi

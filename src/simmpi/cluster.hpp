@@ -9,10 +9,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "model/clocks.hpp"
 #include "model/machine.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/traffic.hpp"
 
 namespace dbfs::simmpi {
@@ -40,9 +44,48 @@ class Cluster {
   /// and in parallel under OpenMP when available, so races would be real).
   void for_each_rank(const std::function<void(int)>& phase) const;
 
-  /// Charge modelled local computation to one rank's clock.
+  /// Charge modelled local computation to one rank's clock. A fault plan
+  /// with compute stragglers scales the charge by the rank's factor —
+  /// the straggler then delays everyone at the next collective, which is
+  /// exactly how a slow node hurts a level-synchronous BFS.
   void charge_compute(int rank, double seconds) {
-    clocks_.advance_compute(rank, seconds);
+    clocks_.advance_compute(rank, seconds * fault_compute_factor(rank));
+  }
+
+  /// Install a fault plan (see simmpi/fault.hpp). Straggler factors must
+  /// be positive; entries naming ranks outside the cluster are ignored.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& faults() const noexcept { return faults_; }
+  bool faults_enabled() const noexcept { return faults_enabled_; }
+
+  FaultCounters& fault_counters() noexcept { return fault_counters_; }
+  const FaultCounters& fault_counters() const noexcept {
+    return fault_counters_;
+  }
+
+  /// Issue-ordered event index for deterministic fault draws. Reset with
+  /// the accounting so every run replays the same fault sequence.
+  std::uint64_t next_fault_event() noexcept { return fault_events_++; }
+
+  double fault_compute_factor(int rank) const noexcept {
+    return faults_enabled_
+               ? fault_compute_factor_[static_cast<std::size_t>(rank)]
+               : 1.0;
+  }
+  double fault_nic_slowdown(int rank) const noexcept {
+    return faults_enabled_
+               ? fault_nic_slowdown_[static_cast<std::size_t>(rank)]
+               : 1.0;
+  }
+  /// A collective moves at the pace of its worst link.
+  double fault_nic_slowdown(std::span<const int> group) const noexcept {
+    if (!faults_enabled_) return 1.0;
+    double worst = 1.0;
+    for (int r : group) {
+      worst = std::max(worst,
+                       fault_nic_slowdown_[static_cast<std::size_t>(r)]);
+    }
+    return worst;
   }
 
   /// Multiplier applied to per-rank network volumes before pricing:
@@ -65,6 +108,13 @@ class Cluster {
   model::MachineModel machine_;
   model::VirtualClocks clocks_;
   TrafficMeter traffic_;
+
+  FaultPlan faults_;
+  bool faults_enabled_ = false;
+  FaultCounters fault_counters_;
+  std::uint64_t fault_events_ = 0;
+  std::vector<double> fault_compute_factor_;  ///< per rank; empty when off
+  std::vector<double> fault_nic_slowdown_;
 };
 
 }  // namespace dbfs::simmpi

@@ -11,18 +11,154 @@
 //
 // All functions take send buffers by value so payloads can be moved, not
 // copied — a simulated "zero copy" that keeps big runs within memory.
+// Fault injection (simmpi/fault.hpp): every collective routes its priced
+// transfer time through faulted_cost(), which scales by the group's worst
+// degraded NIC and injects transient failures (full-cost re-issue after a
+// capped exponential backoff, all charged as communication time). The
+// data-carrying collectives additionally corrupt payloads when the plan
+// says so; the checked_* wrappers detect that with order-independent
+// checksums and re-issue the exchange, so callers either receive intact
+// data or a structured FaultError — never silent corruption. A zero plan
+// takes none of these paths.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "model/cost.hpp"
 #include "simmpi/cluster.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/process_grid.hpp"
+#include "util/prng.hpp"
 
 namespace dbfs::simmpi {
+
+/// Price one collective under the cluster's fault plan: scale `base_cost`
+/// by the worst NIC degradation in `group`, then inject deterministic
+/// transient failures — each failed issue costs the full scaled transfer
+/// plus a capped exponential backoff before the re-issue. Returns the
+/// total seconds to charge; throws FaultError once the retry budget is
+/// exhausted. A disabled plan returns `base_cost` untouched.
+inline double faulted_cost(Cluster& cluster, std::span<const int> group,
+                           double base_cost, const char* site) {
+  if (!cluster.faults_enabled()) return base_cost;
+  const FaultPlan& plan = cluster.faults();
+  const double cost = base_cost * cluster.fault_nic_slowdown(group);
+  if (plan.collective_fail_rate <= 0.0) return cost;
+  FaultCounters& counters = cluster.fault_counters();
+  double total = 0.0;
+  int attempt = 0;
+  while (plan.collective_fails(cluster.next_fault_event())) {
+    ++counters.collective_failures;
+    if (attempt >= plan.max_collective_retries) {
+      throw FaultError(site, "collective-failure", attempt + 1);
+    }
+    const double pause = plan.backoff_seconds(attempt);
+    counters.backoff_seconds += pause;
+    counters.reissue_seconds += cost;
+    total += cost + pause;
+    ++attempt;
+  }
+  counters.collective_retries += attempt;
+  return total + cost;
+}
+
+/// Rooted variant: broadcast and gather trees are driven by the root's
+/// link, so the root's degradation scales the whole operation (a degraded
+/// leaf only delays itself, which the clock synchronization already
+/// charges as waiting).
+inline double faulted_cost_rooted(Cluster& cluster, int root_rank,
+                                  double base_cost, const char* site) {
+  if (!cluster.faults_enabled()) return base_cost;
+  const int root[1] = {root_rank};
+  return faulted_cost(cluster, std::span<const int>(root, 1), base_cost,
+                      site);
+}
+
+/// Order-independent checksum of a payload: the wrapping sum of per-item
+/// hashes is invariant under any re-partitioning of the same multiset of
+/// items across ranks, so senders and receivers can compare totals with
+/// one allreduce. A bit-flip, drop, or duplicate each shifts the sum.
+template <typename T>
+std::uint64_t payload_checksum(const std::vector<T>& items) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "checksums hash raw item bytes");
+  std::uint64_t sum = 0;
+  for (const T& item : items) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the item bytes
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &item, sizeof(T));
+    for (unsigned char b : bytes) {
+      h = (h ^ b) * 0x100000001b3ULL;
+    }
+    sum += util::mix64(h);
+  }
+  return sum;
+}
+
+namespace detail {
+
+/// Mangle one item in `buffer` according to `kind`, using `shape` to pick
+/// the item (and bit, for flips). The caller has already decided *that*
+/// corruption happens; this decides *what*.
+template <typename T>
+void corrupt_buffer(std::vector<T>& buffer, CorruptKind kind,
+                    std::uint64_t shape) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (buffer.empty()) return;
+  const std::size_t item = (shape >> 16) % buffer.size();
+  switch (kind) {
+    case CorruptKind::kBitFlip: {
+      unsigned char bytes[sizeof(T)];
+      std::memcpy(bytes, &buffer[item], sizeof(T));
+      bytes[(shape >> 40) % sizeof(T)] ^=
+          static_cast<unsigned char>(1u << ((shape >> 50) % 8));
+      std::memcpy(&buffer[item], bytes, sizeof(T));
+      break;
+    }
+    case CorruptKind::kDrop:
+      buffer.erase(buffer.begin() + static_cast<std::ptrdiff_t>(item));
+      break;
+    case CorruptKind::kDuplicate:
+      buffer.insert(buffer.begin() + static_cast<std::ptrdiff_t>(item),
+                    buffer[item]);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Maybe corrupt one item across a set of received per-rank buffers.
+template <typename T>
+void maybe_corrupt(Cluster& cluster, std::vector<std::vector<T>>& buffers) {
+  const FaultPlan& plan = cluster.faults();
+  const CorruptKind kind = plan.corruption_at(cluster.next_fault_event());
+  if (kind == CorruptKind::kNone) return;
+  std::vector<std::size_t> nonempty;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    if (!buffers[i].empty()) nonempty.push_back(i);
+  }
+  if (nonempty.empty()) return;
+  const std::uint64_t shape = plan.shape_draw(cluster.next_fault_event());
+  corrupt_buffer(buffers[nonempty[shape % nonempty.size()]], kind, shape);
+  ++cluster.fault_counters().payload_corruptions;
+}
+
+template <typename T>
+void maybe_corrupt_one(Cluster& cluster, std::vector<T>& buffer) {
+  const FaultPlan& plan = cluster.faults();
+  const CorruptKind kind = plan.corruption_at(cluster.next_fault_event());
+  if (kind == CorruptKind::kNone || buffer.empty()) return;
+  corrupt_buffer(buffer, kind, plan.shape_draw(cluster.next_fault_event()));
+  ++cluster.fault_counters().payload_corruptions;
+}
+
+}  // namespace detail
 
 /// Flat CSR-style exchange buffers for world-sized all-to-alls (the 1D
 /// algorithm): `data[gi]` holds rank group[gi]'s outgoing items
@@ -84,13 +220,20 @@ FlatExchange<T> alltoallv(Cluster& cluster, std::span<const int> group,
 
   // Per-rank volume scaled by the node-sharing factor: a hybrid rank
   // owns t cores' bandwidth, while many flat ranks contend for one NIC.
-  const double cost = model::cost_alltoallv(
-      cluster.machine(), static_cast<int>(g),
-      static_cast<std::size_t>(static_cast<double>(bottleneck * sizeof(T)) *
-                               cluster.nic_factor()));
+  const double cost = faulted_cost(
+      cluster, group,
+      model::cost_alltoallv(
+          cluster.machine(), static_cast<int>(g),
+          static_cast<std::size_t>(
+              static_cast<double>(bottleneck * sizeof(T)) *
+              cluster.nic_factor())),
+      "alltoallv");
   cluster.clocks().collective(group, cost);
   cluster.traffic().record(Pattern::kAlltoallv, total_items * sizeof(T), cost,
                            static_cast<int>(g));
+  if (cluster.faults_enabled() && cluster.faults().payload_faults()) {
+    detail::maybe_corrupt(cluster, recv.data);
+  }
   return recv;
 }
 
@@ -115,14 +258,20 @@ std::vector<T> allgatherv(Cluster& cluster, std::span<const int> group,
         static_cast<std::uint64_t>(pieces[i].size()) * (group.size() - 1);
     result.insert(result.end(), pieces[i].begin(), pieces[i].end());
   }
-  const double cost = model::cost_allgatherv(
-      cluster.machine(), static_cast<int>(group.size()),
-      static_cast<std::size_t>(static_cast<double>(total * sizeof(T)) *
-                               cluster.nic_factor()),
-      algo);
+  const double cost = faulted_cost(
+      cluster, group,
+      model::cost_allgatherv(
+          cluster.machine(), static_cast<int>(group.size()),
+          static_cast<std::size_t>(static_cast<double>(total * sizeof(T)) *
+                                   cluster.nic_factor()),
+          algo),
+      "allgatherv");
   cluster.clocks().collective(group, cost);
   cluster.traffic().record(Pattern::kAllgatherv, network_items * sizeof(T),
                            cost, static_cast<int>(group.size()));
+  if (cluster.faults_enabled() && cluster.faults().payload_faults()) {
+    detail::maybe_corrupt_one(cluster, result);
+  }
   return result;
 }
 
@@ -132,8 +281,11 @@ T allreduce(Cluster& cluster, std::span<const int> group,
             std::span<const T> contributions, T init, Op op) {
   T acc = init;
   for (const T& v : contributions) acc = op(acc, v);
-  const double cost = model::cost_allreduce(
-      cluster.machine(), static_cast<int>(group.size()), sizeof(T));
+  const double cost = faulted_cost(
+      cluster, group,
+      model::cost_allreduce(cluster.machine(),
+                            static_cast<int>(group.size()), sizeof(T)),
+      "allreduce");
   cluster.clocks().collective(group, cost);
   cluster.traffic().record(
       Pattern::kAllreduce,
@@ -166,11 +318,14 @@ std::vector<std::vector<T>> transpose_exchange(
                  pieces[static_cast<std::size_t>(partner)].size()) *
         sizeof(T);
     if (partner == rank) continue;  // diagonal: stays local, free
-    const double cost = model::cost_p2p(
-        cluster.machine(),
-        static_cast<std::size_t>(static_cast<double>(bytes) *
-                                 cluster.nic_factor()));
     const int pair[2] = {rank, partner};
+    const double cost = faulted_cost(
+        cluster, pair,
+        model::cost_p2p(cluster.machine(),
+                        static_cast<std::size_t>(
+                            static_cast<double>(bytes) *
+                            cluster.nic_factor())),
+        "transpose");
     cluster.clocks().collective(pair, cost);
     cluster.traffic().record(Pattern::kTranspose,
                              static_cast<std::uint64_t>(bytes) * 2, cost, 2);
@@ -187,17 +342,25 @@ template <typename T>
 std::vector<T> gatherv(Cluster& cluster, std::span<const int> group,
                        std::size_t root_slot,
                        std::vector<std::vector<T>> pieces) {
+  if (root_slot >= group.size()) {
+    throw std::out_of_range("gatherv: root_slot outside group");
+  }
   std::vector<T> result;
   std::uint64_t network_items = 0;
   for (std::size_t i = 0; i < pieces.size(); ++i) {
     if (i != root_slot) network_items += pieces[i].size();
     result.insert(result.end(), pieces[i].begin(), pieces[i].end());
   }
-  const double transfer = model::cost_gatherv(
-      cluster.machine(), static_cast<int>(group.size()),
-      static_cast<std::size_t>(
-          static_cast<double>(network_items * sizeof(T)) *
-          cluster.nic_factor()));
+  // The root's inbound link carries every piece, so its degradation (not
+  // the group's worst) scales the whole gather.
+  const double transfer = faulted_cost_rooted(
+      cluster, group[root_slot],
+      model::cost_gatherv(cluster.machine(),
+                          static_cast<int>(group.size()),
+                          static_cast<std::size_t>(
+                              static_cast<double>(network_items * sizeof(T)) *
+                              cluster.nic_factor())),
+      "gatherv");
   cluster.clocks().collective(group, transfer);
   cluster.traffic().record(Pattern::kGatherv, network_items * sizeof(T),
                            transfer, static_cast<int>(group.size()));
@@ -206,21 +369,102 @@ std::vector<T> gatherv(Cluster& cluster, std::span<const int> group,
 
 /// Rooted broadcast of `payload` from group[root_slot] to the group.
 /// Returns the payload (shared immutable view for all simulated ranks).
+/// The root identity matters: its NIC drives every stage of the broadcast
+/// tree, so a degraded root slows the whole operation.
 template <typename T>
 std::vector<T> broadcast(Cluster& cluster, std::span<const int> group,
                          std::size_t root_slot, std::vector<T> payload) {
-  (void)root_slot;
+  if (root_slot >= group.size()) {
+    throw std::out_of_range("broadcast: root_slot outside group");
+  }
   const std::size_t bytes = payload.size() * sizeof(T);
-  const double cost = model::cost_broadcast(
-      cluster.machine(), static_cast<int>(group.size()),
-      static_cast<std::size_t>(static_cast<double>(bytes) *
-                               cluster.nic_factor()));
+  const double cost = faulted_cost_rooted(
+      cluster, group[root_slot],
+      model::cost_broadcast(cluster.machine(),
+                            static_cast<int>(group.size()),
+                            static_cast<std::size_t>(
+                                static_cast<double>(bytes) *
+                                cluster.nic_factor())),
+      "broadcast");
   cluster.clocks().collective(group, cost);
   cluster.traffic().record(
       Pattern::kBroadcast,
       static_cast<std::uint64_t>(bytes) * (group.size() - 1), cost,
       static_cast<int>(group.size()));
   return payload;
+}
+
+/// Checksum-verified alltoallv: when the fault plan can corrupt payloads,
+/// compare the wrapping sum of per-item hashes before and after the
+/// exchange (the comparison itself is one priced allreduce — the control
+/// round a real implementation would pay), and re-issue the whole
+/// exchange on mismatch. Exhausting the retry budget raises FaultError:
+/// corrupted data never reaches the caller. Without payload faults this
+/// is exactly alltoallv.
+template <typename T>
+FlatExchange<T> checked_alltoallv(Cluster& cluster,
+                                  std::span<const int> group,
+                                  FlatExchange<T> send, const char* site) {
+  if (!cluster.faults_enabled() || !cluster.faults().payload_faults()) {
+    return alltoallv(cluster, group, std::move(send));
+  }
+  const FaultPlan& plan = cluster.faults();
+  FaultCounters& counters = cluster.fault_counters();
+  std::vector<std::uint64_t> sent(group.size(), 0);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    sent[i] = payload_checksum(send.data[i]);
+  }
+  const FlatExchange<T> backup = send;
+  for (int attempt = 0; attempt <= plan.max_payload_retries; ++attempt) {
+    FlatExchange<T> recv =
+        alltoallv(cluster, group,
+                  attempt == 0 ? std::move(send) : FlatExchange<T>(backup));
+    std::vector<std::uint64_t> delta(group.size(), 0);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      delta[i] = sent[i] - payload_checksum(recv.data[i]);
+    }
+    ++counters.checksum_checks;
+    if (allreduce_sum<std::uint64_t>(cluster, group, delta) == 0) {
+      return recv;
+    }
+    ++counters.payload_retries;
+  }
+  throw FaultError(site, "payload-corruption",
+                   plan.max_payload_retries + 1);
+}
+
+/// Checksum-verified allgatherv (see checked_alltoallv). The expected
+/// total is agreed via one priced allreduce of the per-piece checksums,
+/// then compared against the gathered result.
+template <typename T>
+std::vector<T> checked_allgatherv(
+    Cluster& cluster, std::span<const int> group,
+    std::vector<std::vector<T>> pieces, const char* site,
+    model::AllgatherAlgo algo = model::AllgatherAlgo::kRing) {
+  if (!cluster.faults_enabled() || !cluster.faults().payload_faults()) {
+    return allgatherv(cluster, group, std::move(pieces), algo);
+  }
+  const FaultPlan& plan = cluster.faults();
+  FaultCounters& counters = cluster.fault_counters();
+  std::vector<std::uint64_t> piece_sums(pieces.size(), 0);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    piece_sums[i] = payload_checksum(pieces[i]);
+  }
+  const std::vector<std::vector<T>> backup = pieces;
+  for (int attempt = 0; attempt <= plan.max_payload_retries; ++attempt) {
+    std::vector<T> result = allgatherv(
+        cluster, group,
+        attempt == 0 ? std::move(pieces)
+                     : std::vector<std::vector<T>>(backup),
+        algo);
+    ++counters.checksum_checks;
+    const std::uint64_t expected =
+        allreduce_sum<std::uint64_t>(cluster, group, piece_sums);
+    if (payload_checksum(result) == expected) return result;
+    ++counters.payload_retries;
+  }
+  throw FaultError(site, "payload-corruption",
+                   plan.max_payload_retries + 1);
 }
 
 }  // namespace dbfs::simmpi

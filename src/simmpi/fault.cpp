@@ -1,0 +1,114 @@
+#include "simmpi/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace dbfs::simmpi {
+
+namespace {
+
+// Distinct stream tags so the failure, corruption, and shape draws of the
+// same event index never correlate.
+constexpr std::uint64_t kFailStream = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kCorruptStream = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kShapeStream = 0x94d049bb133111ebULL;
+
+std::uint64_t draw_u64(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t event) noexcept {
+  return util::mix64(seed ^ util::mix64(stream + event * kFailStream));
+}
+
+double unit_double(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(CorruptKind kind) {
+  switch (kind) {
+    case CorruptKind::kNone:
+      return "none";
+    case CorruptKind::kBitFlip:
+      return "bitflip";
+    case CorruptKind::kDrop:
+      return "drop";
+    case CorruptKind::kDuplicate:
+      return "dup";
+    case CorruptKind::kMix:
+      return "mix";
+  }
+  return "?";
+}
+
+CorruptKind parse_corrupt_kind(const std::string& name) {
+  if (name == "bitflip") return CorruptKind::kBitFlip;
+  if (name == "drop") return CorruptKind::kDrop;
+  if (name == "dup" || name == "duplicate") return CorruptKind::kDuplicate;
+  if (name == "mix") return CorruptKind::kMix;
+  throw std::invalid_argument("unknown corruption kind: " + name);
+}
+
+FaultError::FaultError(std::string site, std::string kind, int attempts)
+    : std::runtime_error("fault injection: unrecoverable " + kind + " at " +
+                         site + " after " + std::to_string(attempts) +
+                         " attempts"),
+      site_(std::move(site)),
+      kind_(std::move(kind)),
+      attempts_(attempts) {}
+
+bool FaultPlan::enabled() const noexcept {
+  return collective_fail_rate > 0.0 || corrupt_rate > 0.0 ||
+         !compute_stragglers.empty() || !nic_stragglers.empty();
+}
+
+double FaultPlan::compute_factor(int rank) const noexcept {
+  double factor = 1.0;
+  for (const auto& [r, f] : compute_stragglers) {
+    if (r == rank) factor *= f;
+  }
+  return factor;
+}
+
+double FaultPlan::nic_slowdown(int rank) const noexcept {
+  double factor = 1.0;
+  for (const auto& [r, f] : nic_stragglers) {
+    if (r == rank) factor *= f;
+  }
+  return factor;
+}
+
+bool FaultPlan::collective_fails(std::uint64_t event) const noexcept {
+  if (collective_fail_rate <= 0.0) return false;
+  return unit_double(draw_u64(seed, kFailStream, event)) <
+         collective_fail_rate;
+}
+
+CorruptKind FaultPlan::corruption_at(std::uint64_t event) const noexcept {
+  if (corrupt_rate <= 0.0) return CorruptKind::kNone;
+  const std::uint64_t h = draw_u64(seed, kCorruptStream, event);
+  if (unit_double(h) >= corrupt_rate) return CorruptKind::kNone;
+  if (corrupt_kind != CorruptKind::kMix) return corrupt_kind;
+  switch (h % 3) {
+    case 0:
+      return CorruptKind::kBitFlip;
+    case 1:
+      return CorruptKind::kDrop;
+    default:
+      return CorruptKind::kDuplicate;
+  }
+}
+
+std::uint64_t FaultPlan::shape_draw(std::uint64_t event) const noexcept {
+  return draw_u64(seed, kShapeStream, event);
+}
+
+double FaultPlan::backoff_seconds(int attempt) const noexcept {
+  const int shift = std::min(attempt, 52);
+  const double pause =
+      backoff_base_seconds * static_cast<double>(std::uint64_t{1} << shift);
+  return std::min(pause, backoff_cap_seconds);
+}
+
+}  // namespace dbfs::simmpi

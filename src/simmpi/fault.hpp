@@ -1,0 +1,118 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan perturbs a run in three orthogonal ways, all fully
+// determined by (seed, event index) so two runs of the same configuration
+// inject byte-identical fault sequences:
+//
+//   * per-rank slowdown factors — compute stragglers multiply the time a
+//     rank's local phases are charged; NIC degradation multiplies the
+//     transfer cost of every collective the rank participates in (the
+//     group pays the worst member's link, rooted collectives pay the
+//     root's);
+//   * transient collective failures — a failed collective costs its full
+//     transfer time, then a capped exponential backoff, then a re-issue;
+//     all of it lands on the participants' virtual clocks as
+//     communication time and in the FaultCounters;
+//   * payload corruption — a bit-flip, drop, or duplicate of one item in
+//     a data-carrying collective. The checked_* wrappers in comm.hpp
+//     detect this with order-independent per-call checksums and re-issue
+//     the exchange; an unrecoverable payload raises FaultError so a
+//     corrupted BFS can never complete silently wrong.
+//
+// A default-constructed (zero) plan is inert: every consultation point is
+// gated so the unfaulted paths are bit-identical to a build without the
+// subsystem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dbfs::simmpi {
+
+/// How a corrupted payload is mangled. kMix draws one of the three
+/// concrete kinds per corruption event.
+enum class CorruptKind { kNone, kBitFlip, kDrop, kDuplicate, kMix };
+
+const char* to_string(CorruptKind kind);
+/// Parse "bitflip" | "drop" | "dup" | "mix" (CLI spelling); throws
+/// std::invalid_argument otherwise.
+CorruptKind parse_corrupt_kind(const std::string& name);
+
+/// Structured error raised when a fault exhausts its retry budget: the
+/// injection site, the fault kind, and how many attempts were made are
+/// preserved so harnesses can assert on *why* a run aborted.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(std::string site, std::string kind, int attempts);
+
+  const std::string& site() const noexcept { return site_; }
+  const std::string& kind() const noexcept { return kind_; }
+  int attempts() const noexcept { return attempts_; }
+
+ private:
+  std::string site_;
+  std::string kind_;
+  int attempts_;
+};
+
+struct FaultPlan {
+  /// Stream selector for every random draw the plan makes. The seed does
+  /// not by itself enable anything; rates and straggler lists do.
+  std::uint64_t seed = 0;
+
+  /// Probability that one collective issue fails and must be re-issued.
+  double collective_fail_rate = 0.0;
+  /// Re-issues before the collective is declared dead (FaultError).
+  int max_collective_retries = 6;
+  /// Backoff before re-issue k is min(cap, base * 2^k).
+  double backoff_base_seconds = 1e-4;
+  double backoff_cap_seconds = 2e-3;
+
+  /// Probability that a data-carrying collective delivers a corrupted
+  /// payload (one item bit-flipped, dropped, or duplicated).
+  double corrupt_rate = 0.0;
+  CorruptKind corrupt_kind = CorruptKind::kMix;
+  /// Re-issues after a checksum mismatch before FaultError.
+  int max_payload_retries = 3;
+
+  /// (rank, factor) lists; factor > 1 slows the rank down. Entries for
+  /// ranks outside the cluster are ignored (plans are written against a
+  /// core count, not a specific grid shape).
+  std::vector<std::pair<int, double>> compute_stragglers;
+  std::vector<std::pair<int, double>> nic_stragglers;
+
+  /// True when any perturbation is configured; gates every hot path.
+  bool enabled() const noexcept;
+  bool payload_faults() const noexcept { return corrupt_rate > 0.0; }
+
+  double compute_factor(int rank) const noexcept;
+  double nic_slowdown(int rank) const noexcept;
+
+  /// Deterministic draws, keyed by (seed, event index). Events are
+  /// numbered by the Cluster in issue order.
+  bool collective_fails(std::uint64_t event) const noexcept;
+  CorruptKind corruption_at(std::uint64_t event) const noexcept;
+  /// Raw 64-bit draw used to pick corruption victims (buffer/item/bit).
+  std::uint64_t shape_draw(std::uint64_t event) const noexcept;
+
+  double backoff_seconds(int attempt) const noexcept;
+};
+
+/// Per-run fault accounting, reset alongside clocks and traffic.
+struct FaultCounters {
+  std::int64_t collective_failures = 0;  ///< failed issues injected
+  std::int64_t collective_retries = 0;   ///< re-issues that went through
+  double backoff_seconds = 0.0;          ///< total backoff waited
+  double reissue_seconds = 0.0;          ///< transfer time paid again
+  std::int64_t payload_corruptions = 0;  ///< items mangled in flight
+  std::int64_t checksum_checks = 0;      ///< checked_* verification rounds
+  std::int64_t payload_retries = 0;      ///< exchanges re-issued on mismatch
+
+  void reset() { *this = FaultCounters{}; }
+};
+
+}  // namespace dbfs::simmpi

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dbfs::util {
 
@@ -26,5 +28,12 @@ std::string env_str(const char* name, const std::string& fallback);
 /// Problem scale for benches: log2 of the vertex count. Honors
 /// BFSSIM_SCALE; `dflt` applies otherwise, halved-ish under BFSSIM_FAST.
 int bench_scale(int dflt);
+
+/// Parse "rank:factor[,rank:factor...]" lists — the spelling of the
+/// --straggler / --degrade-nic CLI flags. Empty input yields an empty
+/// list; malformed entries throw std::invalid_argument naming the
+/// offending piece.
+std::vector<std::pair<int, double>> parse_rank_factors(
+    const std::string& spec);
 
 }  // namespace dbfs::util

@@ -149,6 +149,68 @@ TEST(Broadcast, DeliversPayloadAndMeters) {
             3u * 2u * sizeof(int));
 }
 
+TEST(Broadcast, RejectsRootSlotOutsideGroup) {
+  Cluster c = make_cluster(3);
+  EXPECT_THROW((void)broadcast(c, world(3), 3, std::vector<int>{1}),
+               std::out_of_range);
+}
+
+TEST(Gatherv, RejectsRootSlotOutsideGroup) {
+  Cluster c = make_cluster(3);
+  std::vector<std::vector<int>> pieces{{1}, {2}, {3}};
+  EXPECT_THROW((void)gatherv(c, world(3), 7, std::move(pieces)),
+               std::out_of_range);
+}
+
+// Regression: broadcast used to ignore root_slot entirely, which became
+// observable once per-rank fault factors existed — a broadcast tree is
+// driven by the *root's* link, so a degraded root must slow the whole
+// operation while a degraded leaf must not change the modelled transfer.
+TEST(Broadcast, DegradedRootSlowsTheTreeDegradedLeafDoesNot) {
+  FaultPlan plan;
+  plan.nic_stragglers = {{2, 4.0}};
+
+  Cluster baseline = make_cluster(4);
+  Cluster rooted_at_leaf = make_cluster(4);
+  rooted_at_leaf.set_fault_plan(plan);
+  Cluster rooted_at_degraded = make_cluster(4);
+  rooted_at_degraded.set_fault_plan(plan);
+
+  const std::vector<int> payload{1, 2, 3, 4};
+  (void)broadcast(baseline, world(4), 0, std::vector<int>(payload));
+  (void)broadcast(rooted_at_leaf, world(4), 0, std::vector<int>(payload));
+  (void)broadcast(rooted_at_degraded, world(4), 2,
+                  std::vector<int>(payload));
+
+  EXPECT_DOUBLE_EQ(rooted_at_leaf.clocks().max_now(),
+                   baseline.clocks().max_now());
+  EXPECT_DOUBLE_EQ(rooted_at_degraded.clocks().max_now(),
+                   4.0 * baseline.clocks().max_now());
+}
+
+TEST(Gatherv, DegradedRootSlowsTheGather) {
+  FaultPlan plan;
+  plan.nic_stragglers = {{1, 3.0}};
+
+  Cluster clean_root = make_cluster(3);
+  clean_root.set_fault_plan(plan);
+  Cluster degraded_root = make_cluster(3);
+  degraded_root.set_fault_plan(plan);
+
+  // Equal-sized pieces: either root keeps one piece local and pulls two
+  // across the network, so the byte volume is identical...
+  std::vector<std::vector<int>> pieces{{1}, {2}, {3}};
+  (void)gatherv(clean_root, world(3), 0,
+                std::vector<std::vector<int>>(pieces));
+  (void)gatherv(degraded_root, world(3), 1,
+                std::vector<std::vector<int>>(pieces));
+
+  EXPECT_GT(degraded_root.clocks().max_now(), 0.0);
+  // ...but routing through the degraded rank-1 root costs 3x.
+  EXPECT_DOUBLE_EQ(degraded_root.clocks().max_now(),
+                   3.0 * clean_root.clocks().max_now());
+}
+
 TEST(Cluster, ResetAccountingClearsState) {
   Cluster c = make_cluster(2);
   c.charge_compute(0, 1.0);

@@ -1,0 +1,260 @@
+// Property tests for the simulated collectives: whatever a fault plan
+// does to *time*, the data movement itself must conserve items and counts
+// — send totals equal recv totals, per-pair counts are symmetric, and the
+// order-independent checksum of the moved multiset is unchanged. Only
+// payload corruption may break these, and then the checked_* wrappers
+// must catch it.
+#include "simmpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/prng.hpp"
+
+namespace dbfs::simmpi {
+namespace {
+
+std::vector<int> world(int ranks) {
+  std::vector<int> w(static_cast<std::size_t>(ranks));
+  std::iota(w.begin(), w.end(), 0);
+  return w;
+}
+
+/// Random exchange: every (src,dst) pair carries 0..6 random items.
+FlatExchange<std::int64_t> random_exchange(int ranks,
+                                           util::Xoshiro256& rng) {
+  auto send = FlatExchange<std::int64_t>::sized(
+      static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) {
+    for (int j = 0; j < ranks; ++j) {
+      const auto count = rng.next_below(7);
+      send.counts[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          static_cast<std::int64_t>(count);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        send.data[static_cast<std::size_t>(i)].push_back(
+            static_cast<std::int64_t>(rng()));
+      }
+    }
+  }
+  return send;
+}
+
+std::vector<std::vector<std::int64_t>> random_pieces(int ranks,
+                                                     util::Xoshiro256& rng) {
+  std::vector<std::vector<std::int64_t>> pieces(
+      static_cast<std::size_t>(ranks));
+  for (auto& piece : pieces) {
+    const auto count = rng.next_below(9);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      piece.push_back(static_cast<std::int64_t>(rng()));
+    }
+  }
+  return pieces;
+}
+
+std::uint64_t exchange_checksum(const FlatExchange<std::int64_t>& fe) {
+  std::uint64_t sum = 0;
+  for (const auto& buffer : fe.data) sum += payload_checksum(buffer);
+  return sum;
+}
+
+std::int64_t exchange_items(const FlatExchange<std::int64_t>& fe) {
+  std::int64_t total = 0;
+  for (const auto& buffer : fe.data) {
+    total += static_cast<std::int64_t>(buffer.size());
+  }
+  return total;
+}
+
+/// A time-only fault plan: stragglers and transient failures but no
+/// payload corruption, so data invariants must hold exactly.
+FaultPlan time_faults(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.collective_fail_rate = 0.25;
+  plan.compute_stragglers = {{0, 2.0}};
+  plan.nic_stragglers = {{1, 3.0}};
+  return plan;
+}
+
+class CommProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommProperties, AlltoallvConservesItemsAndCounts) {
+  for (const bool faulted : {false, true}) {
+    util::Xoshiro256 rng{GetParam()};
+    const int ranks = 2 + static_cast<int>(rng.next_below(7));
+    Cluster c{ranks, model::generic()};
+    if (faulted) c.set_fault_plan(time_faults(GetParam()));
+
+    auto send = random_exchange(ranks, rng);
+    const auto counts = send.counts;
+    const auto items = exchange_items(send);
+    const auto checksum = exchange_checksum(send);
+
+    const auto recv = alltoallv(c, world(ranks), std::move(send));
+
+    EXPECT_EQ(exchange_items(recv), items) << "faulted=" << faulted;
+    EXPECT_EQ(exchange_checksum(recv), checksum) << "faulted=" << faulted;
+    for (int i = 0; i < ranks; ++i) {
+      std::int64_t sent_by_i = 0;
+      std::int64_t recv_from_i = 0;
+      for (int j = 0; j < ranks; ++j) {
+        // Per-pair symmetry: what j receives from i is what i sent to j.
+        EXPECT_EQ(recv.counts[static_cast<std::size_t>(j)]
+                             [static_cast<std::size_t>(i)],
+                  counts[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(j)]);
+        sent_by_i += counts[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(j)];
+        recv_from_i += recv.counts[static_cast<std::size_t>(j)]
+                                  [static_cast<std::size_t>(i)];
+      }
+      EXPECT_EQ(sent_by_i, recv_from_i);
+    }
+  }
+}
+
+TEST_P(CommProperties, AllgathervEqualsConcatenation) {
+  for (const bool faulted : {false, true}) {
+    util::Xoshiro256 rng{GetParam()};
+    const int ranks = 2 + static_cast<int>(rng.next_below(7));
+    Cluster c{ranks, model::generic()};
+    if (faulted) c.set_fault_plan(time_faults(GetParam()));
+
+    auto pieces = random_pieces(ranks, rng);
+    std::vector<std::int64_t> expected;
+    for (const auto& piece : pieces) {
+      expected.insert(expected.end(), piece.begin(), piece.end());
+    }
+    const auto result = allgatherv(c, world(ranks), std::move(pieces));
+    EXPECT_EQ(result, expected) << "faulted=" << faulted;
+  }
+}
+
+TEST_P(CommProperties, TransposeExchangeConservesItems) {
+  for (const bool faulted : {false, true}) {
+    util::Xoshiro256 rng{GetParam()};
+    const int side = 2 + static_cast<int>(rng.next_below(3));
+    const ProcessGrid grid{side};
+    Cluster c{grid.ranks(), model::generic()};
+    if (faulted) c.set_fault_plan(time_faults(GetParam()));
+
+    auto pieces = random_pieces(grid.ranks(), rng);
+    const auto original = pieces;
+    const auto out = transpose_exchange(c, grid, std::move(pieces));
+
+    ASSERT_EQ(out.size(), original.size());
+    std::uint64_t sum_before = 0;
+    std::uint64_t sum_after = 0;
+    for (int rank = 0; rank < grid.ranks(); ++rank) {
+      // Pairwise routing: P(i,j)'s payload lands at P(j,i), exactly.
+      EXPECT_EQ(out[static_cast<std::size_t>(grid.transpose_partner(rank))],
+                original[static_cast<std::size_t>(rank)]);
+      sum_before += payload_checksum(original[static_cast<std::size_t>(rank)]);
+      sum_after += payload_checksum(out[static_cast<std::size_t>(rank)]);
+    }
+    EXPECT_EQ(sum_after, sum_before) << "faulted=" << faulted;
+  }
+}
+
+TEST_P(CommProperties, TimeFaultsOnlyEverSlowThingsDown) {
+  util::Xoshiro256 rng{GetParam()};
+  const int ranks = 2 + static_cast<int>(rng.next_below(7));
+  auto send = random_exchange(ranks, rng);
+  auto copy = send;
+
+  Cluster clean{ranks, model::generic()};
+  (void)alltoallv(clean, world(ranks), std::move(send));
+  Cluster faulted{ranks, model::generic()};
+  faulted.set_fault_plan(time_faults(GetParam()));
+  (void)alltoallv(faulted, world(ranks), std::move(copy));
+
+  EXPECT_GE(faulted.clocks().max_now(), clean.clocks().max_now());
+  // Bytes on the wire are the payload's, however many re-issues happened.
+  EXPECT_EQ(faulted.traffic().totals(Pattern::kAlltoallv).bytes,
+            clean.traffic().totals(Pattern::kAlltoallv).bytes);
+}
+
+TEST_P(CommProperties, CorruptionDetectablyBreaksTheChecksum) {
+  util::Xoshiro256 rng{GetParam()};
+  const int ranks = 2 + static_cast<int>(rng.next_below(7));
+  Cluster c{ranks, model::generic()};
+  FaultPlan plan;
+  plan.seed = GetParam();
+  plan.corrupt_rate = 1.0;  // corrupt every exchange
+  c.set_fault_plan(plan);
+
+  auto send = random_exchange(ranks, rng);
+  if (exchange_items(send) == 0) {
+    send.data[0].push_back(42);
+    send.counts[0][ranks > 1 ? 1 : 0] = 1;
+  }
+  const auto checksum = exchange_checksum(send);
+
+  // The *raw* collective delivers the mangled payload — and the checksum
+  // flags it. This is exactly the signal checked_alltoallv acts on.
+  const auto recv = alltoallv(c, world(ranks), std::move(send));
+  EXPECT_EQ(c.fault_counters().payload_corruptions, 1);
+  EXPECT_NE(exchange_checksum(recv), checksum);
+}
+
+TEST_P(CommProperties, CheckedAlltoallvNeverReturnsCorruptedData) {
+  util::Xoshiro256 rng{GetParam()};
+  const int ranks = 2 + static_cast<int>(rng.next_below(7));
+  Cluster c{ranks, model::generic()};
+  FaultPlan plan;
+  plan.seed = GetParam();
+  plan.corrupt_rate = 0.5;
+  c.set_fault_plan(plan);
+
+  auto send = random_exchange(ranks, rng);
+  const auto items = exchange_items(send);
+  const auto checksum = exchange_checksum(send);
+  try {
+    const auto recv =
+        checked_alltoallv(c, world(ranks), std::move(send), "property");
+    EXPECT_EQ(exchange_items(recv), items);
+    EXPECT_EQ(exchange_checksum(recv), checksum);
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), "payload-corruption");  // loud, structured abort
+  }
+}
+
+TEST_P(CommProperties, CheckedAllgathervNeverReturnsCorruptedData) {
+  util::Xoshiro256 rng{GetParam()};
+  const int ranks = 2 + static_cast<int>(rng.next_below(7));
+  Cluster c{ranks, model::generic()};
+  FaultPlan plan;
+  plan.seed = GetParam();
+  plan.corrupt_rate = 0.5;
+  c.set_fault_plan(plan);
+
+  auto pieces = random_pieces(ranks, rng);
+  std::vector<std::int64_t> expected;
+  for (const auto& piece : pieces) {
+    expected.insert(expected.end(), piece.begin(), piece.end());
+  }
+  try {
+    const auto result =
+        checked_allgatherv(c, world(ranks), std::move(pieces), "property");
+    EXPECT_EQ(result, expected);
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), "payload-corruption");
+  }
+}
+
+std::vector<std::uint64_t> property_seeds() {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= 10; ++s) seeds.push_back(s * 104729);
+  return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommProperties,
+                         ::testing::ValuesIn(property_seeds()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dbfs::simmpi

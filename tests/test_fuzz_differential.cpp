@@ -103,6 +103,78 @@ TEST_P(DifferentialFuzz, AllAlgorithmsAgreeWithSerial) {
   }
 }
 
+// Chaos mode: the same differential net, but each engine runs under a
+// randomized fault plan — stragglers, transient collective failures, and
+// payload corruption. The contract is all-or-nothing: a run either
+// completes agreeing exactly with the serial reference, or aborts loudly
+// with a structured FaultError. A silently wrong answer is the only
+// failure mode.
+TEST_P(DifferentialFuzz, ChaosRunsMatchSerialOrFailLoudly) {
+  util::Xoshiro256 rng{GetParam().seed * 0x9e3779b9ULL + 17};
+
+  graph::RmatParams p;
+  p.scale = 8 + static_cast<int>(rng.next_below(2));
+  p.edge_factor = 8;
+  p.seed = rng();
+  graph::BuildOptions build;
+  build.shuffle_seed = rng();
+  const auto built = graph::build_graph(graph::generate_rmat(p), build);
+  const vid_t n = built.csr.num_vertices();
+  const vid_t source = test::hub_source(built.csr);
+
+  const auto serial = bfs::serial_bfs(built.csr, source);
+  const auto reference = graph::reference_levels(built.csr, source);
+
+  const core::Algorithm algorithms[] = {
+      core::Algorithm::kOneDFlat, core::Algorithm::kOneDHybrid,
+      core::Algorithm::kTwoDFlat, core::Algorithm::kTwoDHybrid};
+  int completed = 0;
+  int aborted = 0;
+  for (core::Algorithm algorithm : algorithms) {
+    core::EngineOptions opts;
+    opts.algorithm = algorithm;
+    opts.cores = 1 << (2 + rng.next_below(5));  // 4..64
+
+    simmpi::FaultPlan& faults = opts.faults;
+    faults.seed = rng();
+    faults.collective_fail_rate =
+        static_cast<double>(rng.next_below(30)) / 100.0;  // 0..0.29
+    faults.corrupt_rate =
+        static_cast<double>(rng.next_below(35)) / 100.0;  // 0..0.34
+    const auto straggler_count = rng.next_below(3);
+    for (std::uint64_t s = 0; s < straggler_count; ++s) {
+      const int rank = static_cast<int>(rng.next_below(64));
+      const double factor =
+          1.5 + static_cast<double>(rng.next_below(40)) / 10.0;
+      if (rng.next_below(2) == 0) {
+        faults.compute_stragglers.emplace_back(rank, factor);
+      } else {
+        faults.nic_stragglers.emplace_back(rank, factor);
+      }
+    }
+
+    core::Engine engine{built.edges, n, opts};
+    try {
+      const auto out = engine.run(source);
+      ++completed;
+      EXPECT_EQ(out.level, serial.level)
+          << core::to_string(algorithm) << " chaos seed=" << faults.seed;
+      const auto v =
+          graph::validate_bfs_tree(built.csr, source, out.parent, reference);
+      EXPECT_TRUE(v.ok) << core::to_string(algorithm)
+                        << " chaos seed=" << faults.seed << ": " << v.error;
+    } catch (const simmpi::FaultError& e) {
+      // Loud structured abort: acceptable. Assert the error says enough
+      // for a harness to triage it.
+      ++aborted;
+      EXPECT_FALSE(e.site().empty());
+      EXPECT_FALSE(e.kind().empty());
+      EXPECT_GT(e.attempts(), 0);
+    }
+  }
+  EXPECT_EQ(completed + aborted, 4);
+}
+
 std::vector<FuzzCase> fuzz_cases() {
   std::vector<FuzzCase> cases;
   for (std::uint64_t s = 1; s <= 12; ++s) cases.push_back({s * 7919});
