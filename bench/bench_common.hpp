@@ -47,10 +47,10 @@ inline Workload make_rmat_workload(int scale, int edge_factor, int nsources,
 }
 
 /// Number of BFS sources per configuration; benches default low so the
-/// whole suite runs in seconds (BFSSIM_SOURCES overrides; the paper uses
-/// >= 16).
+/// whole suite runs in seconds (DISTBFS_SOURCES overrides; the paper
+/// uses >= 16).
 inline int bench_sources(int dflt = 4) {
-  return static_cast<int>(util::env_int("BFSSIM_SOURCES", dflt));
+  return static_cast<int>(util::project_env_int("SOURCES", dflt));
 }
 
 /// Mean simulated seconds + mean comm seconds for one engine config over

@@ -15,7 +15,8 @@ int main() {
   using namespace dbfs::bench;
 
   const int log_n = util::bench_scale(17);
-  const int diameter = static_cast<int>(util::env_int("BFSSIM_DIAMETER", 140));
+  const int diameter =
+      static_cast<int>(util::project_env_int("DIAMETER", 140));
   const int nsources = bench_sources(2);
 
   graph::WebcrawlParams params;

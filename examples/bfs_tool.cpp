@@ -7,11 +7,13 @@
 //     --machine hopper --sources 16
 //   bfs_tool --input graph.mtx --algo 1d --cores 256 --triangular
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/engine.hpp"
 #include "bfs/report_json.hpp"
 #include "core/teps.hpp"
+#include "obs/critical_path.hpp"
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
@@ -99,6 +101,12 @@ int main(int argc, char** argv) {
       .describe("no-shuffle", "skip the random vertex relabeling")
       .describe("save", "write the prepared graph to this file and exit")
       .describe("json", "print the first run's full report as JSON")
+      .describe("trace-out",
+                "write a Chrome trace-event JSON (Perfetto-loadable) of "
+                "the first source's run to this path")
+      .describe("metrics",
+                "collect the metrics registry; prints a summary and is "
+                "embedded in --json output")
       .describe("fault-seed", "seed for deterministic fault injection", "0")
       .describe("straggler",
                 "compute stragglers as rank:factor[,rank:factor...]")
@@ -165,6 +173,10 @@ int main(int argc, char** argv) {
         util::parse_rank_factors(args.get("degrade-nic", ""));
     opts.faults = faults;
 
+    const std::string trace_out = args.get("trace-out", "");
+    opts.trace = !trace_out.empty();
+    opts.metrics = args.get_flag("metrics");
+
     core::Engine engine{built.edges, n, opts};
     std::printf("engine: %s on %s, %d cores used\n",
                 core::to_string(opts.algorithm), opts.machine.name.c_str(),
@@ -206,8 +218,43 @@ int main(int argc, char** argv) {
           static_cast<long long>(r.faults.payload_corruptions),
           static_cast<long long>(r.faults.payload_retries));
     }
+    if (engine.tracer() != nullptr || engine.metrics() != nullptr) {
+      // Each run overwrites the observers' recordings, so re-run the
+      // first source: the run is deterministic, and afterwards the trace
+      // and metrics describe exactly the report printed below.
+      (void)engine.run(sources.front());
+    }
+    obs::CriticalPathReport cp;
+    bool have_cp = false;
+    if (engine.tracer() != nullptr) {
+      cp = obs::analyze_critical_path(*engine.tracer(), r.ranks);
+      have_cp = true;
+      std::printf("%s", obs::format_critical_path_table(cp).c_str());
+      std::ofstream trace_file(trace_out);
+      if (!trace_file) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     trace_out.c_str());
+        return 2;
+      }
+      engine.tracer()->write_chrome_json(trace_file);
+      std::printf(
+          "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n",
+          trace_out.c_str());
+    }
+    if (engine.metrics() != nullptr) {
+      const auto& wait =
+          engine.metrics()->histogram("comm.wait_seconds");
+      std::printf(
+          "collective waits (first run): %llu samples, mean %.3e s, "
+          "p95 %.3e s, p99 %.3e s\n",
+          static_cast<unsigned long long>(wait.count()), wait.mean(),
+          wait.quantile(0.95), wait.quantile(0.99));
+    }
     if (args.get_flag("json")) {
-      std::printf("%s\n", bfs::report_to_json(r).c_str());
+      bfs::ReportJsonOptions jopts;
+      jopts.metrics = engine.metrics();
+      jopts.critical_path = have_cp ? &cp : nullptr;
+      std::printf("%s\n", bfs::report_to_json(r, jopts).c_str());
     }
     return 0;
   } catch (const std::exception& e) {

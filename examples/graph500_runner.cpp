@@ -4,16 +4,21 @@
 // the harmonic-mean TEPS with quartiles — the benchmark's output format.
 //
 //   ./examples/graph500_runner [scale] [cores] [algorithm] [nsources]
+//             [--trace-out=PATH]
 //   algorithm in {1d, 1d-hybrid, 2d, 2d-hybrid}
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/teps.hpp"
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -32,11 +37,22 @@ dbfs::core::Algorithm parse_algorithm(const char* name) {
 int main(int argc, char** argv) {
   using namespace dbfs;
 
-  const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
-  const int cores = argc > 2 ? std::atoi(argv[2]) : 1024;
-  const core::Algorithm algorithm =
-      argc > 3 ? parse_algorithm(argv[3]) : core::Algorithm::kTwoDHybrid;
-  const int nsources = argc > 4 ? std::atoi(argv[4]) : 16;
+  std::string trace_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int scale = positional.size() > 0 ? std::atoi(positional[0]) : 14;
+  const int cores = positional.size() > 1 ? std::atoi(positional[1]) : 1024;
+  const core::Algorithm algorithm = positional.size() > 2
+                                        ? parse_algorithm(positional[2])
+                                        : core::Algorithm::kTwoDHybrid;
+  const int nsources =
+      positional.size() > 3 ? std::atoi(positional[3]) : 16;
 
   std::printf("=== Graph500-style run ===\n");
   std::printf("SCALE: %d  edgefactor: 16  cores: %d  algorithm: %s\n", scale,
@@ -52,6 +68,7 @@ int main(int argc, char** argv) {
   opts.algorithm = algorithm;
   opts.cores = cores;
   opts.machine = model::hopper();
+  opts.trace = !trace_out.empty();
   core::Engine engine{built.edges, n, opts};
 
   const auto comps = graph::connected_components(engine.csr());
@@ -78,10 +95,27 @@ int main(int argc, char** argv) {
   std::printf("  q1_TEPS:       %.4e\n", teps.samples.p25);
   std::printf("  median_TEPS:   %.4e\n", teps.samples.median);
   std::printf("  q3_TEPS:       %.4e\n", teps.samples.p75);
+  std::printf("  p95_TEPS:      %.4e\n", teps.samples.p95);
+  std::printf("  p99_TEPS:      %.4e\n", teps.samples.p99);
   std::printf("  max_TEPS:      %.4e\n", teps.samples.max);
   std::printf("  harmonic_mean_TEPS: %.4e  (%.3f GTEPS)\n",
               teps.harmonic_mean, teps.gteps);
   std::printf("  mean_search_time:   %.4f s (simulated)\n",
               teps.mean_seconds);
+
+  if (engine.tracer() != nullptr) {
+    // Observers hold the most recent run; re-run the first key so the
+    // trace matches a single deterministic search.
+    (void)engine.run(sources.front());
+    std::ofstream trace_file(trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    engine.tracer()->write_chrome_json(trace_file);
+    std::printf(
+        "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n",
+        trace_out.c_str());
+  }
   return 0;
 }

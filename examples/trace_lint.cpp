@@ -1,0 +1,329 @@
+// trace_lint: validate a Chrome trace-event JSON file emitted by
+// `bfs_tool --trace-out` / `graph500_runner --trace-out=`.
+//
+// Deliberately standalone (no library dependency, own ~150-line JSON
+// parser): it is the independent half of the trace-smoke check, so a bug
+// in the library's writer cannot hide inside a shared serializer. Checks:
+// the file parses as JSON, has the traceEvents array, every duration
+// event has begin <= end (non-negative dur) and non-negative ts, and
+// every category / span name / fault marker is one the simulator is
+// documented to emit.
+//
+//   trace_lint FILE          exits 0 and prints a summary, or exits 1
+//                            with the first problem found
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// ---- Minimal JSON value + recursive-descent parser ----------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  bool has(const std::string& key) const { return members.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const {
+    auto it = members.find(key);
+    if (it == members.end()) {
+      throw std::runtime_error("missing key '" + key + "'");
+    }
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error(why + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.text = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      if (consume_literal("true")) {
+        v.boolean = true;
+      } else if (consume_literal("false")) {
+        v.boolean = false;
+      } else {
+        fail("bad literal");
+      }
+      return v;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return JsonValue{};
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          // Keep it simple: the writer only emits \u00xx control bytes.
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Trace validation ---------------------------------------------------
+
+// Everything the simulator is documented to emit. A new phase label or
+// collective site must be added here (and to the docs) to pass the lint.
+const std::set<std::string> kSpanCats = {"compute", "wait", "transfer"};
+const std::set<std::string> kSpanNames = {
+    // compute phases
+    "compute", "1d-scan", "1d-update", "2d-spmsv", "2d-merge", "2d-tri-scan",
+    // collective sites
+    "1d-exchange", "1d-chunked", "2d-expand", "2d-fold", "level-sync",
+    "checksum", "alltoallv", "allgatherv", "allreduce", "broadcast",
+    "gatherv", "transpose",
+};
+const std::set<std::string> kInstantNames = {"collective-failure",
+                                             "checksum-retry"};
+
+int lint(const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "trace_lint: top level is not an object\n");
+    return 1;
+  }
+  if (!root.has("traceEvents")) {
+    std::fprintf(stderr, "trace_lint: no traceEvents array\n");
+    return 1;
+  }
+  const JsonValue& events = root.at("traceEvents");
+  if (events.kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "trace_lint: traceEvents is not an array\n");
+    return 1;
+  }
+
+  std::size_t spans = 0, metas = 0, instants = 0;
+  for (std::size_t i = 0; i < events.items.size(); ++i) {
+    const JsonValue& e = events.items[i];
+    const auto complain = [&](const std::string& why) {
+      std::fprintf(stderr, "trace_lint: event %zu: %s\n", i, why.c_str());
+      return 1;
+    };
+    try {
+      if (e.kind != JsonValue::Kind::kObject) return complain("not an object");
+      const std::string ph = e.at("ph").text;
+      const std::string name = e.at("name").text;
+      if (ph == "M") {
+        ++metas;
+        if (name != "thread_name") {
+          return complain("unknown metadata event '" + name + "'");
+        }
+        continue;
+      }
+      if (ph == "X") {
+        ++spans;
+        const double ts = e.at("ts").number;
+        const double dur = e.at("dur").number;
+        if (ts < 0.0) return complain("negative ts");
+        if (dur < 0.0) return complain("span begins after it ends");
+        if (kSpanCats.count(e.at("cat").text) == 0) {
+          return complain("unknown span cat '" + e.at("cat").text + "'");
+        }
+        if (kSpanNames.count(name) == 0) {
+          return complain("unknown span/phase tag '" + name + "'");
+        }
+        if (e.at("tid").number < 0) return complain("negative tid");
+        continue;
+      }
+      if (ph == "i") {
+        ++instants;
+        if (e.at("cat").text != "fault") {
+          return complain("instant with cat != fault");
+        }
+        if (kInstantNames.count(name) == 0) {
+          return complain("unknown fault marker '" + name + "'");
+        }
+        if (e.at("ts").number < 0.0) return complain("negative ts");
+        continue;
+      }
+      return complain("unknown event phase '" + ph + "'");
+    } catch (const std::exception& ex) {
+      return complain(ex.what());
+    }
+  }
+
+  std::printf("trace OK: %zu events (%zu spans, %zu metadata, %zu faults)\n",
+              events.items.size(), spans, metas, instants);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_lint TRACE.json\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    JsonParser parser(buffer.str());
+    return lint(parser.parse());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_lint: %s does not parse: %s\n", argv[1],
+                 e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,40 @@
+# trace_smoke: run bfs_tool with --trace-out on a tiny R-MAT instance,
+# then validate the emitted Chrome trace with the standalone trace_lint.
+# Invoked by ctest as
+#   cmake -DBFS_TOOL=<exe> -DTRACE_LINT=<exe> -DOUT_DIR=<dir> -P trace_smoke.cmake
+foreach(var BFS_TOOL TRACE_LINT OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace_file "${OUT_DIR}/trace_smoke.json")
+file(REMOVE "${trace_file}")
+
+execute_process(
+  COMMAND "${BFS_TOOL}" --gen rmat --scale 10 --cores 16 --algo 2d-hybrid
+          --sources 1 --metrics --trace-out "${trace_file}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: bfs_tool failed (rc=${run_rc})\n"
+                      "stdout:\n${run_out}\nstderr:\n${run_err}")
+endif()
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "trace_smoke: bfs_tool exited 0 but wrote no trace\n"
+                      "stdout:\n${run_out}")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_LINT}" "${trace_file}"
+  RESULT_VARIABLE lint_rc
+  OUTPUT_VARIABLE lint_out
+  ERROR_VARIABLE lint_err)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: trace_lint rejected ${trace_file} "
+                      "(rc=${lint_rc})\nstdout:\n${lint_out}\n"
+                      "stderr:\n${lint_err}")
+endif()
+message(STATUS "trace_smoke passed: ${lint_out}")

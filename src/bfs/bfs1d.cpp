@@ -56,6 +56,7 @@ struct Bfs1D::Impl {
         world(static_cast<std::size_t>(opts.ranks)) {
     std::iota(world.begin(), world.end(), 0);
     cluster.set_fault_plan(opts.faults);
+    cluster.set_observers(opts.tracer, opts.metrics);
   }
 
   /// Charge per-rank compute costs, blended toward the group mean by
@@ -140,7 +141,8 @@ struct Bfs1D::Impl {
                                          cluster.nic_factor()),
                 opts.ranks),
         "1d-chunked");
-    cluster.clocks().collective(world, max_cost);
+    simmpi::sync_collective(cluster, world, max_cost, "1d-chunked",
+                            simmpi::Pattern::kPointToPoint, network_bytes);
     cluster.traffic().record(simmpi::Pattern::kPointToPoint, network_bytes,
                              max_cost, opts.ranks);
     return recv;
@@ -184,12 +186,21 @@ BfsOutput Bfs1D::run(vid_t source) {
   out.level[source] = 0;
   fs[static_cast<std::size_t>(part.owner(source))].push_back(source);
 
+  const bool observing = im.cluster.observing();
+  out.report.has_level_breakdown = observing;
+
   vid_t global_frontier = 1;
   level_t level = 1;
+  std::vector<double> comm_before, comp_before;
   while (global_frontier > 0) {
     LevelStats stats;
     stats.level = level - 1;
     stats.frontier = global_frontier;
+    im.cluster.set_trace_level(static_cast<int>(stats.level));
+    if (observing) {
+      comm_before = im.cluster.clocks().all_comm();
+      comp_before = im.cluster.clocks().all_compute();
+    }
     const double wall_before = im.cluster.clocks().max_now();
     const auto a2a_bytes_before =
         im.cluster.traffic().totals(simmpi::Pattern::kAlltoallv).bytes +
@@ -284,6 +295,7 @@ BfsOutput Bfs1D::run(vid_t source) {
                         model::cost_thread_barriers(im.cluster.machine(), t, 2) +
                         static_cast<double>(p) * im.opts.per_peer_level_seconds;
     });
+    im.cluster.set_compute_phase("1d-scan");
     im.charge_smoothed(phase_costs);
 
     // --- All-to-all exchange (line 21).
@@ -313,11 +325,12 @@ BfsOutput Bfs1D::run(vid_t source) {
       recv[ri].clear();
       recv[ri].shrink_to_fit();
     });
+    im.cluster.set_compute_phase("1d-update");
     im.charge_smoothed(phase_costs);
 
     // --- Level synchronization / termination test.
-    global_frontier = static_cast<vid_t>(
-        simmpi::allreduce_sum<std::int64_t>(im.cluster, im.world, next_sizes));
+    global_frontier = static_cast<vid_t>(simmpi::allreduce_sum<std::int64_t>(
+        im.cluster, im.world, next_sizes, "level-sync"));
 
     stats.edges_scanned =
         std::accumulate(edges_scanned.begin(), edges_scanned.end(), eid_t{0});
@@ -327,9 +340,27 @@ BfsOutput Bfs1D::run(vid_t source) {
         im.cluster.traffic().totals(simmpi::Pattern::kPointToPoint).bytes -
         a2a_bytes_before;
     stats.wall_seconds = im.cluster.clocks().max_now() - wall_before;
+    if (observing) {
+      double comm_sum = 0.0, comp_sum = 0.0;
+      for (std::size_t r = 0; r < static_cast<std::size_t>(p); ++r) {
+        const double dcomm =
+            im.cluster.clocks().comm_time(static_cast<int>(r)) -
+            comm_before[r];
+        const double dcomp =
+            im.cluster.clocks().compute_time(static_cast<int>(r)) -
+            comp_before[r];
+        comm_sum += dcomm;
+        comp_sum += dcomp;
+        stats.comm_seconds_max = std::max(stats.comm_seconds_max, dcomm);
+        stats.comp_seconds_max = std::max(stats.comp_seconds_max, dcomp);
+      }
+      stats.comm_seconds = comm_sum / static_cast<double>(p);
+      stats.comp_seconds = comp_sum / static_cast<double>(p);
+    }
     out.report.levels.push_back(stats);
     ++level;
   }
+  im.cluster.set_trace_level(-1);
 
   finalize_report(out.report, im.cluster);
   return out;

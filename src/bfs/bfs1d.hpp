@@ -65,6 +65,11 @@ struct Bfs1DOptions {
   /// failures, payload corruption); see simmpi/fault.hpp. A zero plan
   /// leaves the run bit-identical to an unfaulted build.
   simmpi::FaultPlan faults;
+  /// Passive observers (non-owning; see src/obs/). Null = off; attaching
+  /// them never perturbs the simulated run, it only records it and
+  /// enables the per-level comm/comp breakdown in the report.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
   std::string label = "1d";
 };
 

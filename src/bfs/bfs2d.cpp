@@ -56,6 +56,7 @@ struct Bfs2D::Impl {
         spa(static_cast<std::size_t>(grid.ranks())) {
     std::iota(world.begin(), world.end(), 0);
     cluster.set_fault_plan(opts.faults);
+    cluster.set_observers(opts.tracer, opts.metrics);
     if (opts.threads_per_rank > 1) {
       thread_pieces.resize(static_cast<std::size_t>(grid.ranks()));
       for (int r = 0; r < grid.ranks(); ++r) {
@@ -112,12 +113,21 @@ BfsOutput Bfs2D::run(vid_t source) {
   out.level[source] = 0;
   fs[static_cast<std::size_t>(im.vdist.owner_rank(source))].push_back(source);
 
+  const bool observing = im.cluster.observing();
+  out.report.has_level_breakdown = observing;
+
   vid_t global_frontier = 1;
   level_t level = 1;
+  std::vector<double> comm_before, comp_before;
   while (global_frontier > 0) {
     LevelStats stats;
     stats.level = level - 1;
     stats.frontier = global_frontier;
+    im.cluster.set_trace_level(static_cast<int>(stats.level));
+    if (observing) {
+      comm_before = im.cluster.clocks().all_comm();
+      comp_before = im.cluster.clocks().all_compute();
+    }
     const double wall_before = im.cluster.clocks().max_now();
     auto& traffic = im.cluster.traffic();
     const auto ag_before =
@@ -157,7 +167,8 @@ BfsOutput Bfs2D::run(vid_t source) {
       for (int j = 0; j < s; ++j) {
         gathered[static_cast<std::size_t>(j)] = simmpi::broadcast(
             im.cluster, im.grid.col_group(j), static_cast<std::size_t>(j),
-            fs[static_cast<std::size_t>(im.grid.rank_of(j, j))]);
+            fs[static_cast<std::size_t>(im.grid.rank_of(j, j))],
+            "2d-expand");
       }
       for (auto& piece : fs) piece.clear();
     }
@@ -239,7 +250,21 @@ BfsOutput Bfs2D::run(vid_t source) {
           model::cost_2d_local(im.cluster.machine(), work) +
           model::cost_thread_barriers(im.cluster.machine(), t, 2);
     });
+    im.cluster.set_compute_phase("2d-spmsv");
     im.charge_smoothed(im.world, spmsv_costs);
+    if (obs::MetricsRegistry* m = im.cluster.metrics()) {
+      // SpMSV workload distributions (per rank per level) for the kernel
+      // ablations: flop counts, output sizes, and back-end selection.
+      auto& flops_hist = m->histogram("spmsv.flops");
+      auto& nnz_hist = m->histogram("spmsv.output_nnz");
+      for (int r = 0; r < p; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        flops_hist.observe(static_cast<double>(flops[ri]));
+        nnz_hist.observe(static_cast<double>(partials[ri].nnz()));
+        m->counter("spmsv.spa_calls") += spa_calls[ri];
+        m->counter("spmsv.heap_calls") += heap_calls[ri];
+      }
+    }
 
     // ---- Triangular storage (§7): the stored wedge only covers edge
     // directions c -> r with r <= c; the mirrored directions are applied
@@ -299,6 +324,7 @@ BfsOutput Bfs2D::run(vid_t source) {
         scan_costs[ri] =
             model::cost_2d_transpose_scan(im.cluster.machine(), work);
       });
+      im.cluster.set_compute_phase("2d-tri-scan");
       im.charge_smoothed(im.world, scan_costs);
       // Results travel to the transpose partner, whose row block owns
       // them; the partner folds them with its own partial output.
@@ -310,6 +336,7 @@ BfsOutput Bfs2D::run(vid_t source) {
     // the vector-piece owners, then merge, filter, and update parents
     // (lines 9-11).
     std::vector<std::int64_t> next_sizes(static_cast<std::size_t>(p), 0);
+    im.cluster.set_compute_phase("2d-merge");
     for (int i = 0; i < s; ++i) {
       const vid_t row_base = blocks.begin(i);
       const auto row_group = im.grid.row_group(i);
@@ -367,7 +394,7 @@ BfsOutput Bfs2D::run(vid_t source) {
         received.assign(static_cast<std::size_t>(s), {});
         received[static_cast<std::size_t>(i)] = simmpi::gatherv(
             im.cluster, row_group, static_cast<std::size_t>(i),
-            std::move(pieces));
+            std::move(pieces), "2d-fold");
       }
 
       // Owners merge received candidates: sort, combine by max parent,
@@ -421,8 +448,8 @@ BfsOutput Bfs2D::run(vid_t source) {
     }
 
     // ---- Termination (implicit in Algorithm 3's while f != ∅).
-    global_frontier = static_cast<vid_t>(
-        simmpi::allreduce_sum<std::int64_t>(im.cluster, im.world, next_sizes));
+    global_frontier = static_cast<vid_t>(simmpi::allreduce_sum<std::int64_t>(
+        im.cluster, im.world, next_sizes, "level-sync"));
 
     stats.edges_scanned =
         std::accumulate(flops.begin(), flops.end(), eid_t{0});
@@ -436,6 +463,23 @@ BfsOutput Bfs2D::run(vid_t source) {
     stats.other_bytes =
         traffic.totals(simmpi::Pattern::kTranspose).bytes - tr_before;
     stats.wall_seconds = im.cluster.clocks().max_now() - wall_before;
+    if (observing) {
+      double comm_sum = 0.0, comp_sum = 0.0;
+      for (std::size_t r = 0; r < static_cast<std::size_t>(p); ++r) {
+        const double dcomm =
+            im.cluster.clocks().comm_time(static_cast<int>(r)) -
+            comm_before[r];
+        const double dcomp =
+            im.cluster.clocks().compute_time(static_cast<int>(r)) -
+            comp_before[r];
+        comm_sum += dcomm;
+        comp_sum += dcomp;
+        stats.comm_seconds_max = std::max(stats.comm_seconds_max, dcomm);
+        stats.comp_seconds_max = std::max(stats.comp_seconds_max, dcomp);
+      }
+      stats.comm_seconds = comm_sum / static_cast<double>(p);
+      stats.comp_seconds = comp_sum / static_cast<double>(p);
+    }
     out.report.levels.push_back(stats);
     out.report.spmsv_spa_calls +=
         std::accumulate(spa_calls.begin(), spa_calls.end(), std::int64_t{0});
@@ -443,6 +487,7 @@ BfsOutput Bfs2D::run(vid_t source) {
         std::accumulate(heap_calls.begin(), heap_calls.end(), std::int64_t{0});
     ++level;
   }
+  im.cluster.set_trace_level(-1);
 
   finalize_report(out.report, im.cluster);
   return out;

@@ -22,6 +22,8 @@
 #include "graph/edge_list.hpp"
 #include "model/cost.hpp"
 #include "model/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/process_grid.hpp"
 #include "sparse/spmsv.hpp"
@@ -55,6 +57,11 @@ struct Bfs2DOptions {
   /// failures, payload corruption); see simmpi/fault.hpp. A zero plan
   /// leaves the run bit-identical to an unfaulted build.
   simmpi::FaultPlan faults;
+  /// Passive observers (non-owning; see src/obs/). Null = off; attaching
+  /// them never perturbs the simulated run, it only records it and
+  /// enables the per-level comm/comp breakdown in the report.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
   std::string label = "2d";
 };
 

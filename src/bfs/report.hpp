@@ -23,6 +23,12 @@ struct LevelStats {
   double wall_seconds = 0.0;         ///< simulated level makespan
   double comm_seconds = 0.0;         ///< mean per-rank comm delta
   double comp_seconds = 0.0;         ///< mean per-rank compute delta
+  /// Slowest rank's deltas for this level (straggler view). Populated —
+  /// along with the means above — only when observers are attached (see
+  /// RunReport::has_level_breakdown), so unobserved reports stay
+  /// byte-identical.
+  double comm_seconds_max = 0.0;
+  double comp_seconds_max = 0.0;
 };
 
 /// Fault-injection outcome of one run (plain fields so this header stays
@@ -50,6 +56,12 @@ struct RunReport {
   int cores = 1;
 
   std::vector<LevelStats> levels;
+
+  /// True when the run was observed (tracer/metrics attached) and the
+  /// per-level comm/comp means and maxima above were captured. Gates the
+  /// extra per-level JSON keys so a plain run's report is byte-identical
+  /// to one produced before the observability layer existed.
+  bool has_level_breakdown = false;
 
   double total_seconds = 0.0;       ///< simulated BFS makespan
   double comm_seconds_mean = 0.0;   ///< per-rank communication (incl. waits)

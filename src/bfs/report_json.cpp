@@ -3,6 +3,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+
 namespace dbfs::bfs {
 
 namespace {
@@ -105,7 +108,17 @@ void write_report_json(std::ostream& out, const RunReport& report,
         << ",\"wall_seconds\":" << l.wall_seconds
         << ",\"a2a_bytes\":" << l.a2a_bytes
         << ",\"expand_bytes\":" << l.expand_bytes
-        << ",\"other_bytes\":" << l.other_bytes << "}";
+        << ",\"other_bytes\":" << l.other_bytes;
+    if (report.has_level_breakdown) {
+      // Only observed runs captured the per-level clock deltas; gating
+      // the keys keeps unobserved reports byte-identical to the
+      // pre-observability schema.
+      out << ",\"comm_seconds\":" << l.comm_seconds
+          << ",\"comm_seconds_max\":" << l.comm_seconds_max
+          << ",\"comp_seconds\":" << l.comp_seconds
+          << ",\"comp_seconds_max\":" << l.comp_seconds_max;
+    }
+    out << "}";
   }
   out << "]";
 
@@ -121,6 +134,39 @@ void write_report_json(std::ostream& out, const RunReport& report,
 std::string report_to_json(const RunReport& report, bool include_per_rank) {
   std::ostringstream out;
   write_report_json(out, report, include_per_rank);
+  return out.str();
+}
+
+void write_report_json(std::ostream& out, const RunReport& report,
+                       const ReportJsonOptions& options) {
+  std::ostringstream base;
+  write_report_json(base, report, options.include_per_rank);
+  std::string text = base.str();
+  const bool embed_metrics =
+      options.metrics != nullptr && !options.metrics->empty();
+  const bool embed_cp = options.critical_path != nullptr;
+  if (!embed_metrics && !embed_cp) {
+    out << text;
+    return;
+  }
+  // Splice the observer sections in before the closing brace.
+  text.pop_back();
+  out << text;
+  if (embed_metrics) {
+    out << ",\"metrics\":";
+    options.metrics->write_json(out);
+  }
+  if (embed_cp) {
+    out << ",\"critical_path\":";
+    obs::write_critical_path_json(out, *options.critical_path);
+  }
+  out << "}";
+}
+
+std::string report_to_json(const RunReport& report,
+                           const ReportJsonOptions& options) {
+  std::ostringstream out;
+  write_report_json(out, report, options);
   return out.str();
 }
 

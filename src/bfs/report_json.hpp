@@ -9,6 +9,11 @@
 
 #include "bfs/report.hpp"
 
+namespace dbfs::obs {
+class MetricsRegistry;
+struct CriticalPathReport;
+}  // namespace dbfs::obs
+
 namespace dbfs::bfs {
 
 /// Serialize a report as a single JSON object. Stable schema:
@@ -21,11 +26,32 @@ namespace dbfs::bfs {
 ///          nic_stragglers},
 ///  levels:[{level, frontier, edges, newly_visited, wall_seconds,
 ///           a2a_bytes, expand_bytes, other_bytes}, ...]}
-/// `include_per_rank` appends per_rank_comm / per_rank_comp arrays.
+/// When the run was observed (report.has_level_breakdown), each level
+/// additionally carries comm_seconds{,_max} and comp_seconds{,_max};
+/// unobserved reports serialize byte-identically to the historical
+/// schema. `include_per_rank` appends per_rank_comm / per_rank_comp.
 void write_report_json(std::ostream& out, const RunReport& report,
                        bool include_per_rank = false);
 
 std::string report_to_json(const RunReport& report,
                            bool include_per_rank = false);
+
+/// Optional attachments for the richer serialization below.
+struct ReportJsonOptions {
+  bool include_per_rank = false;
+  /// When non-null and non-empty, embedded as a top-level "metrics" key.
+  const obs::MetricsRegistry* metrics = nullptr;
+  /// When non-null, embedded as a top-level "critical_path" key.
+  const obs::CriticalPathReport* critical_path = nullptr;
+};
+
+/// Like the two-argument overload, plus the optional embedded observer
+/// sections. With default options the output is byte-identical to
+/// write_report_json(out, report).
+void write_report_json(std::ostream& out, const RunReport& report,
+                       const ReportJsonOptions& options);
+
+std::string report_to_json(const RunReport& report,
+                           const ReportJsonOptions& options);
 
 }  // namespace dbfs::bfs

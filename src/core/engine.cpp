@@ -54,6 +54,8 @@ struct Engine::Impl {
   std::unique_ptr<bfs::Bfs1D> one_d;
   std::unique_ptr<bfs::Bfs2D> two_d;
   std::unique_ptr<graph::CsrGraph> csr;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
 
   Impl(const graph::EdgeList& input, vid_t num_vertices, EngineOptions options)
       : opts(std::move(options)), n(num_vertices), edges(input) {
@@ -65,6 +67,11 @@ struct Engine::Impl {
     }
     if (!hybrid && is_distributed(opts.algorithm)) threads = 1;
     opts.threads_per_rank = threads;
+
+    if (is_distributed(opts.algorithm)) {
+      if (opts.trace) tracer = std::make_unique<obs::Tracer>();
+      if (opts.metrics) metrics = std::make_unique<obs::MetricsRegistry>();
+    }
 
     switch (opts.algorithm) {
       case Algorithm::kSerial:
@@ -79,6 +86,8 @@ struct Engine::Impl {
         o.machine = opts.machine;
         o.load_smoothing = opts.load_smoothing;
         o.faults = opts.faults;
+        o.tracer = tracer.get();
+        o.metrics = metrics.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -93,6 +102,8 @@ struct Engine::Impl {
         o.triangular_storage = opts.triangular_storage;
         o.load_smoothing = opts.load_smoothing;
         o.faults = opts.faults;
+        o.tracer = tracer.get();
+        o.metrics = metrics.get();
         two_d = std::make_unique<bfs::Bfs2D>(edges, n, std::move(o));
         break;
       }
@@ -102,6 +113,8 @@ struct Engine::Impl {
         g.machine = opts.machine;
         auto o = bfs::graph500_reference_options(g);
         o.faults = opts.faults;
+        o.tracer = tracer.get();
+        o.metrics = metrics.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -111,6 +124,8 @@ struct Engine::Impl {
         g.machine = opts.machine;
         auto o = bfs::pbgl_like_options(g);
         o.faults = opts.faults;
+        o.tracer = tracer.get();
+        o.metrics = metrics.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -141,6 +156,10 @@ int Engine::cores_used() const {
   }
   return 1;
 }
+
+obs::Tracer* Engine::tracer() const { return impl_->tracer.get(); }
+
+obs::MetricsRegistry* Engine::metrics() const { return impl_->metrics.get(); }
 
 const graph::CsrGraph& Engine::csr() const {
   impl_->ensure_csr();

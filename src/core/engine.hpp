@@ -21,6 +21,8 @@
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "model/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simmpi/fault.hpp"
 #include "sparse/spmsv.hpp"
 #include "util/stats.hpp"
@@ -65,6 +67,14 @@ struct EngineOptions {
   /// run whose corruption cannot be repaired within the retry budget
   /// throws simmpi::FaultError rather than returning a wrong tree.
   simmpi::FaultPlan faults;
+  /// Attach the virtual-time tracer / metrics registry (src/obs/) to the
+  /// distributed algorithms. Observers are passive — a traced run's
+  /// outputs and report are identical to an untraced one — but each run
+  /// overwrites the previous run's recordings (the cluster clears them
+  /// with its accounting), so read tracer()/metrics() after the run you
+  /// care about. Ignored by kSerial/kShared.
+  bool trace = false;
+  bool metrics = false;
 };
 
 /// Graph500-style batch statistics over multiple sources.
@@ -103,6 +113,11 @@ class Engine {
   const EngineOptions& options() const;
   /// Cores actually simulated (2D grids round down to a square).
   int cores_used() const;
+  /// The attached observers (null unless the matching EngineOptions flag
+  /// was set and the algorithm is distributed). Contents describe the
+  /// most recent run().
+  obs::Tracer* tracer() const;
+  obs::MetricsRegistry* metrics() const;
   /// CSR view of the prepared graph (built lazily; used for validation).
   const graph::CsrGraph& csr() const;
 

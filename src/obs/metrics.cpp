@@ -1,0 +1,101 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace dbfs::obs {
+
+void LogHistogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (!(value > 0.0)) {  // zeros, negatives, NaN: no log bucket
+    ++zeros_;
+    return;
+  }
+  const int exp = std::clamp(
+      static_cast<int>(std::floor(std::log2(value))), kMinExp, kMaxExp);
+  ++buckets_[static_cast<std::size_t>(exp - kMinExp)];
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  if (target <= static_cast<double>(zeros_)) return 0.0;
+  std::uint64_t seen = zeros_;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= target) {
+      const double lo = std::exp2(static_cast<double>(i + kMinExp));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
+      // Geometric interpolation inside the bucket [lo, 2*lo).
+      return lo * std::exp2(frac);
+    }
+    seen += c;
+  }
+  return max_;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << h.count()
+        << ",\"zeros\":" << h.zeros() << ",\"sum\":" << h.sum()
+        << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+        << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.50)
+        << ",\"p95\":" << h.quantile(0.95) << ",\"p99\":" << h.quantile(0.99)
+        << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < LogHistogram::kBuckets; ++i) {
+      const std::uint64_t c = h.buckets()[static_cast<std::size_t>(i)];
+      if (c == 0) continue;
+      if (!first_bucket) out << ",";
+      first_bucket = false;
+      out << "[" << i + LogHistogram::kMinExp << "," << c << "]";
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace dbfs::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+namespace dbfs::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kWait:
+      return "wait";
+    case SpanKind::kTransfer:
+      return "transfer";
+  }
+  return "?";
+}
+
+void Tracer::ensure_ranks(int ranks) {
+  if (ranks > 0 && static_cast<std::size_t>(ranks) > per_rank_.size()) {
+    per_rank_.resize(static_cast<std::size_t>(ranks));
+  }
+}
+
+std::size_t Tracer::total_spans() const noexcept {
+  std::size_t total = 0;
+  for (const auto& spans : per_rank_) total += spans.size();
+  return total;
+}
+
+void Tracer::clear() {
+  for (auto& spans : per_rank_) spans.clear();
+  instants_.clear();
+  level_ = -1;
+}
+
+namespace {
+
+constexpr double kMicros = 1e6;  // virtual seconds -> trace microseconds
+
+void write_span_event(std::ostream& out, const Span& s, int rank) {
+  out << "{\"name\":\"" << s.name << "\",\"cat\":\"" << to_string(s.kind)
+      << "\",\"ph\":\"X\",\"ts\":" << s.begin * kMicros
+      << ",\"dur\":" << (s.end - s.begin) * kMicros
+      << ",\"pid\":0,\"tid\":" << rank << ",\"args\":{\"level\":" << s.level;
+  if (s.pattern != nullptr && s.pattern[0] != '\0') {
+    out << ",\"pattern\":\"" << s.pattern << "\"";
+  }
+  out << "}}";
+}
+
+void write_instant_event(std::ostream& out, const Instant& e) {
+  out << "{\"name\":\"" << e.name
+      << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+      << e.at * kMicros << ",\"pid\":0,\"tid\":" << e.rank
+      << ",\"args\":{\"level\":" << e.level << ",\"seconds\":" << e.seconds
+      << "}}";
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (int rank = 0; rank < ranks(); ++rank) {
+    // Thread-name metadata rows make Perfetto label each track "rank N".
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << rank
+        << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
+    for (const Span& s : per_rank_[static_cast<std::size_t>(rank)]) {
+      out << ",";
+      write_span_event(out, s, rank);
+    }
+  }
+  for (const Instant& e : instants_) {
+    if (!first) out << ",";
+    first = false;
+    write_instant_event(out, e);
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace dbfs::obs

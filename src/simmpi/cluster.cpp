@@ -62,6 +62,8 @@ void Cluster::reset_accounting() {
   traffic_.reset();
   fault_events_ = 0;
   fault_counters_.reset();
+  if (tracer_ != nullptr) tracer_->clear();
+  if (metrics_ != nullptr) metrics_->clear();
 }
 
 }  // namespace dbfs::simmpi

@@ -16,6 +16,8 @@
 
 #include "model/clocks.hpp"
 #include "model/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/traffic.hpp"
 
@@ -49,7 +51,39 @@ class Cluster {
   /// the straggler then delays everyone at the next collective, which is
   /// exactly how a slow node hurts a level-synchronous BFS.
   void charge_compute(int rank, double seconds) {
-    clocks_.advance_compute(rank, seconds * fault_compute_factor(rank));
+    const double charged = seconds * fault_compute_factor(rank);
+    if (tracer_ != nullptr && charged > 0.0) {
+      const double begin = clocks_.now(rank);
+      tracer_->record(rank, obs::SpanKind::kCompute, compute_phase_, "",
+                      begin, begin + charged);
+    }
+    clocks_.advance_compute(rank, charged);
+  }
+
+  /// Attach passive observers (see src/obs/). Either may be null; the
+  /// simulated run is bit-identical with or without them — they only
+  /// record what already happens. Observer contents are cleared by
+  /// reset_accounting so each run reports its own events.
+  void set_observers(obs::Tracer* tracer,
+                     obs::MetricsRegistry* metrics) noexcept {
+    tracer_ = tracer;
+    metrics_ = metrics;
+    if (tracer_ != nullptr) tracer_->ensure_ranks(ranks_);
+  }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+  bool observing() const noexcept {
+    return tracer_ != nullptr || metrics_ != nullptr;
+  }
+
+  /// Label applied to subsequent charge_compute spans ("1d-scan",
+  /// "2d-spmsv", ...). Must be a static string.
+  void set_compute_phase(const char* phase) noexcept {
+    compute_phase_ = phase;
+  }
+  /// Tag subsequent trace records with a BFS level (-1 = outside levels).
+  void set_trace_level(int level) noexcept {
+    if (tracer_ != nullptr) tracer_->set_level(level);
   }
 
   /// Install a fault plan (see simmpi/fault.hpp). Straggler factors must
@@ -108,6 +142,10 @@ class Cluster {
   model::MachineModel machine_;
   model::VirtualClocks clocks_;
   TrafficMeter traffic_;
+
+  obs::Tracer* tracer_ = nullptr;            ///< non-owning; null = off
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< non-owning; null = off
+  const char* compute_phase_ = "compute";
 
   FaultPlan faults_;
   bool faults_enabled_ = false;

@@ -22,21 +22,68 @@
 // takes none of these paths.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "model/cost.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/process_grid.hpp"
 #include "util/prng.hpp"
 
 namespace dbfs::simmpi {
+
+/// Synchronize `group` on a priced collective — exactly
+/// `cluster.clocks().collective(group, cost)` — and, when observers are
+/// attached (see obs/), record per-rank barrier-wait and transfer
+/// sub-spans (tagged with `site` and the pattern name) plus the wait-time
+/// and message-size distributions. With no observers this is a single
+/// branch on top of the clock synchronization, and it never alters the
+/// clocks, so observed and unobserved runs stay bit-identical.
+inline void sync_collective(Cluster& cluster, std::span<const int> group,
+                            double cost, const char* site, Pattern pattern,
+                            std::uint64_t network_bytes) {
+  obs::Tracer* tracer = cluster.tracer();
+  obs::MetricsRegistry* metrics = cluster.metrics();
+  if (tracer != nullptr || metrics != nullptr) {
+    const model::VirtualClocks& clocks = cluster.clocks();
+    const char* pattern_name = to_string(pattern);
+    double start = 0.0;
+    for (int r : group) start = std::max(start, clocks.now(r));
+    const double end = start + cost;
+    obs::LogHistogram* wait_hist =
+        metrics != nullptr ? &metrics->histogram("comm.wait_seconds")
+                           : nullptr;
+    for (int r : group) {
+      const double arrive = clocks.now(r);
+      if (tracer != nullptr) {
+        if (start > arrive) {
+          tracer->record(r, obs::SpanKind::kWait, site, pattern_name,
+                         arrive, start);
+        }
+        tracer->record(r, obs::SpanKind::kTransfer, site, pattern_name,
+                       start, end);
+      }
+      if (wait_hist != nullptr) wait_hist->observe(start - arrive);
+    }
+    if (metrics != nullptr) {
+      ++metrics->counter(std::string("comm.calls.") + pattern_name);
+      metrics->histogram(std::string("comm.bytes.") + pattern_name)
+          .observe(static_cast<double>(network_bytes));
+      metrics->histogram("comm.transfer_seconds").observe(cost);
+    }
+  }
+  cluster.clocks().collective(group, cost);
+}
 
 /// Price one collective under the cluster's fault plan: scale `base_cost`
 /// by the worst NIC degradation in `group`, then inject deterministic
@@ -61,6 +108,20 @@ inline double faulted_cost(Cluster& cluster, std::span<const int> group,
     const double pause = plan.backoff_seconds(attempt);
     counters.backoff_seconds += pause;
     counters.reissue_seconds += cost;
+    if (cluster.observing()) {
+      // The failed issue + backoff lands inside the upcoming collective
+      // window, which starts when the slowest participant arrives.
+      double at = 0.0;
+      for (int r : group) at = std::max(at, cluster.clocks().now(r));
+      if (obs::Tracer* tr = cluster.tracer()) {
+        tr->instant(group.empty() ? 0 : group.front(), "collective-failure",
+                    at + total, cost + pause);
+      }
+      if (obs::MetricsRegistry* m = cluster.metrics()) {
+        ++m->counter("fault.collective_failures");
+        m->histogram("fault.backoff_seconds").observe(pause);
+      }
+    }
     total += cost + pause;
     ++attempt;
   }
@@ -182,7 +243,8 @@ struct FlatExchange {
 /// counts. Cost: g·αN + maxrank(bytes)·βN,a2a(g) per §5.1.
 template <typename T>
 FlatExchange<T> alltoallv(Cluster& cluster, std::span<const int> group,
-                          FlatExchange<T> send) {
+                          FlatExchange<T> send,
+                          const char* site = "alltoallv") {
   const std::size_t g = group.size();
   FlatExchange<T> recv = FlatExchange<T>::sized(g);
 
@@ -227,8 +289,9 @@ FlatExchange<T> alltoallv(Cluster& cluster, std::span<const int> group,
           static_cast<std::size_t>(
               static_cast<double>(bottleneck * sizeof(T)) *
               cluster.nic_factor())),
-      "alltoallv");
-  cluster.clocks().collective(group, cost);
+      site);
+  sync_collective(cluster, group, cost, site, Pattern::kAlltoallv,
+                  total_items * sizeof(T));
   cluster.traffic().record(Pattern::kAlltoallv, total_items * sizeof(T), cost,
                            static_cast<int>(g));
   if (cluster.faults_enabled() && cluster.faults().payload_faults()) {
@@ -245,7 +308,8 @@ template <typename T>
 std::vector<T> allgatherv(Cluster& cluster, std::span<const int> group,
                           std::vector<std::vector<T>> pieces,
                           model::AllgatherAlgo algo =
-                              model::AllgatherAlgo::kRing) {
+                              model::AllgatherAlgo::kRing,
+                          const char* site = "allgatherv") {
   std::vector<T> result;
   std::size_t total = 0;
   for (const auto& piece : pieces) total += piece.size();
@@ -265,8 +329,9 @@ std::vector<T> allgatherv(Cluster& cluster, std::span<const int> group,
           static_cast<std::size_t>(static_cast<double>(total * sizeof(T)) *
                                    cluster.nic_factor()),
           algo),
-      "allgatherv");
-  cluster.clocks().collective(group, cost);
+      site);
+  sync_collective(cluster, group, cost, site, Pattern::kAllgatherv,
+                  network_items * sizeof(T));
   cluster.traffic().record(Pattern::kAllgatherv, network_items * sizeof(T),
                            cost, static_cast<int>(group.size()));
   if (cluster.faults_enabled() && cluster.faults().payload_faults()) {
@@ -278,15 +343,17 @@ std::vector<T> allgatherv(Cluster& cluster, std::span<const int> group,
 /// Allreduce of one value per group slot; returns the reduction.
 template <typename T, typename Op>
 T allreduce(Cluster& cluster, std::span<const int> group,
-            std::span<const T> contributions, T init, Op op) {
+            std::span<const T> contributions, T init, Op op,
+            const char* site = "allreduce") {
   T acc = init;
   for (const T& v : contributions) acc = op(acc, v);
   const double cost = faulted_cost(
       cluster, group,
       model::cost_allreduce(cluster.machine(),
                             static_cast<int>(group.size()), sizeof(T)),
-      "allreduce");
-  cluster.clocks().collective(group, cost);
+      site);
+  sync_collective(cluster, group, cost, site, Pattern::kAllreduce,
+                  static_cast<std::uint64_t>(group.size()) * sizeof(T));
   cluster.traffic().record(
       Pattern::kAllreduce,
       static_cast<std::uint64_t>(group.size()) * sizeof(T), cost,
@@ -296,9 +363,11 @@ T allreduce(Cluster& cluster, std::span<const int> group,
 
 template <typename T>
 T allreduce_sum(Cluster& cluster, std::span<const int> group,
-                std::span<const T> contributions) {
-  return allreduce(cluster, group, contributions, T{},
-                   [](T a, T b) { return a + b; });
+                std::span<const T> contributions,
+                const char* site = "allreduce") {
+  return allreduce(
+      cluster, group, contributions, T{}, [](T a, T b) { return a + b; },
+      site);
 }
 
 /// TransposeVector (paper §3.2): on a square grid, P(i,j) and P(j,i)
@@ -306,7 +375,7 @@ T allreduce_sum(Cluster& cluster, std::span<const int> group,
 template <typename T>
 std::vector<std::vector<T>> transpose_exchange(
     Cluster& cluster, const ProcessGrid& grid,
-    std::vector<std::vector<T>> pieces) {
+    std::vector<std::vector<T>> pieces, const char* site = "transpose") {
   std::vector<std::vector<T>> out(pieces.size());
   for (int rank = 0; rank < grid.ranks(); ++rank) {
     const int partner = grid.transpose_partner(rank);
@@ -325,8 +394,9 @@ std::vector<std::vector<T>> transpose_exchange(
                         static_cast<std::size_t>(
                             static_cast<double>(bytes) *
                             cluster.nic_factor())),
-        "transpose");
-    cluster.clocks().collective(pair, cost);
+        site);
+    sync_collective(cluster, pair, cost, site, Pattern::kTranspose,
+                    static_cast<std::uint64_t>(bytes) * 2);
     cluster.traffic().record(Pattern::kTranspose,
                              static_cast<std::uint64_t>(bytes) * 2, cost, 2);
   }
@@ -341,7 +411,8 @@ std::vector<std::vector<T>> transpose_exchange(
 template <typename T>
 std::vector<T> gatherv(Cluster& cluster, std::span<const int> group,
                        std::size_t root_slot,
-                       std::vector<std::vector<T>> pieces) {
+                       std::vector<std::vector<T>> pieces,
+                       const char* site = "gatherv") {
   if (root_slot >= group.size()) {
     throw std::out_of_range("gatherv: root_slot outside group");
   }
@@ -360,8 +431,9 @@ std::vector<T> gatherv(Cluster& cluster, std::span<const int> group,
                           static_cast<std::size_t>(
                               static_cast<double>(network_items * sizeof(T)) *
                               cluster.nic_factor())),
-      "gatherv");
-  cluster.clocks().collective(group, transfer);
+      site);
+  sync_collective(cluster, group, transfer, site, Pattern::kGatherv,
+                  network_items * sizeof(T));
   cluster.traffic().record(Pattern::kGatherv, network_items * sizeof(T),
                            transfer, static_cast<int>(group.size()));
   return result;
@@ -373,7 +445,8 @@ std::vector<T> gatherv(Cluster& cluster, std::span<const int> group,
 /// tree, so a degraded root slows the whole operation.
 template <typename T>
 std::vector<T> broadcast(Cluster& cluster, std::span<const int> group,
-                         std::size_t root_slot, std::vector<T> payload) {
+                         std::size_t root_slot, std::vector<T> payload,
+                         const char* site = "broadcast") {
   if (root_slot >= group.size()) {
     throw std::out_of_range("broadcast: root_slot outside group");
   }
@@ -385,8 +458,9 @@ std::vector<T> broadcast(Cluster& cluster, std::span<const int> group,
                             static_cast<std::size_t>(
                                 static_cast<double>(bytes) *
                                 cluster.nic_factor())),
-      "broadcast");
-  cluster.clocks().collective(group, cost);
+      site);
+  sync_collective(cluster, group, cost, site, Pattern::kBroadcast,
+                  static_cast<std::uint64_t>(bytes) * (group.size() - 1));
   cluster.traffic().record(
       Pattern::kBroadcast,
       static_cast<std::uint64_t>(bytes) * (group.size() - 1), cost,
@@ -406,7 +480,7 @@ FlatExchange<T> checked_alltoallv(Cluster& cluster,
                                   std::span<const int> group,
                                   FlatExchange<T> send, const char* site) {
   if (!cluster.faults_enabled() || !cluster.faults().payload_faults()) {
-    return alltoallv(cluster, group, std::move(send));
+    return alltoallv(cluster, group, std::move(send), site);
   }
   const FaultPlan& plan = cluster.faults();
   FaultCounters& counters = cluster.fault_counters();
@@ -418,16 +492,28 @@ FlatExchange<T> checked_alltoallv(Cluster& cluster,
   for (int attempt = 0; attempt <= plan.max_payload_retries; ++attempt) {
     FlatExchange<T> recv =
         alltoallv(cluster, group,
-                  attempt == 0 ? std::move(send) : FlatExchange<T>(backup));
+                  attempt == 0 ? std::move(send) : FlatExchange<T>(backup),
+                  site);
     std::vector<std::uint64_t> delta(group.size(), 0);
     for (std::size_t i = 0; i < group.size(); ++i) {
       delta[i] = sent[i] - payload_checksum(recv.data[i]);
     }
     ++counters.checksum_checks;
-    if (allreduce_sum<std::uint64_t>(cluster, group, delta) == 0) {
+    if (allreduce_sum<std::uint64_t>(cluster, group, delta, "checksum") ==
+        0) {
       return recv;
     }
     ++counters.payload_retries;
+    if (cluster.observing()) {
+      double at = 0.0;
+      for (int r : group) at = std::max(at, cluster.clocks().now(r));
+      if (obs::Tracer* tr = cluster.tracer()) {
+        tr->instant(group.empty() ? 0 : group.front(), "checksum-retry", at);
+      }
+      if (obs::MetricsRegistry* m = cluster.metrics()) {
+        ++m->counter("fault.checksum_retries");
+      }
+    }
   }
   throw FaultError(site, "payload-corruption",
                    plan.max_payload_retries + 1);
@@ -442,7 +528,7 @@ std::vector<T> checked_allgatherv(
     std::vector<std::vector<T>> pieces, const char* site,
     model::AllgatherAlgo algo = model::AllgatherAlgo::kRing) {
   if (!cluster.faults_enabled() || !cluster.faults().payload_faults()) {
-    return allgatherv(cluster, group, std::move(pieces), algo);
+    return allgatherv(cluster, group, std::move(pieces), algo, site);
   }
   const FaultPlan& plan = cluster.faults();
   FaultCounters& counters = cluster.fault_counters();
@@ -456,12 +542,22 @@ std::vector<T> checked_allgatherv(
         cluster, group,
         attempt == 0 ? std::move(pieces)
                      : std::vector<std::vector<T>>(backup),
-        algo);
+        algo, site);
     ++counters.checksum_checks;
     const std::uint64_t expected =
-        allreduce_sum<std::uint64_t>(cluster, group, piece_sums);
+        allreduce_sum<std::uint64_t>(cluster, group, piece_sums, "checksum");
     if (payload_checksum(result) == expected) return result;
     ++counters.payload_retries;
+    if (cluster.observing()) {
+      double at = 0.0;
+      for (int r : group) at = std::max(at, cluster.clocks().now(r));
+      if (obs::Tracer* tr = cluster.tracer()) {
+        tr->instant(group.empty() ? 0 : group.front(), "checksum-retry", at);
+      }
+      if (obs::MetricsRegistry* m = cluster.metrics()) {
+        ++m->counter("fault.checksum_retries");
+      }
+    }
   }
   throw FaultError(site, "payload-corruption",
                    plan.max_payload_retries + 1);

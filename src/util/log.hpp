@@ -1,6 +1,7 @@
 // Minimal leveled logging to stderr. Benches keep stdout clean for table
 // rows; diagnostics go through here and can be silenced with
-// BFSSIM_QUIET=1 or amplified with BFSSIM_VERBOSE=1.
+// DISTBFS_QUIET=1 or amplified with DISTBFS_VERBOSE=1 (the BFSSIM_
+// spellings remain as deprecated aliases).
 #pragma once
 
 #include <sstream>

@@ -31,6 +31,8 @@ Summary summarize(std::span<const double> samples) {
   s.median = interp_sorted(sorted, 0.5);
   s.p25 = interp_sorted(sorted, 0.25);
   s.p75 = interp_sorted(sorted, 0.75);
+  s.p95 = interp_sorted(sorted, 0.95);
+  s.p99 = interp_sorted(sorted, 0.99);
 
   double sum = 0.0;
   double recip_sum = 0.0;

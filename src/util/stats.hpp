@@ -20,6 +20,8 @@ struct Summary {
   double median = 0.0;
   double p25 = 0.0;
   double p75 = 0.0;
+  double p95 = 0.0;           ///< tail percentiles for skew/straggler
+  double p99 = 0.0;           ///< reporting (wait-time distributions)
   double stddev = 0.0;        ///< population standard deviation
 };
 

@@ -46,6 +46,39 @@ TEST(ReportJson, PerRankArraysOptIn) {
   EXPECT_NE(with.find("\"per_rank_comm\":[0.1,0.2]"), std::string::npos);
 }
 
+TEST(ReportJson, LevelBreakdownKeysAreGated) {
+  RunReport r = sample_report();
+  r.levels.front().comm_seconds = 0.01;
+  r.levels.front().comm_seconds_max = 0.02;
+  r.levels.front().comp_seconds = 0.03;
+  r.levels.front().comp_seconds_max = 0.04;
+
+  // Unobserved runs keep the pre-observability schema: no per-level
+  // comm/comp keys, even if the fields were (wrongly) populated.
+  r.has_level_breakdown = false;
+  const std::string without = report_to_json(r);
+  // (The _mean/_max whole-run keys always exist at the top level; the
+  // bare per-level spellings below cannot match those.)
+  EXPECT_EQ(without.find("\"comm_seconds\":"), std::string::npos);
+  EXPECT_EQ(without.find("\"comp_seconds\":"), std::string::npos);
+
+  r.has_level_breakdown = true;
+  const std::string with = report_to_json(r);
+  EXPECT_NE(with.find("\"comm_seconds\":0.01"), std::string::npos);
+  EXPECT_NE(with.find("\"comm_seconds_max\":0.02"), std::string::npos);
+  EXPECT_NE(with.find("\"comp_seconds\":0.03"), std::string::npos);
+  EXPECT_NE(with.find("\"comp_seconds_max\":0.04"), std::string::npos);
+}
+
+TEST(ReportJson, DefaultObserverOptionsChangeNothing) {
+  const RunReport r = sample_report();
+  const ReportJsonOptions defaults;
+  EXPECT_EQ(report_to_json(r, defaults), report_to_json(r));
+  ReportJsonOptions with_ranks;
+  with_ranks.include_per_rank = true;
+  EXPECT_EQ(report_to_json(r, with_ranks), report_to_json(r, true));
+}
+
 TEST(ReportJson, EscapesStrings) {
   RunReport r = sample_report();
   r.algorithm = "we\"ird\\name\n";

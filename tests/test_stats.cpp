@@ -55,6 +55,29 @@ TEST(Summarize, UnsortedInputHandled) {
   EXPECT_DOUBLE_EQ(s.p75, 4.0);
 }
 
+TEST(Summarize, TailPercentiles) {
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(i + 1);  // 1..100
+  }
+  const Summary s = summarize(v);
+  EXPECT_NEAR(s.p95, 95.05, 1e-12);  // interpolated at q*(n-1)
+  EXPECT_NEAR(s.p99, 99.01, 1e-12);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GE(s.p95, s.p75);
+}
+
+TEST(Summarize, TailPercentilesDegenerate) {
+  const std::vector<double> single{2.5};
+  const Summary one = summarize(single);
+  EXPECT_DOUBLE_EQ(one.p95, 2.5);
+  EXPECT_DOUBLE_EQ(one.p99, 2.5);
+  const Summary none = summarize({});
+  EXPECT_DOUBLE_EQ(none.p95, 0.0);
+  EXPECT_DOUBLE_EQ(none.p99, 0.0);
+}
+
 TEST(Percentile, InterpolatesBetweenSamples) {
   EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.5), 5.0);
   EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
