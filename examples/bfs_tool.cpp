@@ -97,6 +97,10 @@ int main(int argc, char** argv) {
       .describe("machine", "franklin | hopper | carver | generic", "hopper")
       .describe("backend", "spmsv back end: auto | spa | heap", "auto")
       .describe("triangular", "store only the upper triangle (2D only)")
+      .describe("wire-format",
+                "exchange payload encoding: raw | sieve | bitmap | varint "
+                "| auto (sender-side visited sieve + compressed blocks)",
+                "raw")
       .describe("sources", "number of BFS sources (Graph500 style)", "4")
       .describe("no-shuffle", "skip the random vertex relabeling")
       .describe("save", "write the prepared graph to this file and exit")
@@ -156,6 +160,7 @@ int main(int argc, char** argv) {
     opts.threads_per_rank = static_cast<int>(args.get_int("threads", 0));
     opts.machine = model::preset(args.get("machine", "hopper"));
     opts.triangular_storage = args.get_flag("triangular");
+    opts.wire_format = comm::parse_wire_format(args.get("wire-format", "raw"));
     const std::string backend = args.get("backend", "auto");
     opts.backend = backend == "spa"    ? sparse::SpmsvBackend::kSpa
                    : backend == "heap" ? sparse::SpmsvBackend::kHeap

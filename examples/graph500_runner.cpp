@@ -4,7 +4,7 @@
 // the harmonic-mean TEPS with quartiles — the benchmark's output format.
 //
 //   ./examples/graph500_runner [scale] [cores] [algorithm] [nsources]
-//             [--trace-out=PATH]
+//             [--trace-out=PATH] [--wire-format=raw|sieve|bitmap|varint|auto]
 //   algorithm in {1d, 1d-hybrid, 2d, 2d-hybrid}
 #include <cstdio>
 #include <cstdlib>
@@ -38,10 +38,13 @@ int main(int argc, char** argv) {
   using namespace dbfs;
 
   std::string trace_out;
+  comm::WireFormat wire_format = comm::WireFormat::kRaw;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--wire-format=", 14) == 0) {
+      wire_format = comm::parse_wire_format(argv[i] + 14);
     } else {
       positional.push_back(argv[i]);
     }
@@ -55,8 +58,10 @@ int main(int argc, char** argv) {
       positional.size() > 3 ? std::atoi(positional[3]) : 16;
 
   std::printf("=== Graph500-style run ===\n");
-  std::printf("SCALE: %d  edgefactor: 16  cores: %d  algorithm: %s\n", scale,
-              cores, core::to_string(algorithm));
+  std::printf("SCALE: %d  edgefactor: 16  cores: %d  algorithm: %s  "
+              "wire-format: %s\n",
+              scale, cores, core::to_string(algorithm),
+              comm::to_string(wire_format));
 
   graph::RmatParams params;
   params.scale = scale;
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   opts.algorithm = algorithm;
   opts.cores = cores;
   opts.machine = model::hopper();
+  opts.wire_format = wire_format;
   opts.trace = !trace_out.empty();
   core::Engine engine{built.edges, n, opts};
 

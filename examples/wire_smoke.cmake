@@ -1,0 +1,32 @@
+# wire_smoke: exercise the compressed exchange wire formats end to end —
+# run bfs_tool with --wire-format auto (sender-side sieve + per-block
+# bitmap/varint polyalgorithm) on a small R-MAT instance for both a 1D and
+# a 2D algorithm, and require every BFS tree to validate; the raw run must
+# validate too (same instance, legacy byte path). Invoked by ctest as
+#   cmake -DBFS_TOOL=<exe> -P wire_smoke.cmake
+if(NOT DEFINED BFS_TOOL)
+  message(FATAL_ERROR "wire_smoke: -DBFS_TOOL=... is required")
+endif()
+
+foreach(algo 1d 2d-hybrid)
+  foreach(format auto raw)
+    execute_process(
+      COMMAND "${BFS_TOOL}" --gen rmat --scale 10 --cores 16 --algo ${algo}
+              --sources 2 --metrics --wire-format ${format}
+      RESULT_VARIABLE run_rc
+      OUTPUT_VARIABLE run_out
+      ERROR_VARIABLE run_err)
+    if(NOT run_rc EQUAL 0)
+      message(FATAL_ERROR "wire_smoke: bfs_tool --algo ${algo} "
+                          "--wire-format ${format} failed (rc=${run_rc})\n"
+                          "stdout:\n${run_out}\nstderr:\n${run_err}")
+    endif()
+    if(NOT run_out MATCHES "validated 2/2 BFS trees")
+      message(FATAL_ERROR "wire_smoke: --algo ${algo} --wire-format "
+                          "${format} ran but did not validate both trees\n"
+                          "stdout:\n${run_out}")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS "wire_smoke passed: 1d and 2d-hybrid validate under "
+               "--wire-format auto and raw")

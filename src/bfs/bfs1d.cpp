@@ -7,6 +7,7 @@
 
 #include "bfs/finalize.hpp"
 #include "bfs/frontier.hpp"
+#include "comm/sieve.hpp"
 #include "model/cost.hpp"
 #include "simmpi/comm.hpp"
 
@@ -34,13 +35,21 @@ struct Bfs1D::Impl {
   dist::LocalGraph1D local;
   simmpi::Cluster cluster;
   std::vector<int> world;
+  comm::Sieve sieve;
 
   static dist::LocalGraph1D make_local(const graph::EdgeList& edges,
                                        vid_t n, const Bfs1DOptions& opts) {
     if (opts.partition_mode == PartitionMode::kEdgeBalanced) {
+      // A rank's per-level work is its out-edges scanned *plus* the
+      // candidates arriving for its owned vertices, so balance on both
+      // endpoints. On a symmetrized input this doubles every count
+      // uniformly (the greedy sweep is scale-invariant, boundaries are
+      // unchanged); on an unsymmetrized input it stops a high in-degree
+      // hub's receive volume from being invisible to the partitioner.
       std::vector<eid_t> degrees(static_cast<std::size_t>(n), 0);
       for (const graph::Edge& e : edges.edges()) {
         ++degrees[static_cast<std::size_t>(e.u)];
+        ++degrees[static_cast<std::size_t>(e.v)];
       }
       return dist::LocalGraph1D::build_with_partition(
           edges, dist::BlockPartition::edge_balanced(degrees, opts.ranks));
@@ -72,6 +81,90 @@ struct Bfs1D::Impl {
     }
   }
 
+  /// Sieved/compressed variant of the aggregated exchange: each sender
+  /// filters its destination blocks through its visited sieve, encodes
+  /// them per opts.wire_format, and the encoded bytes travel through the
+  /// same checked alltoallv (metered and checksummed post-compression).
+  /// Both codec passes are priced at the local streaming bandwidth
+  /// (model::cost_wire_codec) — compression buys network bytes with CPU
+  /// time, never free time.
+  std::vector<std::vector<Candidate>> wire_exchange(
+      simmpi::FlatExchange<Candidate> send) {
+    const auto p = static_cast<std::size_t>(opts.ranks);
+    const int t = opts.threads_per_rank;
+    auto wire = simmpi::FlatExchange<std::uint8_t>::sized(p);
+    comm::WireStats stats;
+    std::uint64_t pre_items = 0;
+    std::uint64_t dropped = 0;
+    std::vector<double> codec_costs(p, 0.0);
+    std::vector<Candidate> block;
+    for (std::size_t i = 0; i < p; ++i) {
+      comm::WireStats rank_stats;
+      std::size_t offset = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        const auto c = static_cast<std::size_t>(send.counts[i][j]);
+        block.assign(
+            send.data[i].begin() + static_cast<std::ptrdiff_t>(offset),
+            send.data[i].begin() + static_cast<std::ptrdiff_t>(offset + c));
+        offset += c;
+        pre_items += c;
+        // 1D owners keep the first candidate in receive order, so the
+        // in-level dedup keeps first occurrences (keep_max_parent=false).
+        dropped += comm::sieve_and_dedup(sieve, static_cast<int>(i), block,
+                                         /*keep_max_parent=*/false);
+        const std::size_t at = wire.data[i].size();
+        comm::encode_candidates<Candidate>(block, opts.wire_format,
+                                           wire.data[i], &rank_stats);
+        wire.counts[i][j] =
+            static_cast<std::int64_t>(wire.data[i].size() - at);
+      }
+      send.data[i].clear();
+      send.data[i].shrink_to_fit();
+      codec_costs[i] = model::cost_wire_codec(
+          cluster.machine(), static_cast<std::size_t>(rank_stats.raw_bytes),
+          static_cast<std::size_t>(rank_stats.encoded_bytes), t);
+      stats.merge(rank_stats);
+    }
+    cluster.set_compute_phase("wire-encode");
+    charge_smoothed(codec_costs);
+
+    auto recv_wire = simmpi::checked_alltoallv(cluster, world,
+                                               std::move(wire),
+                                               "1d-exchange");
+
+    std::vector<std::vector<Candidate>> recv(p);
+    for (std::size_t j = 0; j < p; ++j) {
+      comm::decode_candidate_stream<Candidate>(recv_wire.data[j].data(),
+                                               recv_wire.data[j].size(),
+                                               recv[j]);
+      codec_costs[j] = model::cost_wire_codec(
+          cluster.machine(), recv[j].size() * sizeof(Candidate),
+          recv_wire.data[j].size(), t);
+    }
+    cluster.set_compute_phase("wire-decode");
+    charge_smoothed(codec_costs);
+
+    if (opts.metrics != nullptr) {
+      const std::uint64_t before = pre_items * sizeof(Candidate);
+      opts.metrics->counter("wire.bytes_before") +=
+          static_cast<std::int64_t>(before);
+      opts.metrics->counter("wire.bytes_after") +=
+          static_cast<std::int64_t>(stats.encoded_bytes);
+      opts.metrics->counter("wire.candidates_dropped") +=
+          static_cast<std::int64_t>(dropped);
+      opts.metrics->counter("wire.blocks.items") +=
+          static_cast<std::int64_t>(stats.blocks_items);
+      opts.metrics->counter("wire.blocks.bitmap") +=
+          static_cast<std::int64_t>(stats.blocks_bitmap);
+      opts.metrics->counter("wire.blocks.varint") +=
+          static_cast<std::int64_t>(stats.blocks_varint);
+      opts.metrics->histogram("wire.level_bytes_saved")
+          .observe(static_cast<double>(before) -
+                   static_cast<double>(stats.encoded_bytes));
+    }
+    return recv;
+  }
+
   /// Move candidates between ranks and price the exchange according to
   /// the configured CommMode. Returns per-rank received candidates.
   std::vector<std::vector<Candidate>> exchange(
@@ -79,6 +172,9 @@ struct Bfs1D::Impl {
     const auto p = static_cast<std::size_t>(opts.ranks);
 
     if (opts.comm_mode == CommMode::kAlltoallv) {
+      if (comm::wire_sieves(opts.wire_format)) {
+        return wire_exchange(std::move(send));
+      }
       // The checked wrapper verifies a per-level checksum over the
       // exchanged candidates and re-issues the exchange when the fault
       // plan corrupted the payload; without payload faults it is a plain
@@ -98,8 +194,13 @@ struct Bfs1D::Impl {
     std::vector<std::uint64_t> sent_bytes(p, 0), recv_bytes(p, 0);
     std::vector<std::uint64_t> sent_msgs(p, 0), recv_msgs(p, 0);
     std::uint64_t network_bytes = 0;
+    // Per-edge mode must pay one message per candidate — that is the
+    // PBGL-style behavior it models — so it ignores chunk_bytes instead
+    // of falling through to the chunked coalescing below.
     const std::size_t chunk =
-        std::max<std::size_t>(sizeof(Candidate), opts.chunk_bytes);
+        opts.comm_mode == CommMode::kPerEdgeSends
+            ? sizeof(Candidate)
+            : std::max<std::size_t>(sizeof(Candidate), opts.chunk_bytes);
     for (std::size_t i = 0; i < p; ++i) {
       std::size_t offset = 0;
       for (std::size_t j = 0; j < p; ++j) {
@@ -123,23 +224,24 @@ struct Bfs1D::Impl {
     }
     // Priced on mean per-rank volumes for the same reason as the
     // aggregated alltoallv (see comm.hpp): the baselines should not be
-    // additionally penalized by small-instance hub skew.
-    std::uint64_t mean_msgs = 0;
-    std::uint64_t mean_bytes = 0;
+    // additionally penalized by small-instance hub skew. The means stay
+    // in double: on high-diameter levels a rank ships fewer messages
+    // than there are ranks, and integer division would truncate the
+    // whole level's traffic to zero.
+    double mean_msgs = 0.0;
+    double mean_bytes = 0.0;
     for (std::size_t i = 0; i < p; ++i) {
-      mean_msgs += sent_msgs[i] + recv_msgs[i];
-      mean_bytes += sent_bytes[i];
+      mean_msgs += static_cast<double>(sent_msgs[i] + recv_msgs[i]);
+      mean_bytes += static_cast<double>(sent_bytes[i]);
     }
-    mean_msgs /= p;
-    mean_bytes /= p;
+    mean_msgs /= static_cast<double>(p);
+    mean_bytes /= static_cast<double>(p);
     const double max_cost = simmpi::faulted_cost(
         cluster, world,
         static_cast<double>(opts.ranks) * cluster.machine().alpha_net +
-            model::cost_chunked_sends(
-                cluster.machine(), mean_msgs,
-                static_cast<std::size_t>(static_cast<double>(mean_bytes) *
-                                         cluster.nic_factor()),
-                opts.ranks),
+            model::cost_chunked_sends(cluster.machine(), mean_msgs,
+                                      mean_bytes * cluster.nic_factor(),
+                                      opts.ranks),
         "1d-chunked");
     simmpi::sync_collective(cluster, world, max_cost, "1d-chunked",
                             simmpi::Pattern::kPointToPoint, network_bytes);
@@ -172,6 +274,14 @@ BfsOutput Bfs1D::run(vid_t source) {
   const int t = im.opts.threads_per_rank;
   const auto& part = im.local.partition();
   im.cluster.reset_accounting();
+
+  const bool wire = im.opts.comm_mode == CommMode::kAlltoallv &&
+                    comm::wire_sieves(im.opts.wire_format);
+  if (wire) {
+    im.sieve.reset(p, n);
+    // Every rank knows the source is visited before the first exchange.
+    im.sieve.mark_all(source);
+  }
 
   BfsOutput out;
   out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
@@ -306,6 +416,13 @@ BfsOutput Bfs1D::run(vid_t source) {
     im.cluster.for_each_rank([&](int r) {
       const auto ri = static_cast<std::size_t>(r);
       fs[ri].clear();
+      if (wire) {
+        // Every received candidate's target is visited by the end of
+        // this level (it either wins now or lost earlier), so the owner
+        // can sieve any later re-send of it. Rank-private bitmap row —
+        // safe inside for_each_rank.
+        for (const Candidate& c : recv[ri]) im.sieve.mark(r, c.vertex);
+      }
       for (const Candidate& c : recv[ri]) {
         if (out.level[c.vertex] == kUnreached) {
           out.level[c.vertex] = level;

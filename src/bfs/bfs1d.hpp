@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "bfs/report.hpp"
+#include "comm/wire_format.hpp"
 #include "dist/local_graph1d.hpp"
 #include "graph/edge_list.hpp"
 #include "model/machine.hpp"
@@ -43,8 +44,15 @@ struct Bfs1DOptions {
   model::MachineModel machine = model::generic();
   PartitionMode partition_mode = PartitionMode::kUniform;
   CommMode comm_mode = CommMode::kAlltoallv;
-  /// Bytes per message for the chunked/per-edge modes.
+  /// Bytes per message for the chunked mode (per-edge always pays one
+  /// message per candidate — that is what makes it the PBGL-style
+  /// worst case).
   std::size_t chunk_bytes = 16 * 1024;
+  /// Wire format for the aggregated exchange payload (kAlltoallv mode
+  /// only; the unaggregated baselines model codes that ship raw structs).
+  /// kRaw preserves the legacy byte-for-byte code path and reports; see
+  /// comm/wire_format.hpp for the sieve/compression variants.
+  comm::WireFormat wire_format = comm::WireFormat::kRaw;
   /// Additional per-edge local cost (baseline implementations' heavier
   /// inner loops: allocation, property-map lookups).
   double extra_per_edge_seconds = 0.0;

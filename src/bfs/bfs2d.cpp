@@ -8,6 +8,7 @@
 
 #include "bfs/finalize.hpp"
 #include "bfs/frontier.hpp"
+#include "comm/sieve.hpp"
 #include "dist/partition2d.hpp"
 #include "model/cost.hpp"
 #include "simmpi/cluster.hpp"
@@ -30,6 +31,115 @@ struct Bfs2D::Impl {
   // executes the pieces sequentially (threading is priced by the model),
   // but the data structure and merge path are the real ones.
   std::vector<std::vector<sparse::DcscMatrix>> thread_pieces;
+  // Sender-side visited sieve for the fold exchanges (kRaw leaves every
+  // exchange on the legacy path).
+  comm::Sieve sieve;
+
+  /// Per-level wire accounting, summed over the level's expand and fold
+  /// rounds and recorded into the metrics registry once per level.
+  struct WireLevel {
+    comm::WireStats stats;
+    std::uint64_t pre_bytes = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  /// Sieved/compressed fold round over one processor row: filter each
+  /// (sender, destination) block through the sender's sieve, encode per
+  /// opts.wire_format, ship the bytes through the same checked alltoallv
+  /// (metered and checksummed post-compression), decode per receiver.
+  /// Codec passes are priced at beta_local via model::cost_wire_codec.
+  std::vector<std::vector<Candidate>> wire_fold(
+      std::span<const int> row_group, simmpi::FlatExchange<Candidate> send,
+      WireLevel& wl) {
+    const std::size_t s = row_group.size();
+    const int t = opts.threads_per_rank;
+    auto wire = simmpi::FlatExchange<std::uint8_t>::sized(s);
+    std::vector<double> codec_costs(s, 0.0);
+    std::vector<Candidate> block;
+    for (std::size_t gj = 0; gj < s; ++gj) {
+      comm::WireStats rank_stats;
+      std::size_t offset = 0;
+      for (std::size_t gk = 0; gk < s; ++gk) {
+        const auto c = static_cast<std::size_t>(send.counts[gj][gk]);
+        block.assign(
+            send.data[gj].begin() + static_cast<std::ptrdiff_t>(offset),
+            send.data[gj].begin() + static_cast<std::ptrdiff_t>(offset + c));
+        offset += c;
+        wl.pre_bytes += c * sizeof(Candidate);
+        // 2D owners combine duplicates by max parent, so the in-level
+        // dedup keeps the max-parent occurrence (keep_max_parent=true).
+        wl.dropped += comm::sieve_and_dedup(sieve, row_group[gj], block,
+                                            /*keep_max_parent=*/true);
+        const std::size_t at = wire.data[gj].size();
+        comm::encode_candidates<Candidate>(block, opts.wire_format,
+                                           wire.data[gj], &rank_stats);
+        wire.counts[gj][gk] =
+            static_cast<std::int64_t>(wire.data[gj].size() - at);
+      }
+      codec_costs[gj] = model::cost_wire_codec(
+          cluster.machine(), static_cast<std::size_t>(rank_stats.raw_bytes),
+          static_cast<std::size_t>(rank_stats.encoded_bytes), t);
+      wl.stats.merge(rank_stats);
+    }
+    cluster.set_compute_phase("wire-encode");
+    charge_smoothed(row_group, codec_costs);
+
+    auto recv_wire = simmpi::checked_alltoallv(cluster, row_group,
+                                               std::move(wire), "2d-fold");
+
+    std::vector<std::vector<Candidate>> recv(s);
+    for (std::size_t gk = 0; gk < s; ++gk) {
+      comm::decode_candidate_stream<Candidate>(recv_wire.data[gk].data(),
+                                               recv_wire.data[gk].size(),
+                                               recv[gk]);
+      codec_costs[gk] = model::cost_wire_codec(
+          cluster.machine(), recv[gk].size() * sizeof(Candidate),
+          recv_wire.data[gk].size(), t);
+    }
+    cluster.set_compute_phase("wire-decode");
+    charge_smoothed(row_group, codec_costs);
+    return recv;
+  }
+
+  /// Compressed expand round over one processor column: each rank's
+  /// sorted frontier piece ships as an encoded block; the concatenation
+  /// of blocks decodes back to f_{C_j} in the same order the raw
+  /// allgatherv would produce. (The sieve does not apply here — the
+  /// expand payload is the deduplicated new frontier by construction.)
+  std::vector<vid_t> wire_expand(std::span<const int> col_group,
+                                 std::vector<std::vector<vid_t>> pieces,
+                                 WireLevel& wl) {
+    const std::size_t g = col_group.size();
+    const int t = opts.threads_per_rank;
+    std::vector<std::vector<std::uint8_t>> enc(g);
+    std::vector<double> codec_costs(g, 0.0);
+    for (std::size_t i = 0; i < g; ++i) {
+      comm::WireStats piece_stats;
+      wl.pre_bytes += pieces[i].size() * sizeof(vid_t);
+      comm::encode_vertex_list(pieces[i], opts.wire_format, enc[i],
+                               &piece_stats);
+      codec_costs[i] = model::cost_wire_codec(
+          cluster.machine(), static_cast<std::size_t>(piece_stats.raw_bytes),
+          static_cast<std::size_t>(piece_stats.encoded_bytes), t);
+      wl.stats.merge(piece_stats);
+    }
+    cluster.set_compute_phase("wire-encode");
+    charge_smoothed(col_group, codec_costs);
+
+    auto bytes = simmpi::checked_allgatherv(cluster, col_group,
+                                            std::move(enc), "2d-expand",
+                                            opts.allgather_algo);
+
+    std::vector<vid_t> gathered;
+    comm::decode_vertex_stream(bytes.data(), bytes.size(), gathered);
+    // Every rank in the column decodes the same concatenated result.
+    const double decode_cost = model::cost_wire_codec(
+        cluster.machine(), gathered.size() * sizeof(vid_t), bytes.size(), t);
+    std::fill(codec_costs.begin(), codec_costs.end(), decode_cost);
+    cluster.set_compute_phase("wire-decode");
+    charge_smoothed(col_group, codec_costs);
+    return gathered;
+  }
 
   /// Charge per-group compute costs, blended toward the group mean by
   /// opts.load_smoothing (see Bfs2DOptions::load_smoothing).
@@ -99,6 +209,18 @@ BfsOutput Bfs2D::run(vid_t source) {
   const auto& blocks = im.part.blocks();
   im.cluster.reset_accounting();
 
+  // The diagonal-vector baseline keeps its legacy broadcast/gatherv path
+  // (it exists to reproduce Fig 4's bottleneck, not to be optimized).
+  const bool wire_fold_on =
+      !diagonal && comm::wire_sieves(im.opts.wire_format);
+  const bool wire_expand_on =
+      !diagonal && comm::wire_compresses(im.opts.wire_format);
+  if (wire_fold_on) {
+    im.sieve.reset(p, n);
+    // Every rank knows the source is visited before the first fold.
+    im.sieve.mark_all(source);
+  }
+
   BfsOutput out;
   out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
   out.level.assign(static_cast<std::size_t>(n), kUnreached);
@@ -139,6 +261,7 @@ BfsOutput Bfs2D::run(vid_t source) {
     const auto tr_before = traffic.totals(simmpi::Pattern::kTranspose).bytes;
 
     // ---- Expand: make f_{C_j} available to every rank in column j.
+    Impl::WireLevel wire_level;
     std::vector<std::vector<vid_t>> gathered(static_cast<std::size_t>(s));
     if (!diagonal) {
       // TransposeVector (line 5), then Allgatherv over columns (line 6).
@@ -156,9 +279,13 @@ BfsOutput Bfs2D::run(vid_t source) {
         // Checksum-verified when the fault plan corrupts payloads: a
         // mangled frontier piece is detected and re-gathered before any
         // rank consumes it.
-        gathered[static_cast<std::size_t>(j)] = simmpi::checked_allgatherv(
-            im.cluster, im.grid.col_group(j), std::move(pieces),
-            "2d-expand", im.opts.allgather_algo);
+        gathered[static_cast<std::size_t>(j)] =
+            wire_expand_on
+                ? im.wire_expand(im.grid.col_group(j), std::move(pieces),
+                                 wire_level)
+                : simmpi::checked_allgatherv(
+                      im.cluster, im.grid.col_group(j), std::move(pieces),
+                      "2d-expand", im.opts.allgather_algo);
       }
       fs.assign(static_cast<std::size_t>(p), {});
     } else {
@@ -374,9 +501,14 @@ BfsOutput Bfs2D::run(vid_t source) {
             data[static_cast<std::size_t>(cur++)] = c;
           }
         }
-        auto recv = simmpi::checked_alltoallv(im.cluster, row_group,
-                                              std::move(send), "2d-fold");
-        received = std::move(recv.data);
+        if (wire_fold_on) {
+          received = im.wire_fold(row_group, std::move(send), wire_level);
+          im.cluster.set_compute_phase("2d-merge");
+        } else {
+          auto recv = simmpi::checked_alltoallv(im.cluster, row_group,
+                                                std::move(send), "2d-fold");
+          received = std::move(recv.data);
+        }
       } else {
         // Diagonal distribution: everything gathers at P(i,i), which then
         // merges alone while the rest of the row idles (Fig 4).
@@ -409,6 +541,12 @@ BfsOutput Bfs2D::run(vid_t source) {
         auto& cand = received[static_cast<std::size_t>(gj)];
         if (diagonal && gj != i) continue;
 
+        if (wire_fold_on) {
+          // Every received candidate's target is visited by the end of
+          // this level (it either wins now or lost earlier), so the
+          // owner can sieve any later re-send of it.
+          for (const Candidate& c : cand) im.sieve.mark(rank, c.vertex);
+        }
         std::sort(cand.begin(), cand.end(),
                   [](const Candidate& a, const Candidate& b) {
                     return a.vertex != b.vertex ? a.vertex < b.vertex
@@ -445,6 +583,25 @@ BfsOutput Bfs2D::run(vid_t source) {
       } else {
         im.charge_smoothed(row_group, merge_costs);
       }
+    }
+
+    if ((wire_fold_on || wire_expand_on) && im.opts.metrics != nullptr) {
+      obs::MetricsRegistry& m = *im.opts.metrics;
+      m.counter("wire.bytes_before") +=
+          static_cast<std::int64_t>(wire_level.pre_bytes);
+      m.counter("wire.bytes_after") +=
+          static_cast<std::int64_t>(wire_level.stats.encoded_bytes);
+      m.counter("wire.candidates_dropped") +=
+          static_cast<std::int64_t>(wire_level.dropped);
+      m.counter("wire.blocks.items") +=
+          static_cast<std::int64_t>(wire_level.stats.blocks_items);
+      m.counter("wire.blocks.bitmap") +=
+          static_cast<std::int64_t>(wire_level.stats.blocks_bitmap);
+      m.counter("wire.blocks.varint") +=
+          static_cast<std::int64_t>(wire_level.stats.blocks_varint);
+      m.histogram("wire.level_bytes_saved")
+          .observe(static_cast<double>(wire_level.pre_bytes) -
+                   static_cast<double>(wire_level.stats.encoded_bytes));
     }
 
     // ---- Termination (implicit in Algorithm 3's while f != ∅).

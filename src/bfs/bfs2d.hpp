@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "bfs/report.hpp"
+#include "comm/wire_format.hpp"
 #include "dist/vector_dist.hpp"
 #include "graph/edge_list.hpp"
 #include "model/cost.hpp"
@@ -48,6 +49,11 @@ struct Bfs2DOptions {
   /// transpose partner. Requires symmetric input; incompatible with the
   /// diagonal vector distribution.
   bool triangular_storage = false;
+  /// Wire format for the fold alltoallv (sieve + optional compression)
+  /// and the expand allgatherv (compression only — the expand payload is
+  /// already deduplicated). kRaw preserves the legacy byte-for-byte code
+  /// path and reports; the diagonal vector distribution always stays raw.
+  comm::WireFormat wire_format = comm::WireFormat::kRaw;
   /// See Bfs1DOptions::load_smoothing. Smoothing applies within each
   /// phase's participant group, so *structural* concentration (e.g. the
   /// diagonal-only merge of the 1D vector distribution, Fig 4) is never

@@ -1,0 +1,14 @@
+#include "comm/sieve.hpp"
+
+namespace dbfs::comm {
+
+void Sieve::reset(int ranks, vid_t num_vertices) {
+  const std::size_t words =
+      (static_cast<std::size_t>(num_vertices) + 63) / 64;
+  words_.resize(static_cast<std::size_t>(ranks));
+  for (auto& rank_words : words_) {
+    rank_words.assign(words, 0);
+  }
+}
+
+}  // namespace dbfs::comm

@@ -1,0 +1,95 @@
+// Sender-side visited sieve (Lv et al. 2012): each rank keeps a private
+// bitmap of vertices it knows to be globally visited and drops candidates
+// whose target is already set before the level's exchange is packed.
+//
+// Correctness is sender-local: a vertex shipped at level L is visited (at
+// level <= L) by its owner whether or not it wins the parent race, so any
+// later re-send of it would be rejected on arrival — dropping it changes
+// no parent and no level. The bitmap is fed from two sources: every
+// candidate a rank ships (marked by sieve_and_dedup) and the rank's own
+// per-level winners (marked by the BFS update loop). No extra
+// communication is needed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbfs::comm {
+
+/// Per-rank visited bitmaps for a simulated cluster (rank-private words,
+/// safe to touch from Cluster::for_each_rank phases).
+class Sieve {
+ public:
+  /// Size for `ranks` bitmaps of `num_vertices` bits each and clear them.
+  /// Called once per BFS run.
+  void reset(int ranks, vid_t num_vertices);
+
+  bool test(int rank, vid_t v) const noexcept {
+    const auto& words = words_[static_cast<std::size_t>(rank)];
+    return (words[static_cast<std::size_t>(v) >> 6] >>
+            (static_cast<std::size_t>(v) & 63)) &
+           1u;
+  }
+
+  void mark(int rank, vid_t v) noexcept {
+    words_[static_cast<std::size_t>(rank)]
+          [static_cast<std::size_t>(v) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+  }
+
+  /// Mark `v` in every rank's bitmap (used for the run's source, which
+  /// every rank knows to be visited from the start).
+  void mark_all(vid_t v) noexcept {
+    for (std::size_t r = 0; r < words_.size(); ++r) {
+      mark(static_cast<int>(r), v);
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> words_;
+};
+
+/// Filter and order one destination block in place before encoding:
+/// drop targets already marked in `rank`'s bitmap, sort by target, drop
+/// in-level duplicate targets, and mark the survivors. Returns how many
+/// candidates were dropped (sieved + deduplicated).
+///
+/// The duplicate-keeping policy must match the receiver's merge so the
+/// BFS output stays bit-identical to the raw path:
+///  * keep_max_parent = false (1D): owners take the first occurrence in
+///    receive order, so the sort is stable and the first duplicate wins.
+///  * keep_max_parent = true (2D): owners combine by max parent, so ties
+///    sort parent-descending and the max-parent duplicate wins.
+template <typename C>
+std::uint64_t sieve_and_dedup(Sieve& sieve, int rank, std::vector<C>& block,
+                              bool keep_max_parent) {
+  const std::uint64_t before = block.size();
+  block.erase(std::remove_if(block.begin(), block.end(),
+                             [&](const C& c) {
+                               return sieve.test(rank, c.vertex);
+                             }),
+              block.end());
+  if (keep_max_parent) {
+    std::sort(block.begin(), block.end(), [](const C& a, const C& b) {
+      return a.vertex != b.vertex ? a.vertex < b.vertex
+                                  : a.parent > b.parent;
+    });
+  } else {
+    std::stable_sort(block.begin(), block.end(),
+                     [](const C& a, const C& b) {
+                       return a.vertex < b.vertex;
+                     });
+  }
+  block.erase(std::unique(block.begin(), block.end(),
+                          [](const C& a, const C& b) {
+                            return a.vertex == b.vertex;
+                          }),
+              block.end());
+  for (const C& c : block) sieve.mark(rank, c.vertex);
+  return before - block.size();
+}
+
+}  // namespace dbfs::comm

@@ -84,6 +84,7 @@ struct Engine::Impl {
         o.ranks = std::max(1, opts.cores / threads);
         o.threads_per_rank = threads;
         o.machine = opts.machine;
+        o.wire_format = opts.wire_format;
         o.load_smoothing = opts.load_smoothing;
         o.faults = opts.faults;
         o.tracer = tracer.get();
@@ -100,6 +101,7 @@ struct Engine::Impl {
         o.backend = opts.backend;
         o.vector_dist = opts.vector_dist;
         o.triangular_storage = opts.triangular_storage;
+        o.wire_format = opts.wire_format;
         o.load_smoothing = opts.load_smoothing;
         o.faults = opts.faults;
         o.tracer = tracer.get();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bfs/report.hpp"
+#include "comm/wire_format.hpp"
 #include "dist/vector_dist.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
@@ -57,6 +58,13 @@ struct EngineOptions {
   /// §7 triangular storage for the 2D algorithms (see
   /// bfs::Bfs2DOptions::triangular_storage).
   bool triangular_storage = false;
+  /// Wire format for the distributed exchanges (sender-side visited sieve
+  /// + bitmap/varint payload compression; see comm/wire_format.hpp).
+  /// Applies to the 1D alltoallv and the 2D fold/expand; kRaw (default)
+  /// preserves the legacy byte-for-byte paths and reports. The baselines
+  /// (kGraph500Ref, kPbglLike) always ship raw structs — that is the
+  /// behavior they model.
+  comm::WireFormat wire_format = comm::WireFormat::kRaw;
   /// Statistical load smoothing for compute pricing (see
   /// bfs::Bfs1DOptions::load_smoothing); 1 = the balanced regime of the
   /// paper's §5 model, 0 = exact per-rank volumes.

@@ -102,19 +102,25 @@ PricedRun price_1d(const VolumeProfile& profile,
         break;
       case bfs::CommMode::kChunkedSends:
       case bfs::CommMode::kPerEdgeSends: {
+        // Per-edge mode pays one message per 16-byte candidate (mirrors
+        // Bfs1D::Impl::exchange); only the chunked mode coalesces.
         const std::size_t chunk =
-            std::max<std::size_t>(16, opts.chunk_bytes);
+            opts.comm_mode == bfs::CommMode::kPerEdgeSends
+                ? std::size_t{16}
+                : std::max<std::size_t>(16, opts.chunk_bytes);
         // At least one message per active destination; active
         // destinations saturate at p-1 for large frontiers. Send- and
         // receive-side chunks both pay latency, on top of the level's
         // p-way synchronization floor (mirrors Bfs1D::Impl::exchange).
+        // Message counts stay fractional: high-diameter levels ship less
+        // than one chunk per rank, and truncating here zeroed them out.
         const double dests =
             std::min<double>(p - 1, e_r * frac_remote);
         const double messages = 2.0 * std::max(
             dests, static_cast<double>(bytes) / static_cast<double>(chunk));
         exchange = static_cast<double>(p) * machine.alpha_net +
                    model::cost_chunked_sends(
-                       machine, static_cast<std::size_t>(messages), bytes, p);
+                       machine, messages, static_cast<double>(bytes), p);
         break;
       }
       default:

@@ -21,9 +21,9 @@ EdgeList generate_webcrawl(const WebcrawlParams& params) {
     throw std::invalid_argument(
         "generate_webcrawl: need at least target_diameter vertices");
   }
-  if (params.power_law_exponent <= 1.0) {
+  if (params.power_law_exponent <= 2.0) {
     throw std::invalid_argument(
-        "generate_webcrawl: power_law_exponent must exceed 1");
+        "generate_webcrawl: power_law_exponent must exceed 2");
   }
 
   EdgeList edges{n};
@@ -38,10 +38,16 @@ EdgeList generate_webcrawl(const WebcrawlParams& params) {
     return c == chain - 1 ? n - community_start(c) : community_size;
   };
 
-  // Preferential member pick: u^gamma concentrates mass near index 0 (the
-  // hub); gamma derived from the requested exponent so heavier tails give
-  // stronger concentration.
-  const double gamma = params.power_law_exponent;
+  // Preferential member pick: idx = size * u^gamma concentrates mass near
+  // index 0 (the hub). Inverse-CDF derivation: picking probability per
+  // draw at index x is proportional to x^(1/gamma - 1), i.e. expected
+  // degree(x) ~ x^-(1 - 1/gamma), a Zipf law whose degree-distribution
+  // pdf exponent is alpha = (2*gamma - 1)/(gamma - 1). Inverting gives
+  // gamma = (alpha - 1)/(alpha - 2) — NOT gamma = alpha, which produced
+  // far heavier tails than requested (alpha -> 2 from above as the knob
+  // grew). Requires alpha > 2, i.e. a finite-mean tail, like real crawls.
+  const double a = params.power_law_exponent;
+  const double gamma = (a - 1.0) / (a - 2.0);
   auto pick_member = [&](int c) {
     const auto size = static_cast<double>(community_count(c));
     const double u = rng.next_double();

@@ -20,6 +20,8 @@ constexpr double kHeapFactor = 2.5;   // per-flop heap sift constant
 constexpr double kSpaFactor = 1.5;    // per-flop SPA streaming constant
 constexpr double kSortFactor = 1.5;   // SPA output index sort constant
 constexpr double kMergeFactor = 2.0;  // fold-side merge of received runs
+constexpr double kCodecFactor = 2.0;  // per-word varint/bitmap shift+mask
+                                      // (branchy byte-at-a-time loops)
 
 }  // namespace
 
@@ -94,16 +96,25 @@ double cost_p2p(const MachineModel& m, std::size_t bytes) {
   return m.alpha_net + static_cast<double>(bytes) * m.beta_net;
 }
 
-double cost_chunked_sends(const MachineModel& m, std::size_t messages,
-                          std::size_t bytes, int ndests) {
+double cost_chunked_sends(const MachineModel& m, double messages,
+                          double bytes, int ndests) {
   // Per-message cost grows with the peer count: MPI message matching
   // against posted-receive/unexpected queues whose length scales with the
   // number of communicating partners. This is what makes the unaggregated
   // baselines fall further behind as concurrency rises (§6's 2.72x ->
   // 4.13x progression), on top of paying latency per chunk at all.
   const double matching = 1.0 + 0.25 * log2_ceil(ndests);
-  return static_cast<double>(messages) * m.alpha_net * matching +
-         static_cast<double>(bytes) * m.a2a_beta(ndests);
+  return messages * m.alpha_net * matching + bytes * m.a2a_beta(ndests);
+}
+
+double cost_wire_codec(const MachineModel& m, std::size_t raw_bytes,
+                       std::size_t encoded_bytes, int threads) {
+  const double words =
+      static_cast<double>(raw_bytes + encoded_bytes) / kWordBytes;
+  double serial = words * m.beta_local * kCodecFactor;
+  serial *= m.compute_scale;
+  const int t = std::max(1, threads);
+  return serial / (static_cast<double>(t) * m.thread_efficiency(t));
 }
 
 double cost_1d_local(const MachineModel& m, const Work1D& w) {

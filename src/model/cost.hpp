@@ -50,9 +50,18 @@ double cost_p2p(const MachineModel& m, std::size_t bytes);
 
 /// Unaggregated point-to-point traffic (reference-code / PBGL style):
 /// `messages` individually-latencied sends carrying `bytes` in total,
-/// contending like an all-to-all among `ndests` destinations.
-double cost_chunked_sends(const MachineModel& m, std::size_t messages,
-                          std::size_t bytes, int ndests);
+/// contending like an all-to-all among `ndests` destinations. Both are
+/// doubles because callers price *mean per-rank* volumes, which are
+/// fractional on high-diameter levels (fewer messages than ranks).
+double cost_chunked_sends(const MachineModel& m, double messages,
+                          double bytes, int ndests);
+
+/// Wire-format codec work (src/comm/): one streaming pass over the raw
+/// items plus one over the encoded bytes, charged at the local streaming
+/// bandwidth βL — compression buys network bytes with priced CPU time,
+/// never free time.
+double cost_wire_codec(const MachineModel& m, std::size_t raw_bytes,
+                       std::size_t encoded_bytes, int threads = 1);
 
 // ---------- local work ----------
 

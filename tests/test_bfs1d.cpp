@@ -147,6 +147,44 @@ TEST(Bfs1D, ChunkedModeSameAnswerHigherCost) {
             agg_out.report.comm_seconds_mean);
 }
 
+TEST(Bfs1D, ChunkedPricingSurvivesMoreRanksThanMessages) {
+  // Regression: the chunked/per-edge pricing used to average messages and
+  // bytes over the ranks in integer arithmetic. On a high-diameter level
+  // a rank ships fewer messages than there are ranks, so both means
+  // truncated to zero and the entire exchange was priced as free. A path
+  // graph on many ranks ships exactly one 16-byte candidate per level;
+  // with alpha_net zeroed the only surviving term is the (truncatable)
+  // byte term, which must still come out positive.
+  const auto edges = test::path_edges(64);
+  auto opts = opts_with(48);
+  opts.comm_mode = CommMode::kChunkedSends;
+  opts.machine.alpha_net = 0.0;
+  Bfs1D bfs{edges, 64, opts};
+  const auto out = bfs.run(0);
+  EXPECT_GT(out.report.alltoall_seconds, 0.0);
+}
+
+TEST(Bfs1D, PerEdgeSendsCostMoreThanChunked) {
+  // Regression: per-edge mode used to fall through to the chunked
+  // max(sizeof(Candidate), chunk_bytes) coalescing, so with the default
+  // 16 KiB chunks it priced one message per 16 KiB instead of one per
+  // candidate and was indistinguishable from the chunked baseline.
+  const auto built = test::rmat_graph(10, 16);
+  const vid_t n = built.csr.num_vertices();
+  auto chunked_opts = opts_with(8);
+  chunked_opts.comm_mode = CommMode::kChunkedSends;
+  auto per_edge_opts = opts_with(8);
+  per_edge_opts.comm_mode = CommMode::kPerEdgeSends;
+  Bfs1D chunked{built.edges, n, chunked_opts};
+  Bfs1D per_edge{built.edges, n, per_edge_opts};
+  const vid_t source = test::hub_source(built.csr);
+  const auto chk_out = chunked.run(source);
+  const auto pe_out = per_edge.run(source);
+  EXPECT_EQ(chk_out.level, pe_out.level);
+  EXPECT_GT(pe_out.report.alltoall_seconds,
+            chk_out.report.alltoall_seconds);
+}
+
 TEST(Bfs1D, RepeatedRunsAreIndependent) {
   const auto built = test::rmat_graph(9);
   const vid_t n = built.csr.num_vertices();

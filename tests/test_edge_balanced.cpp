@@ -126,6 +126,27 @@ TEST(EdgeBalanced, BfsStillCorrect) {
   EXPECT_FALSE(bfs.partition().uniform());
 }
 
+TEST(EdgeBalanced, CountsBothEndpointsOnUnsymmetrizedInput) {
+  // Regression: the 1D partitioner's degree count used to look only at
+  // edge sources, so on an unsymmetrized input a pure-sink hub (all
+  // in-edges, no out-edges) was invisible and its rank received the same
+  // uniform vertex block as everyone else despite absorbing every
+  // candidate. In-star: every vertex points at 0, nothing points back.
+  const vid_t n = 64;
+  graph::EdgeList edges{n};
+  for (vid_t v = 1; v < n; ++v) edges.add(v, 0);  // no symmetrize()
+  bfs::Bfs1DOptions opts;
+  opts.ranks = 4;
+  opts.partition_mode = bfs::PartitionMode::kEdgeBalanced;
+  bfs::Bfs1D bfs{edges, n, opts};
+  const auto& p = bfs.partition();
+  EXPECT_FALSE(p.uniform());
+  // The hub carries half of all endpoint work (63 of 126), so its block
+  // must be far below the uniform 16 vertices.
+  EXPECT_EQ(p.owner(0), 0);
+  EXPECT_LT(p.size(0), 8);
+}
+
 TEST(EdgeBalanced, MoreRanksThanVertices) {
   const std::vector<eid_t> degrees{5, 5};
   const auto p = BlockPartition::edge_balanced(degrees, 8);

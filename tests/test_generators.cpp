@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "graph/builder.hpp"
@@ -119,6 +120,49 @@ TEST(Webcrawl, ConnectedByConstruction) {
   const BuiltGraph built = build_graph(generate_webcrawl(p), build);
   const auto levels = reference_levels(built.csr, 0);
   for (level_t l : levels) EXPECT_NE(l, kUnreached);
+}
+
+/// Hill estimator of the degree-distribution tail exponent from the top
+/// k order statistics: alpha = 1 + k / sum(ln(d_i / d_k)).
+double hill_tail_exponent(const CsrGraph& g, std::size_t k) {
+  std::vector<double> degrees;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    degrees.push_back(static_cast<double>(g.degree(v)));
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += std::log(degrees[i] / degrees[k]);
+  return 1.0 + static_cast<double>(k) / sum;
+}
+
+TEST(Webcrawl, TailExponentTracksRequestedAlpha) {
+  // Regression for the inverse-CDF mapping: gamma must be
+  // (alpha-1)/(alpha-2), not alpha itself. The old mapping made every
+  // requested exponent come out near 2 (heavier tail for a *larger* knob),
+  // so the fitted exponent neither tracked the request nor ordered
+  // correctly between two requests.
+  auto fitted = [](double alpha) {
+    WebcrawlParams p;
+    p.num_vertices = 1 << 15;
+    p.target_diameter = 1;  // single community: pure preferential picks
+    p.power_law_exponent = alpha;
+    p.seed = 5;
+    const CsrGraph g =
+        CsrGraph::from_edges(generate_webcrawl(p), /*dedup=*/false);
+    return hill_tail_exponent(g, 512);
+  };
+  const double lo = fitted(2.2);
+  const double hi = fitted(3.5);
+  EXPECT_LT(lo, hi);  // heavier requested tail => smaller fitted exponent
+  EXPECT_NEAR(lo, 2.2, 0.45);
+  EXPECT_NEAR(hi, 3.5, 0.9);
+}
+
+TEST(Webcrawl, RejectsInfiniteMeanExponent) {
+  WebcrawlParams p;
+  p.num_vertices = 1024;
+  p.power_law_exponent = 2.0;
+  EXPECT_THROW(generate_webcrawl(p), std::invalid_argument);
 }
 
 TEST(Webcrawl, SkewedIntraCommunityDegrees) {

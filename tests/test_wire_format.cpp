@@ -1,0 +1,302 @@
+// Unit tests for the wire-format codecs (comm/wire_format.hpp) and the
+// sender-side visited sieve (comm/sieve.hpp).
+#include "comm/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/frontier.hpp"
+#include "comm/sieve.hpp"
+#include "util/prng.hpp"
+
+namespace dbfs::comm {
+namespace {
+
+using bfs::Candidate;
+
+bool operator_eq(const Candidate& a, const Candidate& b) {
+  return a.vertex == b.vertex && a.parent == b.parent;
+}
+
+std::vector<Candidate> roundtrip(const std::vector<Candidate>& block,
+                                 WireFormat format,
+                                 WireStats* stats = nullptr) {
+  std::vector<std::uint8_t> bytes;
+  encode_candidates<Candidate>(block, format, bytes, stats);
+  std::vector<Candidate> out;
+  decode_candidate_stream<Candidate>(bytes.data(), bytes.size(), out);
+  return out;
+}
+
+void expect_equal(const std::vector<Candidate>& a,
+                  const std::vector<Candidate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(operator_eq(a[i], b[i]))
+        << "i=" << i << " (" << a[i].vertex << "," << a[i].parent << ") vs ("
+        << b[i].vertex << "," << b[i].parent << ")";
+  }
+}
+
+TEST(Uvarint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,     1,        127,        128,
+                                  16383, 16384,    (1u << 21) - 1,
+                                  1u << 21,        0x00FF00FF00FF00FFull,
+                                  ~std::uint64_t{0}};
+  for (std::uint64_t v : values) {
+    std::vector<std::uint8_t> buf;
+    put_uvarint(buf, v);
+    EXPECT_EQ(buf.size(), uvarint_size(v)) << v;
+    std::uint64_t back = 0;
+    const std::size_t used = get_uvarint(buf.data(), buf.size(), &back);
+    EXPECT_EQ(used, buf.size()) << v;
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Uvarint, ThrowsOnTruncation) {
+  std::vector<std::uint8_t> buf;
+  put_uvarint(buf, 300);  // two bytes
+  std::uint64_t v = 0;
+  EXPECT_THROW(get_uvarint(buf.data(), 1, &v), WireDecodeError);
+  EXPECT_THROW(get_uvarint(buf.data(), 0, &v), WireDecodeError);
+}
+
+TEST(ParseWireFormat, NamesRoundTrip) {
+  for (WireFormat f : {WireFormat::kRaw, WireFormat::kSieve,
+                       WireFormat::kBitmap, WireFormat::kVarint,
+                       WireFormat::kAuto}) {
+    EXPECT_EQ(parse_wire_format(to_string(f)), f);
+  }
+  EXPECT_THROW(parse_wire_format("zstd"), std::invalid_argument);
+}
+
+TEST(WireFormat, PredicatesMatchSemantics) {
+  EXPECT_FALSE(wire_sieves(WireFormat::kRaw));
+  EXPECT_TRUE(wire_sieves(WireFormat::kSieve));
+  EXPECT_FALSE(wire_compresses(WireFormat::kSieve));
+  EXPECT_TRUE(wire_compresses(WireFormat::kBitmap));
+  EXPECT_TRUE(wire_compresses(WireFormat::kVarint));
+  EXPECT_TRUE(wire_compresses(WireFormat::kAuto));
+}
+
+TEST(CandidateCodec, EmptyBlockEncodesToNothing) {
+  std::vector<std::uint8_t> bytes;
+  WireStats stats;
+  encode_candidates<Candidate>(std::vector<Candidate>{}, WireFormat::kAuto,
+                               bytes, &stats);
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_EQ(stats.items, 0u);
+  std::vector<Candidate> out;
+  decode_candidate_stream<Candidate>(bytes.data(), bytes.size(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CandidateCodec, RoundTripsEveryFormat) {
+  // Sorted, unique targets — the shape sieve_and_dedup produces.
+  const std::vector<Candidate> block = {
+      {0, 7}, {1, 0}, {5, 900000}, {6, 6}, {1000, 3}, {1000000, 999999}};
+  for (WireFormat f : {WireFormat::kRaw, WireFormat::kSieve,
+                       WireFormat::kBitmap, WireFormat::kVarint,
+                       WireFormat::kAuto}) {
+    expect_equal(roundtrip(block, f), block);
+  }
+}
+
+TEST(CandidateCodec, DenseBlockPrefersBitmap) {
+  // 64 consecutive targets with small parents: the presence bitmap (8
+  // bytes) plus one-byte parents beats both raw items and varints.
+  std::vector<Candidate> block;
+  for (vid_t v = 0; v < 64; ++v) block.push_back({v, 1});
+  WireStats stats;
+  const auto out = roundtrip(block, WireFormat::kAuto, &stats);
+  expect_equal(out, block);
+  EXPECT_EQ(stats.blocks_bitmap, 1u);
+  EXPECT_LT(stats.encoded_bytes, stats.raw_bytes);
+}
+
+TEST(CandidateCodec, SparseBlockPrefersVarint) {
+  // Widely-spaced targets: a bitmap over the range would dwarf the items.
+  std::vector<Candidate> block;
+  for (vid_t v = 0; v < 32; ++v) block.push_back({v * 1000003, 2});
+  WireStats stats;
+  const auto out = roundtrip(block, WireFormat::kAuto, &stats);
+  expect_equal(out, block);
+  EXPECT_EQ(stats.blocks_varint, 1u);
+  EXPECT_LT(stats.encoded_bytes, stats.raw_bytes);
+}
+
+TEST(CandidateCodec, AutoNeverExceedsRawPlusFrame) {
+  util::Xoshiro256 rng{42};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Candidate> block;
+    vid_t v = 0;
+    const int len = 1 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < len; ++i) {
+      v += 1 + static_cast<vid_t>(rng.next_below(1u << 16));
+      block.push_back(
+          {v, static_cast<vid_t>(rng.next_below(1u << 20))});
+    }
+    WireStats stats;
+    expect_equal(roundtrip(block, WireFormat::kAuto, &stats), block);
+    // Frame overhead: tag + count + payload length (few bytes).
+    EXPECT_LE(stats.encoded_bytes, stats.raw_bytes + 12);
+  }
+}
+
+TEST(CandidateCodec, BitmapFallsBackToVarintOnDuplicates) {
+  // Duplicate targets cannot be expressed by a presence bitmap; the
+  // kBitmap policy must fall back per block, not corrupt the stream.
+  const std::vector<Candidate> block = {{3, 9}, {3, 5}, {4, 1}};
+  WireStats stats;
+  const auto out = roundtrip(block, WireFormat::kBitmap, &stats);
+  expect_equal(out, block);
+  EXPECT_EQ(stats.blocks_bitmap, 0u);
+  EXPECT_EQ(stats.blocks_varint, 1u);
+}
+
+TEST(CandidateCodec, ConcatenatedBlocksDecodeInOrder) {
+  const std::vector<Candidate> a = {{1, 2}, {3, 4}};
+  const std::vector<Candidate> b = {{2, 8}, {100, 1}};
+  std::vector<std::uint8_t> bytes;
+  encode_candidates<Candidate>(a, WireFormat::kVarint, bytes, nullptr);
+  encode_candidates<Candidate>(b, WireFormat::kBitmap, bytes, nullptr);
+  encode_candidates<Candidate>(std::vector<Candidate>{}, WireFormat::kAuto,
+                               bytes, nullptr);
+  std::vector<Candidate> out;
+  decode_candidate_stream<Candidate>(bytes.data(), bytes.size(), out);
+  std::vector<Candidate> expected = a;
+  expected.insert(expected.end(), b.begin(), b.end());
+  expect_equal(out, expected);
+}
+
+TEST(CandidateCodec, TruncatedStreamThrows) {
+  const std::vector<Candidate> block = {{1, 2}, {3, 4}, {5, 6}};
+  for (WireFormat f :
+       {WireFormat::kSieve, WireFormat::kBitmap, WireFormat::kVarint}) {
+    std::vector<std::uint8_t> bytes;
+    encode_candidates<Candidate>(block, f, bytes, nullptr);
+    std::vector<Candidate> out;
+    EXPECT_THROW(
+        decode_candidate_stream<Candidate>(bytes.data(), bytes.size() - 1,
+                                           out),
+        WireDecodeError)
+        << to_string(f);
+  }
+}
+
+TEST(CandidateCodec, GarbageTagThrows) {
+  std::vector<std::uint8_t> bytes = {0xEE, 0x01, 0x01, 0x00};
+  std::vector<Candidate> out;
+  EXPECT_THROW(decode_candidate_stream<Candidate>(bytes.data(), bytes.size(),
+                                                  out),
+               WireDecodeError);
+}
+
+TEST(VertexListCodec, RoundTripsEveryFormat) {
+  const std::vector<vid_t> list = {0, 1, 2, 3, 900, 901, 5000000};
+  for (WireFormat f : {WireFormat::kRaw, WireFormat::kSieve,
+                       WireFormat::kBitmap, WireFormat::kVarint,
+                       WireFormat::kAuto}) {
+    std::vector<std::uint8_t> bytes;
+    WireStats stats;
+    encode_vertex_list(list, f, bytes, &stats);
+    std::vector<vid_t> out;
+    decode_vertex_stream(bytes.data(), bytes.size(), out);
+    EXPECT_EQ(out, list) << to_string(f);
+    EXPECT_EQ(stats.items, list.size());
+  }
+}
+
+TEST(VertexListCodec, DenseRangeCompressesHard) {
+  std::vector<vid_t> list;
+  for (vid_t v = 1000; v < 1512; ++v) list.push_back(v);
+  std::vector<std::uint8_t> bytes;
+  WireStats stats;
+  encode_vertex_list(list, WireFormat::kAuto, bytes, &stats);
+  std::vector<vid_t> out;
+  decode_vertex_stream(bytes.data(), bytes.size(), out);
+  EXPECT_EQ(out, list);
+  // 512 consecutive ids: 64 presence bytes + header vs 4096 raw bytes.
+  EXPECT_LT(stats.encoded_bytes, stats.raw_bytes / 10);
+}
+
+TEST(Sieve, MarkTestAndMarkAll) {
+  Sieve sieve;
+  sieve.reset(3, 200);
+  EXPECT_FALSE(sieve.test(0, 150));
+  sieve.mark(0, 150);
+  EXPECT_TRUE(sieve.test(0, 150));
+  EXPECT_FALSE(sieve.test(1, 150));  // rank-private bitmaps
+  sieve.mark_all(7);
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(sieve.test(r, 7));
+  sieve.reset(3, 200);
+  EXPECT_FALSE(sieve.test(0, 150));  // reset clears
+}
+
+TEST(Sieve, SieveAndDedupDropsVisitedAndMarksSurvivors) {
+  Sieve sieve;
+  sieve.reset(2, 100);
+  sieve.mark(0, 10);
+  std::vector<Candidate> block = {{10, 1}, {20, 2}, {30, 3}};
+  const auto dropped = sieve_and_dedup(sieve, 0, block, false);
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_EQ(block[0].vertex, 20);
+  EXPECT_EQ(block[1].vertex, 30);
+  EXPECT_TRUE(sieve.test(0, 20));
+  EXPECT_TRUE(sieve.test(0, 30));
+  // A later level re-sending the survivors drops them entirely.
+  std::vector<Candidate> again = {{20, 9}, {30, 9}};
+  EXPECT_EQ(sieve_and_dedup(sieve, 0, again, false), 2u);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(Sieve, DedupKeepsFirstOccurrenceFor1D) {
+  // 1D owners take the first candidate in receive order, so the sender
+  // must keep the first duplicate.
+  Sieve sieve;
+  sieve.reset(1, 100);
+  std::vector<Candidate> block = {{5, 40}, {2, 7}, {5, 99}, {2, 1}};
+  const auto dropped = sieve_and_dedup(sieve, 0, block, false);
+  EXPECT_EQ(dropped, 2u);
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_EQ(block[0].vertex, 2);
+  EXPECT_EQ(block[0].parent, 7);  // first occurrence of 2
+  EXPECT_EQ(block[1].vertex, 5);
+  EXPECT_EQ(block[1].parent, 40);  // first occurrence of 5
+}
+
+TEST(Sieve, DedupKeepsMaxParentFor2D) {
+  // 2D owners combine duplicates by max parent.
+  Sieve sieve;
+  sieve.reset(1, 100);
+  std::vector<Candidate> block = {{5, 40}, {2, 7}, {5, 99}, {2, 1}};
+  const auto dropped = sieve_and_dedup(sieve, 0, block, true);
+  EXPECT_EQ(dropped, 2u);
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_EQ(block[0].vertex, 2);
+  EXPECT_EQ(block[0].parent, 7);
+  EXPECT_EQ(block[1].vertex, 5);
+  EXPECT_EQ(block[1].parent, 99);  // max parent kept
+}
+
+TEST(Sieve, OutputSortedForCompressingCodecs) {
+  Sieve sieve;
+  sieve.reset(1, 1000);
+  std::vector<Candidate> block = {{500, 1}, {3, 2}, {77, 3}, {3, 9}};
+  sieve_and_dedup(sieve, 0, block, true);
+  for (std::size_t i = 1; i < block.size(); ++i) {
+    EXPECT_LT(block[i - 1].vertex, block[i].vertex);
+  }
+  // Sorted + unique means the block is bitmap-encodable.
+  WireStats stats;
+  std::vector<std::uint8_t> bytes;
+  encode_candidates<Candidate>(block, WireFormat::kBitmap, bytes, &stats);
+  EXPECT_EQ(stats.blocks_bitmap, 1u);
+}
+
+}  // namespace
+}  // namespace dbfs::comm
