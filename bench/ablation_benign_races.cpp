@@ -5,7 +5,7 @@
 // both modes at several thread counts (real execution, not simulated —
 // on a single-core CI host the thread counts oversubscribe and the
 // duplicate count is structurally 0; the invariant bound still holds).
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "bfs/shared.hpp"
 

@@ -5,7 +5,7 @@
 // expensive), non-uniform block boundaries equalizing per-rank *edges*
 // recover most of the balance deterministically — at the cost of keeping
 // the natural order's locality-driven communication pattern.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "bfs/bfs1d.hpp"
 #include "dist/local_graph1d.hpp"

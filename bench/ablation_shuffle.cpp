@@ -4,7 +4,7 @@
 // Expected: R-MAT's self-similarity concentrates edges on low vertex ids,
 // so without the shuffle rank 0's overload throttles every level; the
 // shuffle restores near-uniform loads (the Graph500 strategy).
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "dist/local_graph1d.hpp"
 

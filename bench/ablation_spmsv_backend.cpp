@@ -4,7 +4,7 @@
 // while the per-rank sub-problems are dense relative to the block
 // dimension (low core counts); the heap takes over as blocks go
 // hypersparse (high core counts); auto tracks the better of the two.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 int main() {
   using namespace dbfs;

@@ -8,7 +8,7 @@
 //     are huge (R-MAT's bulk levels touch most columns anyway), painful
 //     on high-diameter graphs whose ~140 tiny levels each rescan the
 //     whole block.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "dist/partition2d.hpp"
 

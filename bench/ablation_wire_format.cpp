@@ -5,7 +5,7 @@
 // smaller encoding per (destination, level). BFS outputs are identical in
 // every row — this sweep measures only the metered bytes and the modeled
 // time shift (decode cost at beta_L vs bytes saved at beta_N).
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 int main() {
   using namespace dbfs;
@@ -41,18 +41,10 @@ int main() {
       opts.cores = cores;
       opts.machine = machine;
       opts.wire_format = format;
-      core::Engine engine{w.built.edges, w.n, opts};
-
-      std::uint64_t a2a_bytes = 0;
-      std::uint64_t ag_bytes = 0;
-      double total = 0.0;
-      for (vid_t source : w.sources) {
-        const auto out = engine.run(source);
-        a2a_bytes += out.report.alltoall_bytes;
-        ag_bytes += out.report.allgather_bytes;
-        total += out.report.total_seconds;
-      }
-      total /= static_cast<double>(w.sources.size());
+      const MeanTimes mt = run_config(w, opts);
+      const std::uint64_t a2a_bytes = mt.a2a_bytes;
+      const std::uint64_t ag_bytes = mt.ag_bytes;
+      const double total = mt.total;
       const std::uint64_t metered = a2a_bytes + ag_bytes;
       if (format == comm::WireFormat::kRaw) raw_total = metered;
       std::printf("%-8s %16llu %16llu %9.3fx %14.3f %10.3f\n",

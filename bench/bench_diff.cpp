@@ -1,0 +1,118 @@
+// bench_diff: the noise-aware regression gate over BENCH_*.json records.
+// Compares two record sets (directories holding BENCH_*.json, or
+// individual record files), matching records by name and flagging a
+// metric only when its delta is worse in the metric's direction and
+// beyond the records' own k-sigma noise band or the absolute relative
+// floor (see obs/bench_diff.hpp for the exact rule).
+//
+//   bench_diff BASELINE CURRENT [--k=3] [--rel-floor=0.05]
+//              [--min-rel=0.001] [--require-all]
+//
+// Exit codes: 0 = no regressions, 1 = regressions found, 2 = unusable
+// input (unreadable file, schema-version mismatch, config drift under an
+// existing name, or --require-all unmet). The bench-smoke ctest drives
+// this against the committed repo-root baselines.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.hpp"
+#include "obs/bench_record.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dbfs::obs::BenchRecord;
+
+/// A path names either one record file or a directory of BENCH_*.json.
+std::vector<BenchRecord> load_set(const std::string& path) {
+  std::vector<BenchRecord> records;
+  if (fs::is_directory(path)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 11 /* BENCH_ + .json */ &&
+          name.compare(name.size() - 5, 5, ".json") == 0) {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& file : files) {
+      records.push_back(dbfs::obs::load_bench_record(file));
+    }
+  } else {
+    records.push_back(dbfs::obs::load_bench_record(path));
+  }
+  return records;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  dbfs::obs::BenchDiffOptions options;
+  bool require_all = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--k=", 0) == 0) {
+      options.sigma_k = std::stod(arg.substr(4));
+    } else if (arg.rfind("--rel-floor=", 0) == 0) {
+      options.rel_floor = std::stod(arg.substr(12));
+    } else if (arg.rfind("--min-rel=", 0) == 0) {
+      options.min_rel = std::stod(arg.substr(10));
+    } else if (arg == "--require-all") {
+      require_all = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASELINE CURRENT [--k=K] "
+                 "[--rel-floor=F] [--min-rel=M] [--require-all]\n"
+                 "BASELINE/CURRENT: a BENCH_*.json file or a directory of "
+                 "them\n");
+    return 2;
+  }
+
+  std::vector<BenchRecord> baseline;
+  std::vector<BenchRecord> current;
+  try {
+    baseline = load_set(positional[0]);
+    current = load_set(positional[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+  if (baseline.empty() || current.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json records under %s\n",
+                 baseline.empty() ? positional[0].c_str()
+                                  : positional[1].c_str());
+    return 2;
+  }
+
+  const auto report = dbfs::obs::diff_bench_records(baseline, current, options);
+  std::fputs(dbfs::obs::format_bench_diff(report).c_str(), stdout);
+
+  if (!report.errors.empty()) return 2;
+  if (require_all &&
+      (!report.only_in_baseline.empty() || !report.only_in_current.empty())) {
+    std::fprintf(stderr,
+                 "bench_diff: --require-all set but the record sets do not "
+                 "cover each other\n");
+    return 2;
+  }
+  if (report.compared == 0) {
+    std::fprintf(stderr, "bench_diff: no record names in common\n");
+    return 2;
+  }
+  return report.regressions > 0 ? 1 : 0;
+}

@@ -1,0 +1,154 @@
+// bench_suite: the continuous-benchmark driver. Runs the curated
+// configuration matrix — {1D, 2D} x {raw, auto wire format} x scales
+// 14-16 on the latency-rescaled Hopper model — and writes one
+// BENCH_<name>.json record per point, establishing the perf trajectory
+// that bench_diff gates on. Every record carries >= 5 virtual-seed
+// repetitions so the across-repetition spread doubles as the noise model.
+//
+//   bench_suite [--out-dir=DIR] [--scales=14,15,16] [--algos=1d,2d]
+//               [--wires=raw,auto] [--cores=N] [--reps=N] [--sources=N]
+//               [--slow-beta=X] [--list]
+//
+// Baselines live at the repo root (committed); refresh them with
+//   ./bench/bench_suite --out-dir=.
+// from the build directory after an intentional perf change (see
+// EXPERIMENTS.md). --slow-beta multiplies the machine's per-byte network
+// cost — the bench_smoke ctest uses it to prove the regression gate
+// actually fires.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace {
+
+using namespace dbfs;
+using namespace dbfs::bench;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct SuiteOptions {
+  std::string out_dir = ".";
+  std::vector<int> scales{14, 15, 16};
+  std::vector<std::string> algos{"1d", "2d"};
+  std::vector<std::string> wires{"raw", "auto"};
+  int cores = 64;
+  int reps = 5;
+  int sources = 2;
+  double slow_beta = 1.0;
+  bool list_only = false;
+};
+
+core::Algorithm parse_algo(const std::string& name) {
+  if (name == "1d") return core::Algorithm::kOneDFlat;
+  if (name == "1d-hybrid") return core::Algorithm::kOneDHybrid;
+  if (name == "2d") return core::Algorithm::kTwoDFlat;
+  if (name == "2d-hybrid") return core::Algorithm::kTwoDHybrid;
+  throw std::invalid_argument("bench_suite: unknown algorithm '" + name +
+                              "' (use 1d, 1d-hybrid, 2d, 2d-hybrid)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SuiteOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out-dir=", 0) == 0) {
+      opt.out_dir = arg.substr(10);
+    } else if (arg.rfind("--scales=", 0) == 0) {
+      opt.scales.clear();
+      for (const auto& s : split_csv(arg.substr(9))) {
+        opt.scales.push_back(std::stoi(s));
+      }
+    } else if (arg.rfind("--algos=", 0) == 0) {
+      opt.algos = split_csv(arg.substr(8));
+    } else if (arg.rfind("--wires=", 0) == 0) {
+      opt.wires = split_csv(arg.substr(8));
+    } else if (arg.rfind("--cores=", 0) == 0) {
+      opt.cores = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      opt.reps = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--sources=", 0) == 0) {
+      opt.sources = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--slow-beta=", 0) == 0) {
+      opt.slow_beta = std::stod(arg.substr(12));
+    } else if (arg == "--list") {
+      opt.list_only = true;
+    } else {
+      std::fprintf(stderr, "bench_suite: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("bench_suite: %zu scale(s) x %zu algo(s) x %zu wire(s), "
+              "%d cores, %d reps x %d sources%s\n",
+              opt.scales.size(), opt.algos.size(), opt.wires.size(),
+              opt.cores, opt.reps, opt.sources,
+              opt.slow_beta != 1.0 ? "  [SLOWED beta]" : "");
+
+  int written = 0;
+  for (int scale : opt.scales) {
+    for (const std::string& algo : opt.algos) {
+      for (const std::string& wire : opt.wires) {
+        BenchSpec spec;
+        spec.name = "rmat" + std::to_string(scale) + "_" + algo + "_" +
+                    wire + "_c" + std::to_string(opt.cores);
+        spec.created_by = "bench_suite";
+        spec.scale = scale;
+        spec.edge_factor = 16;
+        spec.sources = opt.sources;
+        spec.repetitions = opt.reps;
+        spec.paper_log2_edges = 33.0;  // the scale-29, ef-16 paper runs
+        try {
+          spec.engine.algorithm = parse_algo(algo);
+          spec.engine.cores = opt.cores;
+          spec.engine.machine = model::hopper();
+          spec.engine.machine.beta_net *= opt.slow_beta;
+          spec.engine.wire_format = comm::parse_wire_format(wire);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s\n", e.what());
+          return 2;
+        }
+
+        if (opt.list_only) {
+          std::printf("  %s\n", spec.name.c_str());
+          continue;
+        }
+        try {
+          const obs::BenchRecord record = run_bench_record(spec);
+          const std::string path =
+              opt.out_dir + "/" + obs::bench_record_filename(record.name);
+          obs::save_bench_record(path, record);
+          std::printf("  %s\n", describe_bench_record(record).c_str());
+          ++written;
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "bench_suite: %s failed: %s\n",
+                       spec.name.c_str(), e.what());
+          return 1;
+        }
+      }
+    }
+  }
+  if (!opt.list_only) {
+    std::printf("wrote %d BENCH_*.json record(s) to %s\n", written,
+                opt.out_dir.c_str());
+  }
+  return 0;
+}

@@ -4,7 +4,7 @@
 // both can run. This harness sweeps (algorithm, machine, cores) and
 // prints functional-vs-priced totals with their ratio; large systematic
 // drift here would undermine every starred point in Figs 5-9.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "core/volume_profile.hpp"
 

@@ -5,7 +5,7 @@
 //  (a) the per-call cost surface (payload x group) with its crossovers,
 //  (b) end-to-end BFS time with the calibrated ring default vs an ideal
 //      per-call switcher, on both low- and high-diameter graphs.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "bfs/bfs2d.hpp"
 #include "model/cost.hpp"

@@ -3,7 +3,7 @@
 // host (like Fig 3, this is not a simulation). Reports the edge
 // examinations skipped and the wall-clock speedup across graph families:
 // large on low-diameter R-MAT, nil (by design) on high-diameter graphs.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "bfs/direction_optimizing.hpp"
 #include "util/timer.hpp"

@@ -3,7 +3,7 @@
 // shares adjacency scans across lanes, so edge examinations and wall time
 // collapse on low-diameter graphs — the regime of the paper's multi-
 // source Graph500 protocol and of analytics like degrees-of-separation.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 #include "bfs/multi_source.hpp"
 #include "bfs/serial.hpp"

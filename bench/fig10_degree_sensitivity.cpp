@@ -5,7 +5,7 @@
 // the flat 2D algorithm beats flat 1D for the first time on the densest
 // (degree 64) instance — for fixed edges, denser graphs mean shorter
 // frontier/parent vectors, shrinking the 2D code's cache-miss penalty.
-#include "scaling_common.hpp"
+#include "harness/scaling.hpp"
 
 int main() {
   using namespace dbfs;

@@ -8,7 +8,7 @@
 //  * ~4x speedup going from 500 to 4000 cores.
 // We substitute the proprietary crawl with the synthetic `webcrawl`
 // generator (see DESIGN.md) at the same diameter.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 int main() {
   using namespace dbfs;

@@ -7,7 +7,9 @@
 //
 // We print both heatmaps (percent of the max rank's MPI time, as in the
 // paper's normalization) plus summary ratios.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
+#include "obs/imbalance.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -64,6 +66,8 @@ int main() {
 
   bfs::RunReport diag_report;
   bfs::RunReport twod_report;
+  obs::ImbalanceProfile diag_profile;
+  obs::ImbalanceProfile twod_profile;
   for (auto kind : {dist::VectorDistKind::kDiagonal,
                     dist::VectorDistKind::kTwoD}) {
     core::EngineOptions opts;
@@ -71,12 +75,15 @@ int main() {
     opts.cores = s * s;
     opts.machine = machine;
     opts.vector_dist = kind;
+    opts.trace = true;  // feed the per-level idle-time profiler
     core::Engine engine{w.built.edges, w.n, opts};
     const auto out = engine.run(w.sources.front());
     if (kind == dist::VectorDistKind::kDiagonal) {
       diag_report = out.report;
+      diag_profile = obs::profile_imbalance(*engine.tracer(), s * s);
     } else {
       twod_report = out.report;
+      twod_profile = obs::profile_imbalance(*engine.tracer(), s * s);
     }
   }
 
@@ -96,5 +103,20 @@ int main() {
   std::printf("BFS time: diagonal dist %.3f ms vs 2D dist %.3f ms\n",
               diag_report.total_seconds * 1e3,
               twod_report.total_seconds * 1e3);
+
+  // The same story from the trace-derived profiler (the data BenchRecord
+  // persists into BENCH_*.json): idle share of all per-rank seconds, and
+  // which ranks the levels waited on — under the diagonal distribution
+  // the stragglers should be exactly the diagonal ranks (i*s + i).
+  std::printf("\nidle fraction of per-rank time (trace profiler): "
+              "diagonal dist %.1f%%, 2D dist %.1f%%\n",
+              100.0 * diag_profile.wait_fraction,
+              100.0 * twod_profile.wait_fraction);
+  std::printf("stragglers under diagonal dist (most frequent first):");
+  for (std::size_t i = 0; i < diag_profile.straggler_ranks.size() && i < 8;
+       ++i) {
+    std::printf(" %d", diag_profile.straggler_ranks[i]);
+  }
+  std::printf("  (diagonal ranks are multiples of %d)\n", s + 1);
   return 0;
 }

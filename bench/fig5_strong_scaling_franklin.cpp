@@ -6,8 +6,8 @@
 // flat 1D at the highest concurrencies as the NIC/bisection saturates.
 //
 // Graphs are scaled down (BFSSIM_SCALE overrides); machine latencies are
-// rescaled by the same factor (see scaled_machine in bench_common.hpp).
-#include "scaling_common.hpp"
+// rescaled by the same factor (see scaled_machine in harness/harness.hpp).
+#include "harness/scaling.hpp"
 
 int main() {
   using namespace dbfs;

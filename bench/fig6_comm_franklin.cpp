@@ -4,7 +4,7 @@
 // time in communication than their 1D counterparts — smaller collective
 // groups (sqrt(p) participants) move the same data faster — and the
 // hybrid variants cut communication further by shrinking the groups.
-#include "scaling_common.hpp"
+#include "harness/scaling.hpp"
 
 int main() {
   using namespace dbfs;

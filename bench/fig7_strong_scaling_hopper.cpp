@@ -6,7 +6,7 @@
 // bandwidth regressed, so communication efficiency decides the race.
 // Flat 1D is not run at 40K cores (its communication already consumed
 // >90% of execution beyond 10-20K, as the paper notes).
-#include "scaling_common.hpp"
+#include "harness/scaling.hpp"
 
 int main() {
   using namespace dbfs;

@@ -4,7 +4,7 @@
 // cores) while the 2D hybrid stays under ~50% at 20K — the headline
 // "3.5x communication reduction" of the paper comes from comparing these
 // series.
-#include "scaling_common.hpp"
+#include "harness/scaling.hpp"
 
 int main() {
   using namespace dbfs;

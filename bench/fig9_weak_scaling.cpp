@@ -5,7 +5,7 @@
 // overheads aren't yet bought back by smaller collectives), and the 2D
 // codes communicate least but pay more computation, landing behind 1D
 // overall on this architecture.
-#include "scaling_common.hpp"
+#include "harness/scaling.hpp"
 
 int main() {
   using namespace dbfs;

@@ -13,8 +13,8 @@
 #include <map>
 #include <memory>
 
-#include "bench_common.hpp"
 #include "core/volume_profile.hpp"
+#include "harness/harness.hpp"
 
 namespace dbfs::bench {
 

@@ -7,7 +7,7 @@
 //  * the gap widens as the graph gets sparser — for fixed edges the
 //    vector dimension grows, and only the expand volume scales with it,
 //  * both percentages rise with the core count.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 int main() {
   using namespace dbfs;
@@ -44,21 +44,11 @@ int main() {
       opts.algorithm = core::Algorithm::kTwoDFlat;
       opts.cores = cores;
       opts.machine = machine;
-      core::Engine engine{w.built.edges, w.n, opts};
-
-      double total = 0;
-      double ag = 0;
-      double a2a = 0;
-      for (vid_t source : w.sources) {
-        const auto out = engine.run(source);
-        total += out.report.total_seconds;
-        ag += out.report.allgather_seconds;
-        a2a += out.report.alltoall_seconds;
-      }
-      const auto k = static_cast<double>(w.sources.size());
+      const MeanTimes mt = run_config(w, opts);
       std::printf("%-8d %-10d %-8d %14.3f %13.1f%% %13.1f%%\n", cores,
-                  cfg.scale, cfg.degree, total / k * 1e3,
-                  100.0 * ag / total, 100.0 * a2a / total);
+                  cfg.scale, cfg.degree, mt.total * 1e3,
+                  100.0 * mt.allgather / mt.total,
+                  100.0 * mt.alltoall / mt.total);
     }
   }
   std::printf("\nexpected: Allgatherv%% > Alltoallv%% everywhere; gap widens "

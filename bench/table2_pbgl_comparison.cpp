@@ -3,7 +3,7 @@
 // 128 and 256 cores, R-MAT scales 22 and 24. Expected shape (paper §6):
 // the tuned Flat 2D code is roughly an order of magnitude faster (up to
 // 16x), and PBGL barely improves — or regresses — when doubling cores.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 int main() {
   using namespace dbfs;

@@ -3,7 +3,7 @@
 // 2048 cores" (Franklin). We weak-scale the problem with the core count,
 // matching the paper's regime of substantial per-core volume at every
 // concurrency. Expected shape: a multi-x gap that grows with cores.
-#include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 int main() {
   using namespace dbfs;

@@ -4,8 +4,13 @@
 // the harmonic-mean TEPS with quartiles — the benchmark's output format.
 //
 //   ./examples/graph500_runner [scale] [cores] [algorithm] [nsources]
-//             [--trace-out=PATH] [--wire-format=raw|sieve|bitmap|varint|auto]
+//             [--trace-out=PATH] [--bench-out=PATH]
+//             [--wire-format=raw|sieve|bitmap|varint|auto]
 //   algorithm in {1d, 1d-hybrid, 2d, 2d-hybrid}
+//
+// --bench-out writes the run as a BENCH_*.json-style BenchRecord (single
+// repetition over all search keys) so ad-hoc runs can be diffed against
+// the committed baselines with bench_diff.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +23,7 @@
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "obs/bench_record.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -38,11 +44,14 @@ int main(int argc, char** argv) {
   using namespace dbfs;
 
   std::string trace_out;
+  std::string bench_out;
   comm::WireFormat wire_format = comm::WireFormat::kRaw;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
+      bench_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--wire-format=", 14) == 0) {
       wire_format = comm::parse_wire_format(argv[i] + 14);
     } else {
@@ -74,7 +83,8 @@ int main(int argc, char** argv) {
   opts.cores = cores;
   opts.machine = model::hopper();
   opts.wire_format = wire_format;
-  opts.trace = !trace_out.empty();
+  opts.trace = !trace_out.empty() || !bench_out.empty();
+  opts.metrics = !bench_out.empty();
   core::Engine engine{built.edges, n, opts};
 
   const auto comps = graph::connected_components(engine.csr());
@@ -112,16 +122,49 @@ int main(int argc, char** argv) {
   if (engine.tracer() != nullptr) {
     // Observers hold the most recent run; re-run the first key so the
     // trace matches a single deterministic search.
-    (void)engine.run(sources.front());
-    std::ofstream trace_file(trace_out);
-    if (!trace_file) {
-      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
-      return 1;
+    const auto profile = engine.run(sources.front());
+
+    if (!trace_out.empty()) {
+      std::ofstream trace_file(trace_out);
+      if (!trace_file) {
+        std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+        return 1;
+      }
+      engine.tracer()->write_chrome_json(trace_file);
+      std::printf(
+          "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n",
+          trace_out.c_str());
     }
-    engine.tracer()->write_chrome_json(trace_file);
-    std::printf(
-        "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n",
-        trace_out.c_str());
+
+    if (!bench_out.empty()) {
+      const int threads = engine.options().threads_per_rank;
+      const int ranks = engine.cores_used() / (threads > 0 ? threads : 1);
+      obs::BenchRecordBuilder builder;
+      obs::BenchRecord& record = builder.record();
+      record.name = "graph500_s" + std::to_string(scale) + "_" +
+                    core::to_string(algorithm) + "_c" +
+                    std::to_string(engine.cores_used());
+      record.created_by = "graph500_runner";
+      record.config.generator = "rmat";
+      record.config.scale = scale;
+      record.config.edge_factor = 16;
+      record.config.graph_seed = params.seed;
+      record.config.algorithm = core::to_string(algorithm);
+      record.config.machine = opts.machine.name;
+      record.config.wire_format = comm::to_string(wire_format);
+      record.config.cores = engine.cores_used();
+      record.config.ranks = ranks;
+      record.config.threads_per_rank = threads;
+      record.config.source_seed = 2023;
+      record.config.faults_enabled = opts.faults.enabled();
+      builder.add_repetition(2023, batch.reports, built.directed_edge_count,
+                             batch.validated, batch.failed);
+      builder.attach_profile(engine.tracer(), engine.metrics(),
+                             profile.report, ranks);
+      obs::save_bench_record(bench_out, builder.finish());
+      std::printf("wrote BenchRecord to %s (diff with bench_diff)\n",
+                  bench_out.c_str());
+    }
   }
   return 0;
 }

@@ -186,19 +186,22 @@ bfs::BfsOutput Engine::run(vid_t source) {
 }
 
 BatchResult Engine::run_batch(std::span<const vid_t> sources,
-                              eid_t edge_denominator) {
+                              eid_t edge_denominator,
+                              const BatchOptions& batch_options) {
   BatchResult batch;
   std::vector<double> teps_samples;
   double time_sum = 0.0;
   for (vid_t source : sources) {
     bfs::BfsOutput out = run(source);
-    const auto validation =
-        graph::validate_bfs_tree(csr(), source, out.parent);
-    if (validation.ok) {
-      ++batch.validated;
-    } else {
-      ++batch.failed;
-      if (batch.first_error.empty()) batch.first_error = validation.error;
+    if (batch_options.validate) {
+      const auto validation =
+          graph::validate_bfs_tree(csr(), source, out.parent);
+      if (validation.ok) {
+        ++batch.validated;
+      } else {
+        ++batch.failed;
+        if (batch.first_error.empty()) batch.first_error = validation.error;
+      }
     }
     teps_samples.push_back(out.report.teps(edge_denominator));
     time_sum += out.report.total_seconds;

@@ -85,6 +85,15 @@ struct EngineOptions {
   bool metrics = false;
 };
 
+/// Knobs for Engine::run_batch.
+struct BatchOptions {
+  /// Validate every BFS tree against the graph (Graph500 rules). The
+  /// bench harness disables this on repeat noise-model repetitions —
+  /// validation is host-side work that does not change the simulated
+  /// clocks, so skipping it only saves wall time.
+  bool validate = true;
+};
+
 /// Graph500-style batch statistics over multiple sources.
 struct BatchResult {
   std::vector<bfs::RunReport> reports;
@@ -112,11 +121,12 @@ class Engine {
 
   bfs::BfsOutput run(vid_t source);
 
-  /// Run every source, validate each output against the graph, and
-  /// aggregate TEPS using `edge_denominator` (Graph500 counts the
-  /// original directed edges).
+  /// Run every source, validate each output against the graph (unless
+  /// batch_options.validate is off), and aggregate TEPS using
+  /// `edge_denominator` (Graph500 counts the original directed edges).
   BatchResult run_batch(std::span<const vid_t> sources,
-                        eid_t edge_denominator);
+                        eid_t edge_denominator,
+                        const BatchOptions& batch_options = {});
 
   const EngineOptions& options() const;
   /// Cores actually simulated (2D grids round down to a square).

@@ -1,0 +1,158 @@
+#include "obs/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace dbfs::obs {
+
+namespace {
+
+struct MetricView {
+  const char* name;
+  bool higher_is_better;
+  double baseline;
+  double current;
+  double sigma_base;  ///< relative across-repetition stddev
+  double sigma_cur;
+};
+
+void compare_metric(const std::string& record, const MetricView& m,
+                    const BenchDiffOptions& opt, BenchDiffReport& out) {
+  BenchMetricDelta d;
+  d.record = record;
+  d.metric = m.name;
+  d.higher_is_better = m.higher_is_better;
+  d.baseline = m.baseline;
+  d.current = m.current;
+  if (m.baseline != 0.0) {
+    d.rel_delta = (m.current - m.baseline) / m.baseline;
+  } else {
+    d.rel_delta = m.current == 0.0 ? 0.0 : 1.0;
+  }
+  d.noise_band = opt.sigma_k * std::sqrt(m.sigma_base * m.sigma_base +
+                                         m.sigma_cur * m.sigma_cur);
+
+  const double magnitude = std::fabs(d.rel_delta);
+  const bool worse = m.higher_is_better ? d.rel_delta < 0.0
+                                        : d.rel_delta > 0.0;
+  const bool significant =
+      magnitude > opt.min_rel &&
+      (magnitude > d.noise_band || magnitude > opt.rel_floor);
+  d.regression = worse && significant;
+  d.improvement = !worse && significant && magnitude > 0.0;
+
+  if (d.regression) ++out.regressions;
+  if (d.improvement) ++out.improvements;
+  out.deltas.push_back(std::move(d));
+}
+
+bool config_matches(const BenchSetup& a, const BenchSetup& b,
+                    std::string* why) {
+  if (a.generator != b.generator) *why = "generator";
+  else if (a.scale != b.scale) *why = "scale";
+  else if (a.edge_factor != b.edge_factor) *why = "edge_factor";
+  else if (a.algorithm != b.algorithm) *why = "algorithm";
+  else if (a.wire_format != b.wire_format) *why = "wire_format";
+  else if (a.cores != b.cores) *why = "cores";
+  else if (a.faults_enabled != b.faults_enabled) *why = "faults";
+  else return true;
+  return false;
+}
+
+}  // namespace
+
+BenchDiffReport diff_bench_records(std::span<const BenchRecord> baseline,
+                                   std::span<const BenchRecord> current,
+                                   const BenchDiffOptions& options) {
+  BenchDiffReport report;
+
+  std::map<std::string, const BenchRecord*> base_by_name;
+  for (const BenchRecord& r : baseline) base_by_name[r.name] = &r;
+  std::map<std::string, const BenchRecord*> cur_by_name;
+  for (const BenchRecord& r : current) cur_by_name[r.name] = &r;
+
+  for (const auto& [name, b] : base_by_name) {
+    if (cur_by_name.find(name) == cur_by_name.end()) {
+      report.only_in_baseline.push_back(name);
+    }
+    (void)b;
+  }
+
+  for (const auto& [name, cur] : cur_by_name) {
+    const auto it = base_by_name.find(name);
+    if (it == base_by_name.end()) {
+      report.only_in_current.push_back(name);
+      continue;
+    }
+    const BenchRecord& base = *it->second;
+
+    std::string why;
+    if (!config_matches(base.config, cur->config, &why)) {
+      report.errors.push_back("record '" + name +
+                              "': config mismatch on " + why +
+                              " — not comparable, refresh the baseline");
+      continue;
+    }
+
+    ++report.compared;
+    compare_metric(name,
+                   MetricView{"harmonic_mean_teps", true,
+                              base.harmonic_mean_teps,
+                              cur->harmonic_mean_teps,
+                              base.noise.teps_rel_stddev,
+                              cur->noise.teps_rel_stddev},
+                   options, report);
+    compare_metric(name,
+                   MetricView{"mean_seconds", false, base.mean_seconds,
+                              cur->mean_seconds,
+                              base.noise.seconds_rel_stddev,
+                              cur->noise.seconds_rel_stddev},
+                   options, report);
+    compare_metric(name,
+                   MetricView{"comm_seconds_mean", false,
+                              base.comm_seconds_mean, cur->comm_seconds_mean,
+                              base.noise.comm_rel_stddev,
+                              cur->noise.comm_rel_stddev},
+                   options, report);
+  }
+  return report;
+}
+
+std::string format_bench_diff(const BenchDiffReport& report) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-28s %-20s %14s %14s %9s %9s  %s\n", "record", "metric",
+                "baseline", "current", "delta", "noise", "verdict");
+  out += line;
+  for (const BenchMetricDelta& d : report.deltas) {
+    const char* verdict = d.regression     ? "REGRESSION"
+                          : d.improvement  ? "improved"
+                                           : "ok";
+    std::snprintf(line, sizeof(line),
+                  "%-28s %-20s %14.6g %14.6g %+8.2f%% %8.2f%%  %s\n",
+                  d.record.c_str(), d.metric.c_str(), d.baseline, d.current,
+                  100.0 * d.rel_delta, 100.0 * d.noise_band, verdict);
+    out += line;
+  }
+  for (const std::string& name : report.only_in_baseline) {
+    out += "note: '" + name + "' only in baseline set (skipped)\n";
+  }
+  for (const std::string& name : report.only_in_current) {
+    out += "note: '" + name + "' only in current set (skipped)\n";
+  }
+  for (const std::string& err : report.errors) {
+    out += "error: " + err + "\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "%d record(s) compared: %d regression(s), %d improvement(s), "
+                "%d error(s)\n",
+                report.compared, report.regressions, report.improvements,
+                static_cast<int>(report.errors.size()));
+  out += line;
+  return out;
+}
+
+}  // namespace dbfs::obs

@@ -1,0 +1,67 @@
+// Noise-aware comparison of two BenchRecord sets — the regression gate
+// behind the bench-smoke preset.
+//
+// Records are matched by name; for each pair the headline metrics
+// (harmonic-mean TEPS, mean search seconds, mean comm seconds) are
+// compared with a noise model derived from the records' own
+// across-repetition variance: a delta counts as a regression only when it
+// is worse in the metric's direction AND it exceeds the pooled noise band
+// (sigma_k x sqrt(sigma_base^2 + sigma_cur^2), relative) OR the absolute
+// relative floor rel_floor (default 5% — a big shift is flagged even
+// under a noisy configuration). Deltas below min_rel are ignored
+// entirely, which keeps float-formatting jitter from ever tripping the
+// gate. Improvements are reported but never fail the diff.
+//
+// Pairs whose configs disagree (different scale/algorithm/cores/wire
+// format under the same name) are refused into `errors` rather than
+// compared — a renamed or re-purposed record must not masquerade as a
+// trajectory point.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/bench_record.hpp"
+
+namespace dbfs::obs {
+
+struct BenchDiffOptions {
+  double sigma_k = 3.0;    ///< noise-band multiplier (k·σ)
+  double rel_floor = 0.05; ///< always flag worse deltas beyond this
+  double min_rel = 0.001;  ///< ignore deltas below this entirely
+};
+
+struct BenchMetricDelta {
+  std::string record;
+  std::string metric;
+  bool higher_is_better = false;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_delta = 0.0;   ///< (current - baseline) / baseline, signed
+  double noise_band = 0.0;  ///< sigma_k x pooled relative stddev
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct BenchDiffReport {
+  std::vector<BenchMetricDelta> deltas;
+  std::vector<std::string> only_in_baseline;  ///< names skipped (info only)
+  std::vector<std::string> only_in_current;
+  std::vector<std::string> errors;  ///< config mismatches etc. — fatal
+  int compared = 0;     ///< record pairs actually diffed
+  int regressions = 0;
+  int improvements = 0;
+
+  bool ok() const { return regressions == 0 && errors.empty(); }
+};
+
+BenchDiffReport diff_bench_records(std::span<const BenchRecord> baseline,
+                                   std::span<const BenchRecord> current,
+                                   const BenchDiffOptions& options = {});
+
+/// Human-readable table: one line per compared metric, regressions
+/// prefixed REGRESSION, plus the skip/error notes.
+std::string format_bench_diff(const BenchDiffReport& report);
+
+}  // namespace dbfs::obs

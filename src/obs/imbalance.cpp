@@ -1,0 +1,108 @@
+#include "obs/imbalance.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/trace.hpp"
+#include "util/stats.hpp"
+
+namespace dbfs::obs {
+
+ImbalanceProfile profile_imbalance(const Tracer& tracer, int ranks) {
+  ImbalanceProfile p;
+  p.ranks = std::max(ranks, tracer.ranks());
+  if (p.ranks <= 0) return p;
+
+  // First pass: which levels exist.
+  std::map<int, std::size_t> level_row;
+  for (int r = 0; r < tracer.ranks(); ++r) {
+    for (const Span& s : tracer.spans(r)) {
+      if (s.level >= 0) level_row.emplace(s.level, 0);
+    }
+  }
+  std::size_t row = 0;
+  for (auto& [level, index] : level_row) {
+    index = row++;
+    p.level_ids.push_back(level);
+  }
+
+  const auto nranks = static_cast<std::size_t>(p.ranks);
+  p.wait_seconds.assign(level_row.size(), std::vector<double>(nranks, 0.0));
+  p.busy_seconds.assign(level_row.size(), std::vector<double>(nranks, 0.0));
+
+  for (int r = 0; r < tracer.ranks(); ++r) {
+    for (const Span& s : tracer.spans(r)) {
+      if (s.level < 0) continue;
+      const std::size_t i = level_row.at(s.level);
+      const double dur = s.end - s.begin;
+      if (s.kind == SpanKind::kWait) {
+        p.wait_seconds[i][static_cast<std::size_t>(r)] += dur;
+      } else {
+        p.busy_seconds[i][static_cast<std::size_t>(r)] += dur;
+      }
+    }
+  }
+
+  p.rank_wait_total.assign(nranks, 0.0);
+  p.rank_busy_total.assign(nranks, 0.0);
+  std::map<int, int> straggler_hits;
+  for (std::size_t i = 0; i < p.level_ids.size(); ++i) {
+    for (std::size_t r = 0; r < nranks; ++r) {
+      p.rank_wait_total[r] += p.wait_seconds[i][r];
+      p.rank_busy_total[r] += p.busy_seconds[i][r];
+    }
+    p.level_busy_imbalance.push_back(util::imbalance(p.busy_seconds[i]));
+    const auto busiest = std::max_element(p.busy_seconds[i].begin(),
+                                          p.busy_seconds[i].end());
+    const int straggler =
+        static_cast<int>(busiest - p.busy_seconds[i].begin());
+    p.straggler_rank.push_back(straggler);
+    ++straggler_hits[straggler];
+  }
+
+  p.busy_imbalance = util::imbalance(p.rank_busy_total);
+  p.wait_imbalance = util::imbalance(p.rank_wait_total);
+  double wait_sum = 0.0;
+  double busy_sum = 0.0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    wait_sum += p.rank_wait_total[r];
+    busy_sum += p.rank_busy_total[r];
+  }
+  p.wait_fraction =
+      wait_sum + busy_sum > 0.0 ? wait_sum / (wait_sum + busy_sum) : 0.0;
+
+  // Straggler set, most frequent first (ties break toward lower rank via
+  // the map's ordering feeding a stable sort).
+  p.straggler_ranks.reserve(straggler_hits.size());
+  for (const auto& [rank, hits] : straggler_hits) {
+    (void)hits;
+    p.straggler_ranks.push_back(rank);
+  }
+  std::stable_sort(p.straggler_ranks.begin(), p.straggler_ranks.end(),
+                   [&](int a, int b) {
+                     return straggler_hits[a] > straggler_hits[b];
+                   });
+  return p;
+}
+
+std::string format_imbalance_heatmap(
+    const std::vector<std::vector<double>>& matrix) {
+  double max = 0.0;
+  for (const auto& level : matrix) {
+    for (double cell : level) max = std::max(max, cell);
+  }
+  std::string out;
+  char buf[16];
+  for (const auto& level : matrix) {
+    for (double cell : level) {
+      std::snprintf(buf, sizeof(buf), " %3.0f",
+                    max > 0.0 ? 100.0 * cell / max : 0.0);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dbfs::obs

@@ -1,0 +1,64 @@
+// Per-rank, per-level load-imbalance profiler over a virtual-time trace.
+//
+// Reconstructs the data behind the paper's Figure 4 — "MPI time per rank"
+// under the diagonal-only (1D) vector distribution vs the 2D one — as a
+// queryable structure instead of a one-off printed heatmap: for every BFS
+// level, how long each rank idled at collectives (the heatmap cell), how
+// long it was busy (compute + priced transfer), which rank the level
+// waited on, and how skewed the busy time was. The whole-run roll-ups
+// (wait fraction, busy imbalance, straggler set) are what BenchRecord
+// persists into BENCH_*.json so the 1D-vs-2D story is diffable across
+// PRs.
+//
+// Derived purely from Tracer spans (obs/trace.hpp); levels are the spans'
+// `level` tags, and spans recorded outside a level (tag -1, e.g. setup)
+// are ignored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dbfs::obs {
+
+class Tracer;
+
+struct ImbalanceProfile {
+  int ranks = 0;
+  /// Ascending distinct BFS levels seen in the trace; row i of the
+  /// matrices below describes level_ids[i].
+  std::vector<int> level_ids;
+
+  /// Idle (barrier-wait) seconds, [level][rank] — the Fig 4 heatmap.
+  std::vector<std::vector<double>> wait_seconds;
+  /// Busy (compute + transfer) seconds, [level][rank].
+  std::vector<std::vector<double>> busy_seconds;
+
+  /// Whole-run per-rank totals (sums of the rows above).
+  std::vector<double> rank_wait_total;
+  std::vector<double> rank_busy_total;
+
+  /// Per-level max/mean busy-time ratio (util::imbalance convention:
+  /// 1.0 = perfectly balanced).
+  std::vector<double> level_busy_imbalance;
+  /// Per level, the rank everyone else waited on (max busy time).
+  std::vector<int> straggler_rank;
+
+  /// Whole-run roll-ups.
+  double busy_imbalance = 1.0;  ///< max/mean over rank_busy_total
+  double wait_imbalance = 1.0;  ///< max/mean over rank_wait_total
+  /// Fraction of all per-rank seconds spent idling at collectives.
+  double wait_fraction = 0.0;
+  /// Distinct straggler ranks over the run, most-often-straggling first.
+  std::vector<int> straggler_ranks;
+};
+
+/// Run the pass. `ranks` bounds the matrix columns; the tracer's own rank
+/// table is used when it is larger.
+ImbalanceProfile profile_imbalance(const Tracer& tracer, int ranks);
+
+/// Render one matrix as a Fig 4-style percent-of-max heatmap (one row per
+/// level, one column per rank), matching the paper's normalization.
+std::string format_imbalance_heatmap(
+    const std::vector<std::vector<double>>& matrix);
+
+}  // namespace dbfs::obs

@@ -22,6 +22,16 @@ double interp_sorted(const std::vector<double>& sorted, double q) {
 Summary summarize(std::span<const double> samples) {
   Summary s;
   if (samples.empty()) return s;
+  if (samples.size() == 1) {
+    // Explicit degenerate case (see header contract): one sample IS every
+    // order statistic, with zero spread.
+    const double x = samples.front();
+    s.count = 1;
+    s.min = s.max = s.mean = s.median = s.p25 = s.p75 = s.p95 = s.p99 = x;
+    s.harmonic_mean = x == 0.0 ? 0.0 : x;
+    s.stddev = 0.0;
+    return s;
+  }
   s.count = samples.size();
 
   std::vector<double> sorted(samples.begin(), samples.end());

@@ -25,15 +25,26 @@ struct Summary {
   double stddev = 0.0;        ///< population standard deviation
 };
 
-/// Full summary of a sample set. Input need not be sorted; empty input
-/// yields a zeroed Summary.
+/// Full summary of a sample set. Input need not be sorted.
+///
+/// Degenerate inputs are well-defined (relied on by the bench harness and
+/// covered by tests/test_stats.cpp):
+///  * empty input  -> all-zero Summary (count 0);
+///  * single value -> every order statistic (min/max/median/p25..p99)
+///    equals that value, mean == harmonic_mean == the value (0 input
+///    gives harmonic_mean 0, per the any-zero rule), stddev == 0.
 Summary summarize(std::span<const double> samples);
 
 /// Interpolated percentile (q in [0,1]) of an unsorted sample set.
+/// Empty input yields 0; a single sample is returned for every q.
 double percentile(std::vector<double> samples, double q);
 
-/// max/mean ratio, the load-imbalance factor used throughout the bench
-/// harness (1.0 = perfectly balanced). Returns 1.0 for empty/zero input.
+/// Load-imbalance factor: max over arithmetic mean, the convention used
+/// throughout the bench harness and BENCH_*.json records (1.0 = perfectly
+/// balanced; the paper's Fig 4 "idle ~3-4x transfer" ratios are this
+/// statistic over per-rank MPI seconds). Degenerate inputs — empty set,
+/// single sample, or non-positive sum (all-zero loads) — define a
+/// balanced system and return exactly 1.0.
 double imbalance(std::span<const double> samples);
 
 }  // namespace dbfs::util

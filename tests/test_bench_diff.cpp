@@ -1,0 +1,154 @@
+// Regression-gate tests: the four behaviors the bench-smoke loop depends
+// on — identical sets diff clean, a genuine slowdown is flagged, jitter
+// inside the records' own noise band is not, and a schema-version bump
+// refuses to compare at all (BenchSchemaError at parse time).
+#include "obs/bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_record.hpp"
+
+namespace dbfs::obs {
+namespace {
+
+BenchRecord make_record(const std::string& name, double teps, double seconds,
+                        double comm, double rel_noise) {
+  BenchRecord r;
+  r.name = name;
+  r.config.generator = "rmat";
+  r.config.scale = 14;
+  r.config.edge_factor = 16;
+  r.config.algorithm = "2d-flat";
+  r.config.wire_format = "auto";
+  r.config.cores = 64;
+  r.harmonic_mean_teps = teps;
+  r.teps.harmonic_mean = teps;
+  r.mean_seconds = seconds;
+  r.comm_seconds_mean = comm;
+  r.comp_seconds_mean = seconds - comm;
+  r.noise.teps_rel_stddev = rel_noise;
+  r.noise.seconds_rel_stddev = rel_noise;
+  r.noise.comm_rel_stddev = rel_noise;
+  return r;
+}
+
+TEST(BenchDiff, IdenticalSetsDiffClean) {
+  const std::vector<BenchRecord> base{
+      make_record("a", 5e8, 1e-3, 3e-4, 0.02),
+      make_record("b", 7e8, 8e-4, 1e-4, 0.01)};
+  const auto report = diff_bench_records(base, base);
+  EXPECT_EQ(report.compared, 2);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_EQ(report.improvements, 0);
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BenchDiff, GenuineRegressionIsFlagged) {
+  const std::vector<BenchRecord> base{make_record("a", 5e8, 1e-3, 3e-4, 0.02)};
+  // 20% TEPS drop / 25% slower: far beyond both the 3-sigma band
+  // (~8.5% pooled) and the 5% floor.
+  const std::vector<BenchRecord> cur{
+      make_record("a", 4e8, 1.25e-3, 6e-4, 0.02)};
+  const auto report = diff_bench_records(base, cur);
+  EXPECT_GT(report.regressions, 0);
+  EXPECT_FALSE(report.ok());
+  bool teps_flagged = false;
+  for (const auto& d : report.deltas) {
+    if (d.metric == "harmonic_mean_teps") {
+      teps_flagged = d.regression;
+      EXPECT_TRUE(d.higher_is_better);
+      EXPECT_NEAR(d.rel_delta, -0.2, 1e-12);
+    }
+  }
+  EXPECT_TRUE(teps_flagged);
+  EXPECT_NE(format_bench_diff(report).find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiff, NoiseOnlyJitterIsNotFlagged) {
+  // 3% worse, but both records carry 2% repetition noise: the pooled
+  // 3-sigma band is ~8.5% and the 5% floor is not crossed either.
+  const std::vector<BenchRecord> base{make_record("a", 5e8, 1e-3, 3e-4, 0.02)};
+  const std::vector<BenchRecord> cur{
+      make_record("a", 5e8 * 0.97, 1e-3 * 1.03, 3e-4 * 1.03, 0.02)};
+  const auto report = diff_bench_records(base, cur);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_TRUE(report.ok());
+  for (const auto& d : report.deltas) {
+    EXPECT_FALSE(d.regression) << d.metric;
+    EXPECT_GT(d.noise_band, 0.05);
+  }
+}
+
+TEST(BenchDiff, QuietConfigIsHeldToItsOwnBand) {
+  // Same 3% delta, but the records are nearly noise-free: now it exceeds
+  // the k-sigma band and is flagged even though it is under the 5% floor.
+  const std::vector<BenchRecord> base{
+      make_record("a", 5e8, 1e-3, 3e-4, 0.001)};
+  const std::vector<BenchRecord> cur{
+      make_record("a", 5e8 * 0.97, 1e-3 * 1.03, 3e-4, 0.001)};
+  const auto report = diff_bench_records(base, cur);
+  EXPECT_GT(report.regressions, 0);
+}
+
+TEST(BenchDiff, ImprovementsNeverFail) {
+  const std::vector<BenchRecord> base{make_record("a", 5e8, 1e-3, 3e-4, 0.02)};
+  const std::vector<BenchRecord> cur{
+      make_record("a", 6.5e8, 0.77e-3, 2e-4, 0.02)};
+  const auto report = diff_bench_records(base, cur);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_GT(report.improvements, 0);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BenchDiff, TinyDeltasIgnoredEntirely) {
+  // Below min_rel (0.1%): not a regression, not an improvement — immune
+  // to float-formatting jitter.
+  const std::vector<BenchRecord> base{
+      make_record("a", 5e8, 1e-3, 3e-4, 0.0)};
+  const std::vector<BenchRecord> cur{
+      make_record("a", 5e8 * (1 - 5e-4), 1e-3 * (1 + 5e-4), 3e-4, 0.0)};
+  const auto report = diff_bench_records(base, cur);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_EQ(report.improvements, 0);
+}
+
+TEST(BenchDiff, ConfigDriftUnderSameNameIsError) {
+  const std::vector<BenchRecord> base{make_record("a", 5e8, 1e-3, 3e-4, 0.02)};
+  std::vector<BenchRecord> cur{make_record("a", 5e8, 1e-3, 3e-4, 0.02)};
+  cur[0].config.scale = 16;  // renamed/re-purposed point
+  const auto report = diff_bench_records(base, cur);
+  EXPECT_FALSE(report.errors.empty());
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.compared, 0);
+}
+
+TEST(BenchDiff, UnmatchedNamesAreListedNotFatal) {
+  const std::vector<BenchRecord> base{
+      make_record("a", 5e8, 1e-3, 3e-4, 0.02),
+      make_record("old", 1e8, 1e-3, 3e-4, 0.02)};
+  const std::vector<BenchRecord> cur{
+      make_record("a", 5e8, 1e-3, 3e-4, 0.02),
+      make_record("new", 2e8, 1e-3, 3e-4, 0.02)};
+  const auto report = diff_bench_records(base, cur);
+  EXPECT_EQ(report.compared, 1);
+  ASSERT_EQ(report.only_in_baseline.size(), 1u);
+  EXPECT_EQ(report.only_in_baseline[0], "old");
+  ASSERT_EQ(report.only_in_current.size(), 1u);
+  EXPECT_EQ(report.only_in_current[0], "new");
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BenchDiff, SchemaVersionMismatchRefusesAtParse) {
+  // The gate never sees a mismatched record as data: parsing throws
+  // BenchSchemaError (bench_diff's CLI maps this to exit code 2).
+  BenchRecord r = make_record("a", 5e8, 1e-3, 3e-4, 0.02);
+  r.schema_version = kBenchRecordSchemaVersion + 1;
+  EXPECT_THROW(parse_bench_record(bench_record_to_json(r)), BenchSchemaError);
+}
+
+}  // namespace
+}  // namespace dbfs::obs

@@ -1,0 +1,95 @@
+// Per-rank/per-level imbalance profiler over a hand-built trace with
+// known wait/busy seconds — the Fig 4-style heatmap layer of BENCH_*.json.
+#include "obs/imbalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace dbfs::obs {
+namespace {
+
+// rank 0: level 0 = 1.0s compute + 0.5s wait; level 1 = 2.0s compute +
+//         1.0s transfer.
+// rank 1: level 0 = 0.5s compute + 1.0s wait; level 1 = 1.0s compute.
+// Plus a level -1 setup span that the profiler must ignore.
+Tracer make_trace() {
+  Tracer t{2};
+  t.set_level(-1);
+  t.record(0, SpanKind::kCompute, "setup", "", 0.0, 10.0);
+  t.set_level(0);
+  t.record(0, SpanKind::kCompute, "scan", "", 0.0, 1.0);
+  t.record(0, SpanKind::kWait, "fold", "alltoallv", 1.0, 1.5);
+  t.record(1, SpanKind::kCompute, "scan", "", 0.0, 0.5);
+  t.record(1, SpanKind::kWait, "fold", "alltoallv", 0.5, 1.5);
+  t.set_level(1);
+  t.record(0, SpanKind::kCompute, "scan", "", 1.5, 3.5);
+  t.record(0, SpanKind::kTransfer, "fold", "alltoallv", 3.5, 4.5);
+  t.record(1, SpanKind::kCompute, "scan", "", 1.5, 2.5);
+  return t;
+}
+
+TEST(ImbalanceProfile, PerLevelMatricesAndTotals) {
+  const Tracer t = make_trace();
+  const ImbalanceProfile p = profile_imbalance(t, 2);
+
+  EXPECT_EQ(p.ranks, 2);
+  ASSERT_EQ(p.level_ids, (std::vector<int>{0, 1}));
+  ASSERT_EQ(p.wait_seconds.size(), 2u);
+  ASSERT_EQ(p.wait_seconds[0].size(), 2u);
+
+  EXPECT_DOUBLE_EQ(p.wait_seconds[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(p.wait_seconds[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(p.wait_seconds[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(p.busy_seconds[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(p.busy_seconds[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(p.busy_seconds[1][0], 3.0);  // compute + transfer
+  EXPECT_DOUBLE_EQ(p.busy_seconds[1][1], 1.0);
+
+  // The level -1 setup span contributes nowhere.
+  EXPECT_DOUBLE_EQ(p.rank_busy_total[0], 4.0);
+  EXPECT_DOUBLE_EQ(p.rank_busy_total[1], 1.5);
+  EXPECT_DOUBLE_EQ(p.rank_wait_total[0], 0.5);
+  EXPECT_DOUBLE_EQ(p.rank_wait_total[1], 1.0);
+}
+
+TEST(ImbalanceProfile, ImbalanceStatisticsAndStragglers) {
+  const ImbalanceProfile p = profile_imbalance(make_trace(), 2);
+
+  // util::imbalance convention: max over mean.
+  EXPECT_DOUBLE_EQ(p.busy_imbalance, 4.0 / 2.75);
+  EXPECT_DOUBLE_EQ(p.wait_imbalance, 1.0 / 0.75);
+  EXPECT_DOUBLE_EQ(p.wait_fraction, 1.5 / 7.0);
+  EXPECT_DOUBLE_EQ(p.level_busy_imbalance[0], 1.0 / 0.75);
+  EXPECT_DOUBLE_EQ(p.level_busy_imbalance[1], 1.5);
+
+  // Rank 0 does the most work at both levels.
+  ASSERT_EQ(p.straggler_rank.size(), 2u);
+  EXPECT_EQ(p.straggler_rank[0], 0);
+  EXPECT_EQ(p.straggler_rank[1], 0);
+  ASSERT_EQ(p.straggler_ranks.size(), 1u);
+  EXPECT_EQ(p.straggler_ranks[0], 0);
+}
+
+TEST(ImbalanceProfile, EmptyTraceIsBalanced) {
+  Tracer t{4};
+  const ImbalanceProfile p = profile_imbalance(t, 4);
+  EXPECT_EQ(p.ranks, 4);
+  EXPECT_TRUE(p.level_ids.empty());
+  EXPECT_DOUBLE_EQ(p.busy_imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(p.wait_imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(p.wait_fraction, 0.0);
+  EXPECT_TRUE(p.straggler_ranks.empty());
+}
+
+TEST(ImbalanceProfile, HeatmapFormatter) {
+  const ImbalanceProfile p = profile_imbalance(make_trace(), 2);
+  const std::string art = format_imbalance_heatmap(p.wait_seconds);
+  EXPECT_FALSE(art.empty());
+  // One row per level.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'),
+            static_cast<long>(p.wait_seconds.size()));
+}
+
+}  // namespace
+}  // namespace dbfs::obs

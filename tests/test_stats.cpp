@@ -104,5 +104,10 @@ TEST(Imbalance, DegenerateInputsReturnOne) {
   EXPECT_DOUBLE_EQ(imbalance(zeros), 1.0);
 }
 
+TEST(Imbalance, SingleSampleIsBalanced) {
+  const std::vector<double> v{5.0};
+  EXPECT_DOUBLE_EQ(imbalance(v), 1.0);
+}
+
 }  // namespace
 }  // namespace dbfs::util
