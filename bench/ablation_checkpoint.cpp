@@ -1,0 +1,149 @@
+// Ablation: checkpoint cadence vs recovery cost under a fail-stop kill.
+// The level barrier makes checkpoint/restart cheap for level-synchronous
+// BFS: snapshot (parents, levels, frontier) every k levels, and after a
+// rank dies replay from the last snapshot on the shrunken (or
+// spare-patched) communicator. The sweep prices the trade the cadence
+// controls: frequent snapshots ship more replicated bytes but replay
+// fewer levels when a rank is killed mid-traversal; k = inf (cadence 0)
+// keeps only the implicit source snapshot and replays the whole prefix.
+// Every row recovers to bit-identical parents/levels — the sweep measures
+// only checkpoint traffic and the detection + replay virtual time.
+//
+// Also emits a BENCH-style record (BENCH_<name>.json in the current
+// directory, or --out-dir=DIR) for the killed 2D/spare configuration so
+// recovery runs can be diffed with bench_diff like any other data point.
+#include <cstring>
+#include <string>
+
+#include "harness/harness.hpp"
+
+namespace {
+
+using namespace dbfs;
+using namespace dbfs::bench;
+
+struct Row {
+  double total = 0;          ///< simulated makespan, seconds
+  bfs::RecoverReport recover;
+};
+
+// One killed (or fault-free, when kill_level < 0) search. A fresh engine
+// per row: recovery mutates the communicator (shrink retires ranks for
+// good; a fired kill is consumed), so reusing one engine would make later
+// rows silently fault-free.
+Row run_row(const Workload& w, core::EngineOptions opts, int kill_rank,
+            int kill_level) {
+  if (kill_level >= 0) {
+    simmpi::RankKill kill;
+    kill.rank = kill_rank;
+    kill.at_level = kill_level;
+    opts.faults.rank_kills.push_back(kill);
+  }
+  core::Engine engine{w.built.edges, w.n, opts};
+  const auto out = engine.run(w.sources.front());
+  return Row{out.report.total_seconds, out.report.recover};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out-dir=", 10) == 0) out_dir = argv[i] + 10;
+  }
+
+  const int scale = util::bench_scale(15);
+  const int cores = 64;
+  const int kill_rank = 1;
+  const int kill_level = 3;
+  Workload w = make_rmat_workload(scale, 16, bench_sources(2));
+
+  const auto machine =
+      scaled_machine(model::hopper(), w.built.directed_edge_count, 33.0);
+
+  print_header(
+      "Ablation: checkpoint cadence under a fail-stop rank kill",
+      "beyond the paper: shrink/spare recovery",
+      "ours: scale " + std::to_string(scale) + " R-MAT, " +
+          std::to_string(cores) + " cores, kill rank " +
+          std::to_string(kill_rank) + " @ level " +
+          std::to_string(kill_level));
+
+  const core::Algorithm algos[] = {core::Algorithm::kOneDFlat,
+                                   core::Algorithm::kTwoDFlat};
+  const recover::Policy policies[] = {recover::Policy::kShrink,
+                                      recover::Policy::kSpare};
+  const int cadences[] = {0, 4, 2, 1};  // 0 = no periodic snapshots (k=inf)
+
+  for (core::Algorithm algo : algos) {
+    core::EngineOptions base;
+    base.algorithm = algo;
+    base.cores = cores;
+    base.machine = machine;
+    const Row fault_free = run_row(w, base, 0, -1);
+    std::printf("\n-- %s  (fault-free: %.3f ms) --\n", core::to_string(algo),
+                fault_free.total * 1e3);
+    std::printf("%-7s %-8s %6s %12s %9s %13s %14s %9s\n", "policy",
+                "cadence", "ckpts", "ckpt bytes", "replayed", "recovery(ms)",
+                "BFS time (ms)", "vs clean");
+    for (recover::Policy policy : policies) {
+      for (int k : cadences) {
+        core::EngineOptions opts = base;
+        opts.recover.policy = policy;
+        opts.recover.checkpoint_every = k;
+        const Row row = run_row(w, opts, kill_rank, kill_level);
+        const std::string cadence =
+            k == 0 ? "inf" : "k=" + std::to_string(k);
+        std::printf("%-7s %-8s %6lld %12llu %9lld %13.3f %14.3f %8.2fx\n",
+                    recover::to_string(policy), cadence.c_str(),
+                    static_cast<long long>(row.recover.checkpoints_taken),
+                    static_cast<unsigned long long>(
+                        row.recover.checkpoint_bytes),
+                    static_cast<long long>(row.recover.replayed_levels),
+                    row.recover.recovery_seconds * 1e3, row.total * 1e3,
+                    fault_free.total > 0 ? row.total / fault_free.total
+                                         : 1.0);
+      }
+    }
+  }
+
+  std::printf(
+      "\nexpected: the fixed detection timeout dominates recovery(ms) at "
+      "this scale, so the cadence's real lever is the replayed-level "
+      "count — total BFS time closes toward the fault-free baseline as k "
+      "drops and the replay shrinks to zero at k=1; checkpoint bytes grow "
+      "only mildly because snapshots are incremental (every cadence ships "
+      "roughly one full (parent, level) array overall, plus frontiers); "
+      "spare recovery edges out shrink at equal cadence since it restores "
+      "one shard instead of re-partitioning onto fewer ranks\n");
+
+  // BENCH-style record for the continuous-benchmark tooling: the killed
+  // 2D/spare point at cadence 2. Spare (not shrink) so the repetitions
+  // after the consumed kill keep the same grid and stay comparable.
+  BenchSpec spec;
+  spec.name = "rmat" + std::to_string(scale) + "_recover_2d_spare_c" +
+              std::to_string(cores);
+  spec.created_by = "ablation_checkpoint";
+  spec.scale = scale;
+  spec.sources = bench_sources(2);
+  spec.repetitions = 3;
+  spec.paper_log2_edges = 33.0;
+  spec.engine.algorithm = core::Algorithm::kTwoDFlat;
+  spec.engine.cores = cores;
+  spec.engine.machine = model::hopper();
+  {
+    simmpi::RankKill kill;
+    kill.rank = kill_rank;
+    kill.at_level = kill_level;
+    spec.engine.faults.rank_kills.push_back(kill);
+  }
+  spec.engine.recover.policy = recover::Policy::kSpare;
+  spec.engine.recover.checkpoint_every = 2;
+  const obs::BenchRecord record = run_bench_record(spec);
+  const std::string path =
+      out_dir + "/" + obs::bench_record_filename(record.name);
+  obs::save_bench_record(path, record);
+  std::printf("\nwrote %s  (%s)\n", path.c_str(),
+              describe_bench_record(record).c_str());
+  return 0;
+}

@@ -8,6 +8,14 @@
 //   bench_suite [--out-dir=DIR] [--scales=14,15,16] [--algos=1d,2d]
 //               [--wires=raw,auto] [--cores=N] [--reps=N] [--sources=N]
 //               [--slow-beta=X] [--list]
+//               [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
+//               [--checkpoint-every=K] [--recover-policy=shrink|spare]
+//
+// A fault plan applies to every configuration in the matrix. A scheduled
+// kill fires once per record (the engine consumes it on the first
+// search of repetition 0 and recovers), so the later repetitions are
+// fault-free and the across-repetition spread prices the recovery into
+// the record's own noise model — the recover_smoke ctest leans on this.
 //
 // Baselines live at the repo root (committed); refresh them with
 //   ./bench/bench_suite --out-dir=.
@@ -18,6 +26,8 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,6 +63,8 @@ struct SuiteOptions {
   int sources = 2;
   double slow_beta = 1.0;
   bool list_only = false;
+  std::string fault_plan;
+  recover::RecoverOptions recover;
 };
 
 core::Algorithm parse_algo(const std::string& name) {
@@ -89,10 +101,38 @@ int main(int argc, char** argv) {
       opt.sources = std::stoi(arg.substr(10));
     } else if (arg.rfind("--slow-beta=", 0) == 0) {
       opt.slow_beta = std::stod(arg.substr(12));
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      opt.fault_plan = arg.substr(13);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      opt.recover.checkpoint_every = std::stoi(arg.substr(19));
+    } else if (arg.rfind("--recover-policy=", 0) == 0) {
+      opt.recover.policy = recover::parse_policy(arg.substr(17));
     } else if (arg == "--list") {
       opt.list_only = true;
     } else {
       std::fprintf(stderr, "bench_suite: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  simmpi::FaultPlan faults;
+  if (!opt.fault_plan.empty()) {
+    try {
+      if (opt.fault_plan.rfind("kill:", 0) == 0) {
+        faults.rank_kills = simmpi::parse_kill_specs(opt.fault_plan.substr(5));
+      } else {
+        std::ifstream plan_file(opt.fault_plan);
+        if (!plan_file) {
+          std::fprintf(stderr, "bench_suite: cannot open fault plan %s\n",
+                       opt.fault_plan.c_str());
+          return 2;
+        }
+        std::ostringstream buffer;
+        buffer << plan_file.rdbuf();
+        faults = simmpi::fault_plan_from_json(buffer.str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_suite: %s\n", e.what());
       return 2;
     }
   }
@@ -122,6 +162,8 @@ int main(int argc, char** argv) {
           spec.engine.machine = model::hopper();
           spec.engine.machine.beta_net *= opt.slow_beta;
           spec.engine.wire_format = comm::parse_wire_format(wire);
+          spec.engine.faults = faults;
+          spec.engine.recover = opt.recover;
         } catch (const std::exception& e) {
           std::fprintf(stderr, "%s\n", e.what());
           return 2;

@@ -8,6 +8,7 @@
 //   bfs_tool --input graph.mtx --algo 1d --cores 256 --triangular
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/engine.hpp"
@@ -121,6 +122,18 @@ int main(int argc, char** argv) {
       .describe("corrupt-rate",
                 "payload corruption probability per exchange (0..1)", "0")
       .describe("corrupt-mode", "bitflip | drop | dup | mix", "mix")
+      .describe("fault-plan",
+                "kill:RANK@levelL[,RANK@tSECONDS...] for fail-stop rank "
+                "kills, or a path to a fault-plan JSON file (replaces the "
+                "other fault flags)")
+      .describe("checkpoint-every",
+                "checkpoint cadence in levels for fail-stop recovery "
+                "(0 = source-only replay)",
+                "0")
+      .describe("recover-policy",
+                "what replaces a dead rank: shrink | spare", "shrink")
+      .describe("spare-ranks", "hot spares available to the spare policy",
+                "1")
       .describe("help", "print this message");
 
   if (args.get_flag("help")) {
@@ -176,7 +189,28 @@ int main(int argc, char** argv) {
         util::parse_rank_factors(args.get("straggler", ""));
     faults.nic_stragglers =
         util::parse_rank_factors(args.get("degrade-nic", ""));
+    const std::string fault_plan = args.get("fault-plan", "");
+    if (!fault_plan.empty()) {
+      if (fault_plan.rfind("kill:", 0) == 0) {
+        faults.rank_kills = simmpi::parse_kill_specs(fault_plan.substr(5));
+      } else {
+        std::ifstream plan_file(fault_plan);
+        if (!plan_file) {
+          throw std::invalid_argument("cannot open fault plan: " +
+                                      fault_plan);
+        }
+        std::ostringstream buffer;
+        buffer << plan_file.rdbuf();
+        faults = simmpi::fault_plan_from_json(buffer.str());
+      }
+    }
     opts.faults = faults;
+    opts.recover.checkpoint_every =
+        static_cast<int>(args.get_int("checkpoint-every", 0));
+    opts.recover.policy =
+        recover::parse_policy(args.get("recover-policy", "shrink"));
+    opts.recover.spare_ranks =
+        static_cast<int>(args.get_int("spare-ranks", 1));
 
     const std::string trace_out = args.get("trace-out", "");
     opts.trace = !trace_out.empty();
@@ -222,6 +256,17 @@ int main(int argc, char** argv) {
           r.faults.backoff_seconds,
           static_cast<long long>(r.faults.payload_corruptions),
           static_cast<long long>(r.faults.payload_retries));
+    }
+    if (r.recover.rank_failures > 0) {
+      std::printf(
+          "recovery (first run): %lld rank failure(s) survived via %s "
+          "(%lld level(s) replayed, %.2e s detect+restore, %lld "
+          "checkpoint(s))\n",
+          static_cast<long long>(r.recover.rank_failures),
+          r.recover.policy.c_str(),
+          static_cast<long long>(r.recover.replayed_levels),
+          r.recover.recovery_seconds,
+          static_cast<long long>(r.recover.checkpoints_taken));
     }
     if (engine.tracer() != nullptr || engine.metrics() != nullptr) {
       // Each run overwrites the observers' recordings, so re-run the

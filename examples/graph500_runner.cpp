@@ -6,6 +6,8 @@
 //   ./examples/graph500_runner [scale] [cores] [algorithm] [nsources]
 //             [--trace-out=PATH] [--bench-out=PATH]
 //             [--wire-format=raw|sieve|bitmap|varint|auto]
+//             [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
+//             [--checkpoint-every=K] [--recover-policy=shrink|spare]
 //   algorithm in {1d, 1d-hybrid, 2d, 2d-hybrid}
 //
 // --bench-out writes the run as a BENCH_*.json-style BenchRecord (single
@@ -15,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,7 +48,9 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   std::string bench_out;
+  std::string fault_plan;
   comm::WireFormat wire_format = comm::WireFormat::kRaw;
+  recover::RecoverOptions recover_opts;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
@@ -54,6 +59,12 @@ int main(int argc, char** argv) {
       bench_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--wire-format=", 14) == 0) {
       wire_format = comm::parse_wire_format(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
+      fault_plan = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      recover_opts.checkpoint_every = std::atoi(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--recover-policy=", 17) == 0) {
+      recover_opts.policy = recover::parse_policy(argv[i] + 17);
     } else {
       positional.push_back(argv[i]);
     }
@@ -83,6 +94,22 @@ int main(int argc, char** argv) {
   opts.cores = cores;
   opts.machine = model::hopper();
   opts.wire_format = wire_format;
+  if (!fault_plan.empty()) {
+    if (fault_plan.rfind("kill:", 0) == 0) {
+      opts.faults.rank_kills = simmpi::parse_kill_specs(fault_plan.substr(5));
+    } else {
+      std::ifstream plan_file(fault_plan);
+      if (!plan_file) {
+        std::fprintf(stderr, "cannot open fault plan %s\n",
+                     fault_plan.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << plan_file.rdbuf();
+      opts.faults = simmpi::fault_plan_from_json(buffer.str());
+    }
+  }
+  opts.recover = recover_opts;
   opts.trace = !trace_out.empty() || !bench_out.empty();
   opts.metrics = !bench_out.empty();
   core::Engine engine{built.edges, n, opts};
@@ -102,6 +129,16 @@ int main(int argc, char** argv) {
   }
   std::printf("validated BFS trees: %d/%zu\n", batch.validated,
               sources.size());
+  if (!batch.reports.empty() &&
+      batch.reports.front().recover.rank_failures > 0) {
+    const bfs::RecoverReport& r = batch.reports.front().recover;
+    std::printf(
+        "recovery (first key): %lld rank failure(s) survived via %s, "
+        "%lld level(s) replayed from %lld checkpoint(s)\n",
+        static_cast<long long>(r.rank_failures), r.policy.c_str(),
+        static_cast<long long>(r.replayed_levels),
+        static_cast<long long>(r.checkpoints_taken));
+  }
 
   const auto teps = core::compute_teps(batch.reports,
                                        built.directed_edge_count);

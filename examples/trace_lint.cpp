@@ -230,9 +230,11 @@ const std::set<std::string> kSpanNames = {
     "1d-exchange", "1d-chunked", "2d-expand", "2d-fold", "level-sync",
     "checksum", "alltoallv", "allgatherv", "allreduce", "broadcast",
     "gatherv", "transpose",
+    // fail-stop recovery (src/recover/)
+    "checkpoint", "failure-detect", "recover-restore",
 };
 const std::set<std::string> kInstantNames = {"collective-failure",
-                                             "checksum-retry"};
+                                             "checksum-retry", "rank-killed"};
 
 int lint(const JsonValue& root) {
   if (root.kind != JsonValue::Kind::kObject) {

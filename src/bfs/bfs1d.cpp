@@ -36,6 +36,11 @@ struct Bfs1D::Impl {
   simmpi::Cluster cluster;
   std::vector<int> world;
   comm::Sieve sieve;
+  /// Retained only while shrink recovery is armed: rebuilding a
+  /// (p-1)-rank partition needs the original edges.
+  graph::EdgeList edges_keep;
+  recover::CheckpointStore store;
+  RecoverReport rec;  ///< per-run recovery accounting; reset by run()
 
   static dist::LocalGraph1D make_local(const graph::EdgeList& edges,
                                        vid_t n, const Bfs1DOptions& opts) {
@@ -66,6 +71,15 @@ struct Bfs1D::Impl {
     std::iota(world.begin(), world.end(), 0);
     cluster.set_fault_plan(opts.faults);
     cluster.set_observers(opts.tracer, opts.metrics);
+    if (!opts.faults.rank_kills.empty() &&
+        opts.recover.policy == recover::Policy::kShrink) {
+      edges_keep = edges;
+    }
+  }
+
+  bool wire_mode() const {
+    return opts.comm_mode == CommMode::kAlltoallv &&
+           comm::wire_sieves(opts.wire_format);
   }
 
   /// Charge per-rank compute costs, blended toward the group mean by
@@ -108,10 +122,11 @@ struct Bfs1D::Impl {
             send.data[i].begin() + static_cast<std::ptrdiff_t>(offset + c));
         offset += c;
         pre_items += c;
-        // 1D owners keep the first candidate in receive order, so the
-        // in-level dedup keeps first occurrences (keep_max_parent=false).
+        // 1D owners keep the numerically largest parent at the reach
+        // level (partition- and order-independent, like 2D), so the
+        // in-level dedup keeps the max parent per vertex.
         dropped += comm::sieve_and_dedup(sieve, static_cast<int>(i), block,
-                                         /*keep_max_parent=*/false);
+                                         /*keep_max_parent=*/true);
         const std::size_t at = wire.data[i].size();
         comm::encode_candidates<Candidate>(block, opts.wire_format,
                                            wire.data[i], &rank_stats);
@@ -249,6 +264,163 @@ struct Bfs1D::Impl {
                              max_cost, opts.ranks);
     return recv;
   }
+
+  /// Snapshot (parents, levels, frontier) into the replicated store.
+  /// Modeled as overlapped diskless replication: metered in bytes and
+  /// recover.* metrics, never charged to the clocks — a checkpointing
+  /// run with no failures stays bit-identical to a plain one.
+  void take_checkpoint(const BfsOutput& out,
+                       const std::vector<std::vector<vid_t>>& fs,
+                       vid_t global_frontier) {
+    recover::Checkpoint snap;
+    snap.levels_completed = static_cast<int>(out.report.levels.size());
+    snap.global_frontier = global_frontier;
+    snap.level = out.level;
+    snap.parent = out.parent;
+    for (const auto& f : fs) {
+      snap.frontier.insert(snap.frontier.end(), f.begin(), f.end());
+    }
+    std::sort(snap.frontier.begin(), snap.frontier.end());
+    const std::uint64_t bytes = store.take(std::move(snap));
+    rec.checkpoints_taken = store.checkpoints_taken();
+    rec.checkpoint_bytes = store.bytes_shipped();
+    if (opts.metrics != nullptr) {
+      ++opts.metrics->counter("recover.checkpoints");
+      opts.metrics->counter("recover.checkpoint_bytes") +=
+          static_cast<std::int64_t>(bytes);
+    }
+    if (opts.tracer != nullptr) {
+      const double at = cluster.clocks().max_now();
+      opts.tracer->record(0, obs::SpanKind::kCompute, "checkpoint", "", at,
+                          at);
+    }
+  }
+
+  /// Handle one fail-stop death: shrink or promote, restore the last
+  /// snapshot, and leave the loop state positioned to replay from the
+  /// checkpointed level. Throws the original error onward when recovery
+  /// is impossible (no snapshot, spares exhausted, or nothing to shrink
+  /// to).
+  void recover_from(const simmpi::RankFailedError& dead, BfsOutput& out,
+                    std::vector<std::vector<vid_t>>& fs,
+                    vid_t& global_frontier, level_t& level) {
+    if (!store.armed()) throw dead;
+    const recover::Checkpoint& ckpt = store.latest();
+    const simmpi::FaultPlan& plan = cluster.faults();
+    const double detect_seconds = model::cost_failure_detection(
+        cluster.machine(), plan.max_collective_retries,
+        plan.backoff_base_seconds, plan.backoff_cap_seconds);
+    const int lost_levels =
+        static_cast<int>(out.report.levels.size()) - ckpt.levels_completed;
+    double restore_seconds = 0.0;
+    std::uint64_t restore_bytes = 0;
+
+    if (opts.recover.policy == recover::Policy::kSpare) {
+      if (rec.spares_used >= opts.recover.spare_ranks) throw dead;
+      ++rec.spares_used;
+      cluster.consume_kill(dead.rank());
+      cluster.revive_rank(dead.rank());
+      // The promoted spare restores just the dead rank's shard from the
+      // replica; the grid and partition are untouched.
+      restore_bytes =
+          static_cast<std::uint64_t>(local.partition().size(dead.rank())) *
+          (sizeof(vid_t) + sizeof(level_t));
+      cluster.clocks().seed(dead.virtual_time());
+    } else {
+      const int p_new = opts.ranks - 1;
+      if (p_new < 1) throw dead;
+      ++rec.ranks_lost;
+      cluster.consume_kill(dead.rank());
+      // Remaining kill entries apply to the rebuilt communicator's rank
+      // numbering (the plan names logical slots, not physical hosts).
+      simmpi::FaultPlan remaining = cluster.faults();
+      opts.ranks = p_new;
+      local = make_local(edges_keep, n, opts);
+      simmpi::Cluster fresh(p_new, opts.machine, opts.threads_per_rank);
+      fresh.set_fault_plan(std::move(remaining));
+      fresh.fault_counters() = cluster.fault_counters();
+      fresh.set_observers(opts.tracer, opts.metrics);
+      // Carry history forward: the meter keeps everything that ever
+      // moved (including the lost window, which will move again), and
+      // the seeded clocks keep the makespan continuous across the
+      // rebuild. Per-rank compute/comm splits restart here — the rank
+      // numbering of the survivors is new.
+      fresh.traffic() = cluster.traffic();
+      fresh.clocks().seed(dead.virtual_time());
+      fresh.set_trace_level(ckpt.levels_completed);
+      cluster = std::move(fresh);
+      world.assign(static_cast<std::size_t>(p_new), 0);
+      std::iota(world.begin(), world.end(), 0);
+      // Every survivor re-ingests its (re-partitioned) share of the
+      // snapshot.
+      std::int64_t visited = 0;
+      for (level_t l : ckpt.level) {
+        if (l != kUnreached) ++visited;
+      }
+      restore_bytes = static_cast<std::uint64_t>(visited) *
+                          (sizeof(vid_t) + sizeof(level_t)) +
+                      ckpt.frontier.size() * sizeof(vid_t);
+    }
+
+    // Roll the traversal state back to the snapshot.
+    out.parent = ckpt.parent;
+    out.level = ckpt.level;
+    out.report.levels.resize(static_cast<std::size_t>(ckpt.levels_completed));
+    global_frontier = static_cast<vid_t>(ckpt.global_frontier);
+    level = static_cast<level_t>(ckpt.levels_completed) + 1;
+    const auto p = static_cast<std::size_t>(opts.ranks);
+    fs.assign(p, {});
+    const auto& part = local.partition();
+    for (vid_t v : ckpt.frontier) {
+      fs[static_cast<std::size_t>(part.owner(v))].push_back(v);
+    }
+    if (wire_mode()) {
+      // Conservative sieve rebuild: every rank knows every vertex visited
+      // by the checkpoint. A superset of what each rank had learned is
+      // safe — such candidates can never win a distance check — it only
+      // drops more dead traffic during the replay.
+      sieve.reset(opts.ranks, n);
+      for (vid_t v = 0; v < n; ++v) {
+        if (out.level[static_cast<std::size_t>(v)] != kUnreached) {
+          sieve.mark_all(v);
+        }
+      }
+    }
+
+    ++rec.rank_failures;
+    rec.replayed_levels += lost_levels;
+    if (opts.metrics != nullptr) {
+      ++opts.metrics->counter("recover.rank_failures");
+      opts.metrics->counter("recover.replayed_levels") += lost_levels;
+      if (opts.recover.policy == recover::Policy::kSpare) {
+        ++opts.metrics->counter("recover.spare_promotions");
+      } else {
+        ++opts.metrics->counter("recover.shrinks");
+      }
+    }
+
+    // The restore itself is a priced collective over the survivors; it
+    // goes last so a second due kill fires here and unwinds to the same
+    // handler with this recovery's state already consistent.
+    const int divisor = std::max(1, opts.ranks);
+    restore_seconds = model::cost_p2p(
+        cluster.machine(),
+        static_cast<std::size_t>(restore_bytes /
+                                 static_cast<std::uint64_t>(divisor)));
+    rec.recovery_seconds += detect_seconds + restore_seconds;
+    if (opts.metrics != nullptr) {
+      opts.metrics->histogram("recover.recovery_seconds")
+          .observe(detect_seconds + restore_seconds);
+    }
+    simmpi::sync_collective(cluster, world, restore_seconds,
+                            "recover-restore", simmpi::Pattern::kPointToPoint,
+                            restore_bytes);
+  }
+
+  /// The level-synchronous loop (Algorithm 2), resumable: runs from the
+  /// current (fs, global_frontier, level) state to termination.
+  void traverse(BfsOutput& out, std::vector<std::vector<vid_t>>& fs,
+                vid_t& global_frontier, level_t& level, bool armed);
 };
 
 Bfs1D::Bfs1D(const graph::EdgeList& edges, vid_t n, Bfs1DOptions opts)
@@ -270,15 +442,23 @@ BfsOutput Bfs1D::run(vid_t source) {
   if (source < 0 || source >= n) {
     throw std::out_of_range("Bfs1D: source out of range");
   }
-  const int p = im.opts.ranks;
-  const int t = im.opts.threads_per_rank;
-  const auto& part = im.local.partition();
   im.cluster.reset_accounting();
+  im.rec = RecoverReport{};
 
-  const bool wire = im.opts.comm_mode == CommMode::kAlltoallv &&
-                    comm::wire_sieves(im.opts.wire_format);
-  if (wire) {
-    im.sieve.reset(p, n);
+  // Recovery armed = kills still scheduled on this communicator, or an
+  // explicit checkpoint cadence. Armed-but-unkilled runs snapshot for
+  // free (overlapped replication), so they stay bit-identical.
+  const bool armed = !im.cluster.faults().rank_kills.empty() ||
+                     im.opts.recover.checkpoint_every > 0;
+  if (armed) {
+    im.store.arm(im.opts.recover);
+    im.rec.enabled = true;
+    im.rec.checkpoint_every = im.opts.recover.checkpoint_every;
+    im.rec.policy = recover::to_string(im.opts.recover.policy);
+  }
+
+  if (im.wire_mode()) {
+    im.sieve.reset(im.opts.ranks, n);
     // Every rank knows the source is visited before the first exchange.
     im.sieve.mark_all(source);
   }
@@ -288,19 +468,48 @@ BfsOutput Bfs1D::run(vid_t source) {
   out.level.assign(static_cast<std::size_t>(n), kUnreached);
   out.report.algorithm = std::string(im.opts.label) + "-" +
                          mode_name(im.opts.comm_mode) +
-                         (t > 1 ? "-hybrid" : "-flat");
+                         (im.opts.threads_per_rank > 1 ? "-hybrid" : "-flat");
 
   // Per-rank frontier of owned vertices (global ids).
-  std::vector<std::vector<vid_t>> fs(static_cast<std::size_t>(p));
+  std::vector<std::vector<vid_t>> fs(static_cast<std::size_t>(im.opts.ranks));
   out.parent[source] = source;
   out.level[source] = 0;
-  fs[static_cast<std::size_t>(part.owner(source))].push_back(source);
+  fs[static_cast<std::size_t>(im.local.partition().owner(source))].push_back(
+      source);
 
-  const bool observing = im.cluster.observing();
-  out.report.has_level_breakdown = observing;
+  out.report.has_level_breakdown = im.cluster.observing();
 
   vid_t global_frontier = 1;
   level_t level = 1;
+  // Implicit level-0 snapshot: with cadence 0 ("never"), recovery still
+  // has the source to replay from.
+  if (armed) im.take_checkpoint(out, fs, global_frontier);
+
+  while (true) {
+    try {
+      im.traverse(out, fs, global_frontier, level, armed);
+      break;
+    } catch (const simmpi::RankFailedError& dead) {
+      im.recover_from(dead, out, fs, global_frontier, level);
+    }
+  }
+  im.cluster.set_trace_level(-1);
+
+  finalize_report(out.report, im.cluster);
+  out.report.recover = im.rec;
+  return out;
+}
+
+void Bfs1D::Impl::traverse(BfsOutput& out,
+                           std::vector<std::vector<vid_t>>& fs,
+                           vid_t& global_frontier, level_t& level,
+                           bool armed) {
+  Impl& im = *this;
+  const int p = im.opts.ranks;
+  const int t = im.opts.threads_per_rank;
+  const auto& part = im.local.partition();
+  const bool wire = im.wire_mode();
+  const bool observing = im.cluster.observing();
   std::vector<double> comm_before, comp_before;
   while (global_frontier > 0) {
     LevelStats stats;
@@ -428,6 +637,14 @@ BfsOutput Bfs1D::run(vid_t source) {
           out.level[c.vertex] = level;
           out.parent[c.vertex] = c.parent;
           fs[ri].push_back(c.vertex);
+        } else if (out.level[c.vertex] == level &&
+                   c.parent > out.parent[c.vertex]) {
+          // Max-parent tie-break at the reach level (same rule as 2D):
+          // the winner is a property of the level's candidate multiset,
+          // independent of partition shape and arrival order — which is
+          // what lets a replay after a shrink reproduce the fault-free
+          // parents bit-for-bit.
+          out.parent[c.vertex] = c.parent;
         }
       }
       next_sizes[ri] = static_cast<std::int64_t>(fs[ri].size());
@@ -476,11 +693,11 @@ BfsOutput Bfs1D::run(vid_t source) {
     }
     out.report.levels.push_back(stats);
     ++level;
+    if (armed && global_frontier > 0 &&
+        im.store.due(static_cast<int>(out.report.levels.size()))) {
+      im.take_checkpoint(out, fs, global_frontier);
+    }
   }
-  im.cluster.set_trace_level(-1);
-
-  finalize_report(out.report, im.cluster);
-  return out;
 }
 
 }  // namespace dbfs::bfs

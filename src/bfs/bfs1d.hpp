@@ -22,6 +22,7 @@
 #include "dist/local_graph1d.hpp"
 #include "graph/edge_list.hpp"
 #include "model/machine.hpp"
+#include "recover/checkpoint.hpp"
 #include "simmpi/cluster.hpp"
 
 namespace dbfs::bfs {
@@ -73,6 +74,11 @@ struct Bfs1DOptions {
   /// failures, payload corruption); see simmpi/fault.hpp. A zero plan
   /// leaves the run bit-identical to an unfaulted build.
   simmpi::FaultPlan faults;
+  /// Fail-stop recovery: checkpoint cadence and shrink-vs-spare policy
+  /// (see recover/checkpoint.hpp). Checkpoints are modeled as overlapped
+  /// replication, so arming this without scheduling kills leaves the run
+  /// and its report bit-identical.
+  recover::RecoverOptions recover;
   /// Passive observers (non-owning; see src/obs/). Null = off; attaching
   /// them never perturbs the simulated run, it only records it and
   /// enables the per-level comm/comp breakdown in the report.

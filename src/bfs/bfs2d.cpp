@@ -34,6 +34,11 @@ struct Bfs2D::Impl {
   // Sender-side visited sieve for the fold exchanges (kRaw leaves every
   // exchange on the legacy path).
   comm::Sieve sieve;
+  /// Retained only while shrink recovery is armed: re-folding the grid
+  /// needs the original edges to rebuild the checkerboard partition.
+  graph::EdgeList edges_keep;
+  recover::CheckpointStore store;
+  RecoverReport rec;  ///< per-run recovery accounting; reset by run()
 
   /// Per-level wire accounting, summed over the level's expand and fold
   /// rounds and recorded into the metrics registry once per level.
@@ -167,14 +172,190 @@ struct Bfs2D::Impl {
     std::iota(world.begin(), world.end(), 0);
     cluster.set_fault_plan(opts.faults);
     cluster.set_observers(opts.tracer, opts.metrics);
-    if (opts.threads_per_rank > 1) {
-      thread_pieces.resize(static_cast<std::size_t>(grid.ranks()));
-      for (int r = 0; r < grid.ranks(); ++r) {
-        thread_pieces[static_cast<std::size_t>(r)] =
-            part.block(r).split_rowwise(opts.threads_per_rank);
-      }
+    if (!opts.faults.rank_kills.empty() &&
+        opts.recover.policy == recover::Policy::kShrink) {
+      edges_keep = edges;
+    }
+    rebuild_thread_pieces();
+  }
+
+  void rebuild_thread_pieces() {
+    if (opts.threads_per_rank <= 1) return;
+    thread_pieces.assign(static_cast<std::size_t>(grid.ranks()), {});
+    for (int r = 0; r < grid.ranks(); ++r) {
+      thread_pieces[static_cast<std::size_t>(r)] =
+          part.block(r).split_rowwise(opts.threads_per_rank);
     }
   }
+
+  bool wire_fold_on() const {
+    return opts.vector_dist != dist::VectorDistKind::kDiagonal &&
+           comm::wire_sieves(opts.wire_format);
+  }
+
+  /// Snapshot (parents, levels, frontier) into the replicated store.
+  /// Modeled as overlapped diskless replication: metered in bytes and
+  /// recover.* metrics, never charged to the clocks — a checkpointing
+  /// run with no failures stays bit-identical to a plain one.
+  void take_checkpoint(const BfsOutput& out,
+                       const std::vector<std::vector<vid_t>>& fs,
+                       vid_t global_frontier) {
+    recover::Checkpoint snap;
+    snap.levels_completed = static_cast<int>(out.report.levels.size());
+    snap.global_frontier = global_frontier;
+    snap.level = out.level;
+    snap.parent = out.parent;
+    for (const auto& f : fs) {
+      snap.frontier.insert(snap.frontier.end(), f.begin(), f.end());
+    }
+    std::sort(snap.frontier.begin(), snap.frontier.end());
+    const std::uint64_t bytes = store.take(std::move(snap));
+    rec.checkpoints_taken = store.checkpoints_taken();
+    rec.checkpoint_bytes = store.bytes_shipped();
+    if (opts.metrics != nullptr) {
+      ++opts.metrics->counter("recover.checkpoints");
+      opts.metrics->counter("recover.checkpoint_bytes") +=
+          static_cast<std::int64_t>(bytes);
+    }
+    if (opts.tracer != nullptr) {
+      const double at = cluster.clocks().max_now();
+      opts.tracer->record(0, obs::SpanKind::kCompute, "checkpoint", "", at,
+                          at);
+    }
+  }
+
+  /// Handle one fail-stop death: shrink the grid or promote a spare,
+  /// restore the last snapshot, and leave the loop state positioned to
+  /// replay from the checkpointed level. Throws the original error
+  /// onward when recovery is impossible (no snapshot, spares exhausted,
+  /// or no smaller square grid to fold to).
+  void recover_from(const simmpi::RankFailedError& dead, BfsOutput& out,
+                    std::vector<std::vector<vid_t>>& fs,
+                    vid_t& global_frontier, level_t& level) {
+    if (!store.armed()) throw dead;
+    const recover::Checkpoint& ckpt = store.latest();
+    const simmpi::FaultPlan& plan = cluster.faults();
+    const double detect_seconds = model::cost_failure_detection(
+        cluster.machine(), plan.max_collective_retries,
+        plan.backoff_base_seconds, plan.backoff_cap_seconds);
+    const int lost_levels =
+        static_cast<int>(out.report.levels.size()) - ckpt.levels_completed;
+    std::uint64_t restore_bytes = 0;
+
+    if (opts.recover.policy == recover::Policy::kSpare) {
+      if (rec.spares_used >= opts.recover.spare_ranks) throw dead;
+      ++rec.spares_used;
+      cluster.consume_kill(dead.rank());
+      cluster.revive_rank(dead.rank());
+      // The promoted spare restores just the dead rank's vector piece
+      // from the replica; the grid and partition are untouched.
+      restore_bytes = static_cast<std::uint64_t>(vdist.piece_size(
+                          grid.row_of(dead.rank()), grid.col_of(dead.rank()))) *
+                      (sizeof(vid_t) + sizeof(level_t));
+      cluster.clocks().seed(dead.virtual_time());
+    } else {
+      // Fold to the largest square grid fitting in the surviving ranks
+      // (the transpose exchanges require a square grid, so a single
+      // death can retire a whole grid remainder, e.g. 4x4 -> 3x3).
+      const int survivors = grid.ranks() - 1;
+      simmpi::ProcessGrid next = simmpi::ProcessGrid::closest_square(
+          survivors * opts.threads_per_rank, opts.threads_per_rank);
+      if (survivors < 1 || next.ranks() < 1) throw dead;
+      rec.ranks_lost += grid.ranks() - next.ranks();
+      cluster.consume_kill(dead.rank());
+      // Remaining kill entries apply to the rebuilt communicator's rank
+      // numbering (the plan names logical slots, not physical hosts).
+      simmpi::FaultPlan remaining = cluster.faults();
+      opts.cores = next.ranks() * opts.threads_per_rank;
+      grid = next;
+      part = dist::Partition2D(edges_keep, n, grid,
+                               opts.triangular_storage);
+      vdist = dist::VectorDist(n, grid, opts.vector_dist);
+      simmpi::Cluster fresh(grid.ranks(), opts.machine,
+                            opts.threads_per_rank);
+      fresh.set_fault_plan(std::move(remaining));
+      fresh.fault_counters() = cluster.fault_counters();
+      fresh.set_observers(opts.tracer, opts.metrics);
+      // Carry history forward: the meter keeps everything that ever
+      // moved (including the lost window, which will move again), and
+      // the seeded clocks keep the makespan continuous across the
+      // rebuild. Per-rank compute/comm splits restart here — the rank
+      // numbering of the survivors is new.
+      fresh.traffic() = cluster.traffic();
+      fresh.clocks().seed(dead.virtual_time());
+      fresh.set_trace_level(ckpt.levels_completed);
+      cluster = std::move(fresh);
+      world.assign(static_cast<std::size_t>(grid.ranks()), 0);
+      std::iota(world.begin(), world.end(), 0);
+      spa.assign(static_cast<std::size_t>(grid.ranks()), {});
+      rebuild_thread_pieces();
+      // Every survivor re-ingests its (re-folded) share of the snapshot.
+      std::int64_t visited = 0;
+      for (level_t l : ckpt.level) {
+        if (l != kUnreached) ++visited;
+      }
+      restore_bytes = static_cast<std::uint64_t>(visited) *
+                          (sizeof(vid_t) + sizeof(level_t)) +
+                      ckpt.frontier.size() * sizeof(vid_t);
+    }
+
+    // Roll the traversal state back to the snapshot.
+    out.parent = ckpt.parent;
+    out.level = ckpt.level;
+    out.report.levels.resize(static_cast<std::size_t>(ckpt.levels_completed));
+    global_frontier = static_cast<vid_t>(ckpt.global_frontier);
+    level = static_cast<level_t>(ckpt.levels_completed) + 1;
+    fs.assign(static_cast<std::size_t>(grid.ranks()), {});
+    for (vid_t v : ckpt.frontier) {
+      fs[static_cast<std::size_t>(vdist.owner_rank(v))].push_back(v);
+    }
+    if (wire_fold_on()) {
+      // Conservative sieve rebuild: every rank knows every vertex visited
+      // by the checkpoint. A superset of what each rank had learned is
+      // safe — such candidates can never win a distance check — it only
+      // drops more dead traffic during the replay.
+      sieve.reset(grid.ranks(), n);
+      for (vid_t v = 0; v < n; ++v) {
+        if (out.level[static_cast<std::size_t>(v)] != kUnreached) {
+          sieve.mark_all(v);
+        }
+      }
+    }
+
+    ++rec.rank_failures;
+    rec.replayed_levels += lost_levels;
+    if (opts.metrics != nullptr) {
+      ++opts.metrics->counter("recover.rank_failures");
+      opts.metrics->counter("recover.replayed_levels") += lost_levels;
+      if (opts.recover.policy == recover::Policy::kSpare) {
+        ++opts.metrics->counter("recover.spare_promotions");
+      } else {
+        ++opts.metrics->counter("recover.shrinks");
+      }
+    }
+
+    // The restore itself is a priced collective over the survivors; it
+    // goes last so a second due kill fires here and unwinds to the same
+    // handler with this recovery's state already consistent.
+    const int divisor = std::max(1, grid.ranks());
+    const double restore_seconds = model::cost_p2p(
+        cluster.machine(),
+        static_cast<std::size_t>(restore_bytes /
+                                 static_cast<std::uint64_t>(divisor)));
+    rec.recovery_seconds += detect_seconds + restore_seconds;
+    if (opts.metrics != nullptr) {
+      opts.metrics->histogram("recover.recovery_seconds")
+          .observe(detect_seconds + restore_seconds);
+    }
+    simmpi::sync_collective(cluster, world, restore_seconds,
+                            "recover-restore", simmpi::Pattern::kPointToPoint,
+                            restore_bytes);
+  }
+
+  /// The level-synchronous loop (Algorithm 3), resumable: runs from the
+  /// current (fs, global_frontier, level) state to termination.
+  void traverse(BfsOutput& out, std::vector<std::vector<vid_t>>& fs,
+                vid_t& global_frontier, level_t& level, bool armed);
 };
 
 Bfs2D::Bfs2D(const graph::EdgeList& edges, vid_t n, Bfs2DOptions opts)
@@ -201,45 +382,88 @@ BfsOutput Bfs2D::run(vid_t source) {
   if (source < 0 || source >= n) {
     throw std::out_of_range("Bfs2D: source out of range");
   }
+  im.cluster.reset_accounting();
+  im.rec = RecoverReport{};
+
+  // Recovery armed = kills still scheduled on this communicator, or an
+  // explicit checkpoint cadence. Armed-but-unkilled runs snapshot for
+  // free (overlapped replication), so they stay bit-identical.
+  const bool armed = !im.cluster.faults().rank_kills.empty() ||
+                     im.opts.recover.checkpoint_every > 0;
+  if (armed) {
+    im.store.arm(im.opts.recover);
+    im.rec.enabled = true;
+    im.rec.checkpoint_every = im.opts.recover.checkpoint_every;
+    im.rec.policy = recover::to_string(im.opts.recover.policy);
+  }
+
+  if (im.wire_fold_on()) {
+    im.sieve.reset(im.grid.ranks(), n);
+    // Every rank knows the source is visited before the first fold.
+    im.sieve.mark_all(source);
+  }
+
+  const bool diagonal =
+      im.opts.vector_dist == dist::VectorDistKind::kDiagonal;
+  BfsOutput out;
+  out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  out.level.assign(static_cast<std::size_t>(n), kUnreached);
+  out.report.algorithm = std::string(im.opts.label) +
+                         (im.opts.threads_per_rank > 1 ? "-hybrid" : "-flat") +
+                         (diagonal ? "-diagvec" : "") +
+                         (im.opts.triangular_storage ? "-tri" : "");
+
+  // Frontier pieces: per rank, sorted global ids within its vector piece.
+  std::vector<std::vector<vid_t>> fs(
+      static_cast<std::size_t>(im.grid.ranks()));
+  out.parent[source] = source;
+  out.level[source] = 0;
+  fs[static_cast<std::size_t>(im.vdist.owner_rank(source))].push_back(source);
+
+  out.report.has_level_breakdown = im.cluster.observing();
+
+  vid_t global_frontier = 1;
+  level_t level = 1;
+  // Implicit level-0 snapshot: with cadence 0 ("never"), recovery still
+  // has the source to replay from.
+  if (armed) im.take_checkpoint(out, fs, global_frontier);
+
+  while (true) {
+    try {
+      im.traverse(out, fs, global_frontier, level, armed);
+      break;
+    } catch (const simmpi::RankFailedError& dead) {
+      im.recover_from(dead, out, fs, global_frontier, level);
+    }
+  }
+  im.cluster.set_trace_level(-1);
+
+  finalize_report(out.report, im.cluster);
+  out.report.recover = im.rec;
+  return out;
+}
+
+void Bfs2D::Impl::traverse(BfsOutput& out,
+                           std::vector<std::vector<vid_t>>& fs,
+                           vid_t& global_frontier, level_t& level,
+                           bool armed) {
+  // Grid-shaped locals are re-derived on every (re)entry: a shrink
+  // recovery replaces the grid, partition, and cluster between calls.
+  Impl& im = *this;
   const int s = im.grid.pr();
   const int p = im.grid.ranks();
   const int t = im.opts.threads_per_rank;
   const bool diagonal =
       im.opts.vector_dist == dist::VectorDistKind::kDiagonal;
   const auto& blocks = im.part.blocks();
-  im.cluster.reset_accounting();
 
   // The diagonal-vector baseline keeps its legacy broadcast/gatherv path
   // (it exists to reproduce Fig 4's bottleneck, not to be optimized).
-  const bool wire_fold_on =
-      !diagonal && comm::wire_sieves(im.opts.wire_format);
+  const bool wire_fold_on = im.wire_fold_on();
   const bool wire_expand_on =
       !diagonal && comm::wire_compresses(im.opts.wire_format);
-  if (wire_fold_on) {
-    im.sieve.reset(p, n);
-    // Every rank knows the source is visited before the first fold.
-    im.sieve.mark_all(source);
-  }
-
-  BfsOutput out;
-  out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
-  out.level.assign(static_cast<std::size_t>(n), kUnreached);
-  out.report.algorithm = std::string(im.opts.label) +
-                         (t > 1 ? "-hybrid" : "-flat") +
-                         (diagonal ? "-diagvec" : "") +
-                         (im.opts.triangular_storage ? "-tri" : "");
-
-  // Frontier pieces: per rank, sorted global ids within its vector piece.
-  std::vector<std::vector<vid_t>> fs(static_cast<std::size_t>(p));
-  out.parent[source] = source;
-  out.level[source] = 0;
-  fs[static_cast<std::size_t>(im.vdist.owner_rank(source))].push_back(source);
 
   const bool observing = im.cluster.observing();
-  out.report.has_level_breakdown = observing;
-
-  vid_t global_frontier = 1;
-  level_t level = 1;
   std::vector<double> comm_before, comp_before;
   while (global_frontier > 0) {
     LevelStats stats;
@@ -643,11 +867,11 @@ BfsOutput Bfs2D::run(vid_t source) {
     out.report.spmsv_heap_calls +=
         std::accumulate(heap_calls.begin(), heap_calls.end(), std::int64_t{0});
     ++level;
+    if (armed && global_frontier > 0 &&
+        im.store.due(static_cast<int>(out.report.levels.size()))) {
+      im.take_checkpoint(out, fs, global_frontier);
+    }
   }
-  im.cluster.set_trace_level(-1);
-
-  finalize_report(out.report, im.cluster);
-  return out;
 }
 
 }  // namespace dbfs::bfs

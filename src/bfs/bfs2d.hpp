@@ -25,6 +25,7 @@
 #include "model/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "recover/checkpoint.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/process_grid.hpp"
 #include "sparse/spmsv.hpp"
@@ -63,6 +64,12 @@ struct Bfs2DOptions {
   /// failures, payload corruption); see simmpi/fault.hpp. A zero plan
   /// leaves the run bit-identical to an unfaulted build.
   simmpi::FaultPlan faults;
+  /// Fail-stop recovery: checkpoint cadence and shrink-vs-spare policy
+  /// (see recover/checkpoint.hpp). The shrink path re-folds the process
+  /// grid to the largest square fitting in the surviving ranks (the grid
+  /// must stay square for the transpose exchanges). Arming this without
+  /// scheduling kills leaves the run and its report bit-identical.
+  recover::RecoverOptions recover;
   /// Passive observers (non-owning; see src/obs/). Null = off; attaching
   /// them never perturbs the simulated run, it only records it and
   /// enables the per-level comm/comp breakdown in the report.

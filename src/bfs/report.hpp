@@ -48,6 +48,23 @@ struct FaultReport {
   int nic_stragglers = 0;
 };
 
+/// Fail-stop recovery outcome of one run (see src/recover/). All-zero
+/// until a rank actually dies; checkpoint accounting with no failures
+/// lives only in the recover.* metrics so the plain report stays
+/// byte-identical to pre-recovery output.
+struct RecoverReport {
+  bool enabled = false;          ///< a recovery-armed run (kills scheduled)
+  int checkpoint_every = 0;
+  std::string policy;            ///< "shrink" | "spare"; empty when off
+  std::int64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;   ///< incremental replicated bytes
+  std::int64_t rank_failures = 0;
+  std::int64_t replayed_levels = 0;     ///< levels recomputed after restores
+  double recovery_seconds = 0.0;        ///< detection + restore virtual time
+  int ranks_lost = 0;                   ///< shrink: ranks retired for good
+  int spares_used = 0;
+};
+
 struct RunReport {
   std::string algorithm;
   std::string machine;
@@ -93,6 +110,9 @@ struct RunReport {
 
   /// Fault injection outcome (zero when no plan was configured).
   FaultReport faults;
+
+  /// Fail-stop recovery outcome (zero when no rank died).
+  RecoverReport recover;
 
   /// TEPS for a given edge denominator (Graph500 counts the input's
   /// directed edges): edges / total_seconds.

@@ -98,6 +98,24 @@ void write_report_json(std::ostream& out, const RunReport& report,
       << ",\"compute_stragglers\":" << f.compute_stragglers
       << ",\"nic_stragglers\":" << f.nic_stragglers << "}";
 
+  if (report.recover.rank_failures > 0) {
+    // Emitted only when a rank actually died: a recovery-armed run with
+    // no failures keeps its report byte-identical to pre-recovery output
+    // (checkpoint accounting then lives only in the recover.* metrics).
+    const RecoverReport& r = report.recover;
+    out << ",\"recover\":{"
+        << "\"policy\":";
+    write_escaped(out, r.policy);
+    out << ",\"checkpoint_every\":" << r.checkpoint_every
+        << ",\"checkpoints_taken\":" << r.checkpoints_taken
+        << ",\"checkpoint_bytes\":" << r.checkpoint_bytes
+        << ",\"rank_failures\":" << r.rank_failures
+        << ",\"replayed_levels\":" << r.replayed_levels
+        << ",\"recovery_seconds\":" << r.recovery_seconds
+        << ",\"ranks_lost\":" << r.ranks_lost
+        << ",\"spares_used\":" << r.spares_used << "}";
+  }
+
   out << ",\"levels\":[";
   for (std::size_t i = 0; i < report.levels.size(); ++i) {
     const LevelStats& l = report.levels[i];

@@ -59,10 +59,12 @@ class Sieve {
 ///
 /// The duplicate-keeping policy must match the receiver's merge so the
 /// BFS output stays bit-identical to the raw path:
-///  * keep_max_parent = false (1D): owners take the first occurrence in
+///  * keep_max_parent = false: owners take the first occurrence in
 ///    receive order, so the sort is stable and the first duplicate wins.
-///  * keep_max_parent = true (2D): owners combine by max parent, so ties
-///    sort parent-descending and the max-parent duplicate wins.
+///  * keep_max_parent = true (1D and 2D): owners combine by max parent,
+///    so ties sort parent-descending and the max-parent duplicate wins.
+///    Both distributions use this order-independent rule so a recovery
+///    replay (src/recover/) reproduces fault-free parents exactly.
 template <typename C>
 std::uint64_t sieve_and_dedup(Sieve& sieve, int rank, std::vector<C>& block,
                               bool keep_max_parent) {

@@ -87,6 +87,7 @@ struct Engine::Impl {
         o.wire_format = opts.wire_format;
         o.load_smoothing = opts.load_smoothing;
         o.faults = opts.faults;
+        o.recover = opts.recover;
         o.tracer = tracer.get();
         o.metrics = metrics.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
@@ -104,6 +105,7 @@ struct Engine::Impl {
         o.wire_format = opts.wire_format;
         o.load_smoothing = opts.load_smoothing;
         o.faults = opts.faults;
+        o.recover = opts.recover;
         o.tracer = tracer.get();
         o.metrics = metrics.get();
         two_d = std::make_unique<bfs::Bfs2D>(edges, n, std::move(o));

@@ -24,6 +24,7 @@
 #include "model/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "recover/checkpoint.hpp"
 #include "simmpi/fault.hpp"
 #include "sparse/spmsv.hpp"
 #include "util/stats.hpp"
@@ -75,6 +76,12 @@ struct EngineOptions {
   /// run whose corruption cannot be repaired within the retry budget
   /// throws simmpi::FaultError rather than returning a wrong tree.
   simmpi::FaultPlan faults;
+  /// Fail-stop recovery for the 1D/2D algorithms: checkpoint cadence and
+  /// shrink-vs-spare policy (see recover/checkpoint.hpp). Ignored by
+  /// kSerial/kShared and the baselines (the codes they model have no
+  /// recovery story). With no rank kills scheduled this is inert: the
+  /// run and its report stay bit-identical.
+  recover::RecoverOptions recover;
   /// Attach the virtual-time tracer / metrics registry (src/obs/) to the
   /// distributed algorithms. Observers are passive — a traced run's
   /// outputs and report are identical to an untraced one — but each run

@@ -41,6 +41,10 @@ double VirtualClocks::max_now() const noexcept {
   return best;
 }
 
+void VirtualClocks::seed(double t) {
+  for (double& n : now_) n = std::max(n, t);
+}
+
 void VirtualClocks::reset() {
   std::fill(now_.begin(), now_.end(), 0.0);
   std::fill(comp_.begin(), comp_.end(), 0.0);

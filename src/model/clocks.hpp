@@ -55,6 +55,13 @@ class VirtualClocks {
   /// Simulated wall clock: the furthest-advanced rank.
   double max_now() const noexcept;
 
+  /// Advance every rank whose clock is behind `t` up to `t` without
+  /// attributing the jump to compute or communication. Used when a
+  /// rebuilt communicator resumes a traversal at the virtual time its
+  /// predecessor died: survivors' elapsed history lives in the old
+  /// clocks' accounting, and the fresh clocks must not re-earn it.
+  void seed(double t);
+
   const std::vector<double>& all_now() const noexcept { return now_; }
   const std::vector<double>& all_compute() const noexcept { return comp_; }
   const std::vector<double>& all_comm() const noexcept { return comm_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 namespace dbfs::model {
 
@@ -115,6 +116,18 @@ double cost_wire_codec(const MachineModel& m, std::size_t raw_bytes,
   serial *= m.compute_scale;
   const int t = std::max(1, threads);
   return serial / (static_cast<double>(t) * m.thread_efficiency(t));
+}
+
+double cost_failure_detection(const MachineModel& m, int retries,
+                              double backoff_base, double backoff_cap) {
+  double total = 0.0;
+  for (int k = 0; k < retries; ++k) {
+    const int shift = std::min(k, 52);
+    const double pause =
+        backoff_base * static_cast<double>(std::uint64_t{1} << shift);
+    total += m.alpha_net + std::min(pause, backoff_cap);
+  }
+  return total;
 }
 
 double cost_1d_local(const MachineModel& m, const Work1D& w) {

@@ -63,6 +63,15 @@ double cost_chunked_sends(const MachineModel& m, double messages,
 double cost_wire_codec(const MachineModel& m, std::size_t raw_bytes,
                        std::size_t encoded_bytes, int threads = 1);
 
+/// Time survivors spend discovering a dead rank: the full retry budget of
+/// the transient-fault model — `retries` re-issues, each one network
+/// latency plus the capped exponential backoff — burned with no answer.
+/// This prices ULFM-style revoke detection with the same constants the
+/// FaultPlan uses for recoverable failures, so a fail-stop death costs
+/// exactly what giving up on a flaky collective would.
+double cost_failure_detection(const MachineModel& m, int retries,
+                              double backoff_base, double backoff_cap);
+
 // ---------- local work ----------
 
 /// One rank's share of one 1D BFS level (Algorithm 2 steps 13–28).

@@ -1,0 +1,53 @@
+#include "recover/checkpoint.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dbfs::recover {
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kShrink:
+      return "shrink";
+    case Policy::kSpare:
+      return "spare";
+  }
+  return "?";
+}
+
+Policy parse_policy(const std::string& name) {
+  if (name == "shrink") return Policy::kShrink;
+  if (name == "spare") return Policy::kSpare;
+  throw std::invalid_argument("unknown recovery policy: " + name);
+}
+
+void CheckpointStore::arm(const RecoverOptions& options) {
+  options_ = options;
+  armed_ = true;
+  latest_ = Checkpoint{};
+  prev_visited_ = 0;
+  taken_ = 0;
+  bytes_ = 0;
+}
+
+std::uint64_t CheckpointStore::take(Checkpoint snapshot) {
+  std::int64_t visited = 0;
+  for (level_t l : snapshot.level) {
+    if (l != kUnreached) ++visited;
+  }
+  // Incremental on the wire: only entries visited since the previous
+  // snapshot ship to the replica, plus the frontier list. The level-0
+  // snapshot (just the source) is free by the same rule.
+  const std::int64_t fresh = visited - prev_visited_;
+  const std::uint64_t increment =
+      static_cast<std::uint64_t>(fresh > 0 ? fresh : 0) *
+          (sizeof(vid_t) + sizeof(level_t)) +
+      snapshot.frontier.size() * sizeof(vid_t);
+  prev_visited_ = visited;
+  latest_ = std::move(snapshot);
+  ++taken_;
+  bytes_ += increment;
+  return increment;
+}
+
+}  // namespace dbfs::recover

@@ -1,0 +1,96 @@
+// Fail-stop recovery for the level-synchronous BFS drivers.
+//
+// Level-synchronous BFS has a natural consistency point — the level
+// barrier — so cheap checkpoint/restart is a snapshot of (parents,
+// levels, current frontier) taken after a level completes. The snapshot
+// is modeled as an asynchronous replicated copy (diskless checkpointing
+// to a partner rank's memory): it is metered in bytes and counted in the
+// recover.* metrics, but overlapped with the traversal, so a run with
+// checkpointing enabled and no failures keeps clocks — and the report —
+// bit-identical to a run without the subsystem.
+//
+// When a collective raises simmpi::RankFailedError the driver recovers:
+//   * Policy::kShrink — rebuild the communicator with p-1 ranks (2D
+//     grids re-fold to the nearest valid pr x pc), re-partition every
+//     vertex onto the survivors, restore the snapshot, and replay from
+//     the last checkpointed level;
+//   * Policy::kSpare — promote a hot spare into the dead rank's slot and
+//     restore just that shard from the replica; the grid and the
+//     partition are untouched.
+// Either way the traversal's final parents/levels are bit-identical to a
+// fault-free run: replayed levels recompute exactly the same frontier
+// expansions (the per-level combine rules are partition-independent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbfs::recover {
+
+/// What to do about a dead rank. See the file comment.
+enum class Policy { kShrink, kSpare };
+
+const char* to_string(Policy policy);
+/// Parse "shrink" | "spare"; throws std::invalid_argument otherwise.
+Policy parse_policy(const std::string& name);
+
+struct RecoverOptions {
+  /// Snapshot cadence: checkpoint after every k completed levels. 0
+  /// disables periodic snapshots — the implicit level-0 snapshot (just
+  /// the source) is always kept while kills are scheduled, so 0 means
+  /// "replay from the start" (the k = infinity point of the ablation).
+  int checkpoint_every = 0;
+  Policy policy = Policy::kShrink;
+  /// Hot spares available to Policy::kSpare before recovery gives up and
+  /// rethrows the failure.
+  int spare_ranks = 1;
+};
+
+/// One consistent BFS snapshot, taken at a level barrier.
+struct Checkpoint {
+  int levels_completed = 0;  ///< levels fully applied to parent/level
+  std::int64_t global_frontier = 0;
+  std::vector<level_t> level;   ///< full distance array at the barrier
+  std::vector<vid_t> parent;    ///< full parent array at the barrier
+  std::vector<vid_t> frontier;  ///< sorted global ids of the live frontier
+};
+
+/// Holds the latest replicated snapshot plus byte/count accounting.
+/// Snapshots are incremental on the wire: a vertex's (parent, level)
+/// entry is shipped to the replica only when it became visited since the
+/// previous snapshot, plus the frontier list itself.
+class CheckpointStore {
+ public:
+  void arm(const RecoverOptions& options);
+
+  bool armed() const noexcept { return armed_; }
+  const RecoverOptions& options() const noexcept { return options_; }
+
+  /// True when the cadence says to snapshot after `levels_completed`
+  /// levels (cadence 0 never fires).
+  bool due(int levels_completed) const noexcept {
+    return armed_ && options_.checkpoint_every > 0 &&
+           levels_completed % options_.checkpoint_every == 0;
+  }
+
+  /// Store a snapshot; returns the incremental replicated bytes.
+  std::uint64_t take(Checkpoint snapshot);
+
+  const Checkpoint& latest() const noexcept { return latest_; }
+
+  std::int64_t checkpoints_taken() const noexcept { return taken_; }
+  std::uint64_t bytes_shipped() const noexcept { return bytes_; }
+
+ private:
+  RecoverOptions options_;
+  bool armed_ = false;
+  Checkpoint latest_;
+  std::int64_t prev_visited_ = 0;
+  std::int64_t taken_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dbfs::recover

@@ -1,7 +1,10 @@
 #include "simmpi/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "model/cost.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -55,6 +58,85 @@ void Cluster::set_fault_plan(FaultPlan plan) {
   }
   fault_events_ = 0;
   fault_counters_.reset();
+  dead_.clear();
+  rearm_kills();
+}
+
+void Cluster::rearm_kills() noexcept {
+  kills_armed_ = !faults_.rank_kills.empty() ||
+                 std::any_of(dead_.begin(), dead_.end(),
+                             [](char d) { return d != 0; });
+}
+
+void Cluster::check_fail_stop(std::span<const int> group, const char* site) {
+  if (!kills_armed_) return;
+  int victim = -1;
+  for (int r : group) {
+    if (rank_dead(r)) {
+      victim = r;
+      break;
+    }
+  }
+  if (victim < 0) {
+    for (const RankKill& kill : faults_.rank_kills) {
+      if (kill.rank < 0 || kill.rank >= ranks_) continue;
+      if (!kill.due(current_level_, clocks_.now(kill.rank))) continue;
+      bool in_group = false;
+      for (int r : group) in_group |= (r == kill.rank);
+      if (!in_group) continue;
+      victim = kill.rank;
+      dead_.resize(static_cast<std::size_t>(ranks_), 0);
+      dead_[static_cast<std::size_t>(victim)] = 1;
+      break;
+    }
+    if (victim < 0) return;
+  }
+
+  // The survivors discover the death together: they synchronize at the
+  // barrier the victim never reaches, then burn the full retry budget.
+  std::vector<int> survivors;
+  survivors.reserve(group.size());
+  for (int r : group) {
+    if (r != victim) survivors.push_back(r);
+  }
+  const double detect = model::cost_failure_detection(
+      machine_, faults_.max_collective_retries, faults_.backoff_base_seconds,
+      faults_.backoff_cap_seconds);
+  double detected_at = clocks_.now(victim);
+  if (!survivors.empty()) {
+    if (tracer_ != nullptr) {
+      double start = 0.0;
+      for (int r : survivors) start = std::max(start, clocks_.now(r));
+      tracer_->instant(victim, "rank-killed", clocks_.now(victim), 0.0);
+      for (int r : survivors) {
+        tracer_->record(r, obs::SpanKind::kWait, "failure-detect", site,
+                        clocks_.now(r), start + detect);
+      }
+    }
+    clocks_.collective(survivors, detect);
+    detected_at = clocks_.now(survivors.front());
+  }
+  if (metrics_ != nullptr) {
+    ++metrics_->counter("fault.rank_kills");
+    metrics_->histogram("fault.detect_seconds").observe(detect);
+  }
+  throw RankFailedError(site, victim, current_level_, detected_at);
+}
+
+void Cluster::consume_kill(int rank) {
+  auto& kills = faults_.rank_kills;
+  kills.erase(std::remove_if(kills.begin(), kills.end(),
+                             [rank](const RankKill& k) {
+                               return k.rank == rank;
+                             }),
+              kills.end());
+  faults_enabled_ = faults_.enabled();
+  rearm_kills();
+}
+
+void Cluster::revive_rank(int rank) {
+  if (!dead_.empty()) dead_[static_cast<std::size_t>(rank)] = 0;
+  rearm_kills();
 }
 
 void Cluster::reset_accounting() {

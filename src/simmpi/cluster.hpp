@@ -82,9 +82,13 @@ class Cluster {
     compute_phase_ = phase;
   }
   /// Tag subsequent trace records with a BFS level (-1 = outside levels).
+  /// Also feeds the fail-stop schedule: level-triggered kills compare
+  /// against this, so it is tracked with or without a tracer.
   void set_trace_level(int level) noexcept {
+    current_level_ = level;
     if (tracer_ != nullptr) tracer_->set_level(level);
   }
+  int current_level() const noexcept { return current_level_; }
 
   /// Install a fault plan (see simmpi/fault.hpp). Straggler factors must
   /// be positive; entries naming ranks outside the cluster are ignored.
@@ -133,6 +137,34 @@ class Cluster {
            static_cast<double>(threads_per_rank_);
   }
 
+  // ---------- fail-stop faults (see simmpi/fault.hpp, src/recover/) ----
+
+  /// True while a kill is scheduled or a rank is down — the single-branch
+  /// gate the collectives consult, so runs without kills pay nothing.
+  bool kills_armed() const noexcept { return kills_armed_; }
+  bool rank_dead(int rank) const noexcept {
+    return !dead_.empty() && dead_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Fail-stop check at the head of every collective: if a scheduled kill
+  /// is due for a member of `group` (or a member is already down), the
+  /// survivors synchronize and pay the detection timeout
+  /// (model::cost_failure_detection with the plan's retry/backoff
+  /// constants), then RankFailedError is raised — ULFM-style revoke:
+  /// every participant learns of the death at the same barrier.
+  void check_fail_stop(std::span<const int> group, const char* site);
+
+  /// After recovery handled a death: drop `rank`'s fired kill entries
+  /// from the plan without touching counters or the fault-event stream
+  /// (later entries keep their draws). Remaining kills are interpreted
+  /// against the current communicator's rank numbering.
+  void consume_kill(int rank);
+
+  /// Return a dead rank to service (spare-promotion path). The caller is
+  /// responsible for re-seeding its clock via clocks().seed / a restore
+  /// collective.
+  void revive_rank(int rank);
+
   /// Reset clocks and traffic between BFS runs over the same structures.
   void reset_accounting();
 
@@ -146,6 +178,7 @@ class Cluster {
   obs::Tracer* tracer_ = nullptr;            ///< non-owning; null = off
   obs::MetricsRegistry* metrics_ = nullptr;  ///< non-owning; null = off
   const char* compute_phase_ = "compute";
+  int current_level_ = -1;
 
   FaultPlan faults_;
   bool faults_enabled_ = false;
@@ -153,6 +186,10 @@ class Cluster {
   std::uint64_t fault_events_ = 0;
   std::vector<double> fault_compute_factor_;  ///< per rank; empty when off
   std::vector<double> fault_nic_slowdown_;
+  bool kills_armed_ = false;
+  std::vector<char> dead_;  ///< per-rank down flags; empty when clean
+
+  void rearm_kills() noexcept;
 };
 
 }  // namespace dbfs::simmpi

@@ -52,6 +52,12 @@ namespace dbfs::simmpi {
 inline void sync_collective(Cluster& cluster, std::span<const int> group,
                             double cost, const char* site, Pattern pattern,
                             std::uint64_t network_bytes) {
+  // Fail-stop faults surface here, at the barrier every collective
+  // implies: a dead group member means the survivors detect and revoke
+  // (RankFailedError) before any data would move. Checking the full group
+  // — not faulted_cost's root-only group — is what catches a dead leaf in
+  // rooted collectives and transpose pairs.
+  if (cluster.kills_armed()) cluster.check_fail_stop(group, site);
   obs::Tracer* tracer = cluster.tracer();
   obs::MetricsRegistry* metrics = cluster.metrics();
   if (tracer != nullptr || metrics != nullptr) {
@@ -103,7 +109,8 @@ inline double faulted_cost(Cluster& cluster, std::span<const int> group,
   while (plan.collective_fails(cluster.next_fault_event())) {
     ++counters.collective_failures;
     if (attempt >= plan.max_collective_retries) {
-      throw FaultError(site, "collective-failure", attempt + 1);
+      throw FaultError(site, "collective-failure", attempt + 1, -1,
+                       cluster.current_level());
     }
     const double pause = plan.backoff_seconds(attempt);
     counters.backoff_seconds += pause;
@@ -516,7 +523,8 @@ FlatExchange<T> checked_alltoallv(Cluster& cluster,
     }
   }
   throw FaultError(site, "payload-corruption",
-                   plan.max_payload_retries + 1);
+                   plan.max_payload_retries + 1, -1,
+                   cluster.current_level());
 }
 
 /// Checksum-verified allgatherv (see checked_alltoallv). The expected
@@ -560,7 +568,8 @@ std::vector<T> checked_allgatherv(
     }
   }
   throw FaultError(site, "payload-corruption",
-                   plan.max_payload_retries + 1);
+                   plan.max_payload_retries + 1, -1,
+                   cluster.current_level());
 }
 
 }  // namespace dbfs::simmpi

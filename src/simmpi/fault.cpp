@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
+#include "util/json.hpp"
 #include "util/prng.hpp"
 
 namespace dbfs::simmpi {
@@ -50,17 +53,58 @@ CorruptKind parse_corrupt_kind(const std::string& name) {
   throw std::invalid_argument("unknown corruption kind: " + name);
 }
 
-FaultError::FaultError(std::string site, std::string kind, int attempts)
-    : std::runtime_error("fault injection: unrecoverable " + kind + " at " +
-                         site + " after " + std::to_string(attempts) +
-                         " attempts"),
+namespace {
+
+std::string fault_message(const std::string& site, const std::string& kind,
+                          int attempts, int rank, int level) {
+  std::string msg = "fault injection: unrecoverable " + kind + " at " + site +
+                    " after " + std::to_string(attempts) + " attempts";
+  if (rank >= 0) msg += " (rank " + std::to_string(rank) + ")";
+  if (level >= 0) msg += " (level " + std::to_string(level) + ")";
+  return msg;
+}
+
+std::string rank_failed_message(const std::string& site, int rank,
+                                int level) {
+  std::string msg = "rank failure: rank " + std::to_string(rank) +
+                    " is dead, detected at collective " + site;
+  if (level >= 0) msg += " (level " + std::to_string(level) + ")";
+  return msg;
+}
+
+}  // namespace
+
+FaultError::FaultError(std::string site, std::string kind, int attempts,
+                       int rank, int level)
+    : std::runtime_error(fault_message(site, kind, attempts, rank, level)),
       site_(std::move(site)),
       kind_(std::move(kind)),
-      attempts_(attempts) {}
+      attempts_(attempts),
+      rank_(rank),
+      level_(level) {}
+
+FaultError::FaultError(Prebuilt, const std::string& message,
+                       std::string site, std::string kind, int attempts,
+                       int rank, int level)
+    : std::runtime_error(message),
+      site_(std::move(site)),
+      kind_(std::move(kind)),
+      attempts_(attempts),
+      rank_(rank),
+      level_(level) {}
+
+RankFailedError::RankFailedError(std::string site, int rank, int level,
+                                 double virtual_time)
+      // No std::move(site): the message argument also reads it, and
+      // argument evaluation order is unspecified.
+    : FaultError(Prebuilt{}, rank_failed_message(site, rank, level), site,
+                 "rank-failure", 1, rank, level),
+      virtual_time_(virtual_time) {}
 
 bool FaultPlan::enabled() const noexcept {
   return collective_fail_rate > 0.0 || corrupt_rate > 0.0 ||
-         !compute_stragglers.empty() || !nic_stragglers.empty();
+         !compute_stragglers.empty() || !nic_stragglers.empty() ||
+         !rank_kills.empty();
 }
 
 double FaultPlan::compute_factor(int rank) const noexcept {
@@ -109,6 +153,149 @@ double FaultPlan::backoff_seconds(int attempt) const noexcept {
   const double pause =
       backoff_base_seconds * static_cast<double>(std::uint64_t{1} << shift);
   return std::min(pause, backoff_cap_seconds);
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_pairs(std::string& out, const char* key,
+                  const std::vector<std::pair<int, double>>& pairs) {
+  out += "\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "[" + std::to_string(pairs[i].first) + "," +
+           num(pairs[i].second) + "]";
+  }
+  out += "]";
+}
+
+std::vector<std::pair<int, double>> read_pairs(const util::JsonValue& doc,
+                                               const std::string& key) {
+  std::vector<std::pair<int, double>> pairs;
+  if (!doc.has(key)) return pairs;
+  for (const auto& item : doc.at(key).items) {
+    pairs.emplace_back(static_cast<int>(item.items.at(0).as_int()),
+                       item.items.at(1).as_number());
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::string to_json(const FaultPlan& plan) {
+  std::string out = "{";
+  out += "\"seed\":" + std::to_string(plan.seed) + ",";
+  out += "\"collective_fail_rate\":" + num(plan.collective_fail_rate) + ",";
+  out += "\"max_collective_retries\":" +
+         std::to_string(plan.max_collective_retries) + ",";
+  out += "\"backoff_base_seconds\":" + num(plan.backoff_base_seconds) + ",";
+  out += "\"backoff_cap_seconds\":" + num(plan.backoff_cap_seconds) + ",";
+  out += "\"corrupt_rate\":" + num(plan.corrupt_rate) + ",";
+  out += "\"corrupt_kind\":\"" + std::string(to_string(plan.corrupt_kind)) +
+         "\",";
+  out += "\"max_payload_retries\":" +
+         std::to_string(plan.max_payload_retries) + ",";
+  append_pairs(out, "compute_stragglers", plan.compute_stragglers);
+  out += ",";
+  append_pairs(out, "nic_stragglers", plan.nic_stragglers);
+  if (!plan.rank_kills.empty()) {
+    out += ",\"rank_kills\":[";
+    for (std::size_t i = 0; i < plan.rank_kills.size(); ++i) {
+      const RankKill& k = plan.rank_kills[i];
+      if (i > 0) out += ',';
+      out += "{\"rank\":" + std::to_string(k.rank);
+      if (k.at_level >= 0)
+        out += ",\"at_level\":" + std::to_string(k.at_level);
+      if (k.at_time >= 0.0) out += ",\"at_time\":" + num(k.at_time);
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+FaultPlan fault_plan_from_json(const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(doc.int_or("seed", 0));
+  plan.collective_fail_rate = doc.number_or("collective_fail_rate", 0.0);
+  plan.max_collective_retries = static_cast<int>(
+      doc.int_or("max_collective_retries", plan.max_collective_retries));
+  plan.backoff_base_seconds =
+      doc.number_or("backoff_base_seconds", plan.backoff_base_seconds);
+  plan.backoff_cap_seconds =
+      doc.number_or("backoff_cap_seconds", plan.backoff_cap_seconds);
+  plan.corrupt_rate = doc.number_or("corrupt_rate", 0.0);
+  plan.corrupt_kind =
+      parse_corrupt_kind(doc.string_or("corrupt_kind", "mix"));
+  plan.max_payload_retries = static_cast<int>(
+      doc.int_or("max_payload_retries", plan.max_payload_retries));
+  plan.compute_stragglers = read_pairs(doc, "compute_stragglers");
+  plan.nic_stragglers = read_pairs(doc, "nic_stragglers");
+  // Absent in pre-kill plans: loads as an empty (inert) schedule.
+  if (doc.has("rank_kills")) {
+    for (const auto& item : doc.at("rank_kills").items) {
+      RankKill kill;
+      kill.rank = static_cast<int>(item.int_or("rank", -1));
+      kill.at_level = static_cast<int>(item.int_or("at_level", -1));
+      kill.at_time = item.number_or("at_time", -1.0);
+      plan.rank_kills.push_back(kill);
+    }
+  }
+  return plan;
+}
+
+std::vector<RankKill> parse_kill_specs(const std::string& spec) {
+  std::vector<RankKill> kills;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t at = item.find('@');
+    if (at == std::string::npos || at == 0) {
+      throw std::invalid_argument("kill spec '" + item +
+                                  "': expected RANK@levelL or RANK@tSECONDS");
+    }
+    RankKill kill;
+    char* end = nullptr;
+    kill.rank = static_cast<int>(std::strtol(item.c_str(), &end, 10));
+    if (end != item.c_str() + at || kill.rank < 0) {
+      throw std::invalid_argument("kill spec '" + item + "': bad rank");
+    }
+    const std::string trigger = item.substr(at + 1);
+    if (trigger.rfind("level", 0) == 0) {
+      const char* digits = trigger.c_str() + 5;
+      kill.at_level = static_cast<int>(std::strtol(digits, &end, 10));
+      if (end == digits || *end != '\0' || kill.at_level < 0) {
+        throw std::invalid_argument("kill spec '" + item + "': bad level");
+      }
+    } else if (trigger.rfind("t", 0) == 0) {
+      const char* digits = trigger.c_str() + 1;
+      kill.at_time = std::strtod(digits, &end);
+      if (end == digits || *end != '\0' || kill.at_time < 0.0) {
+        throw std::invalid_argument("kill spec '" + item + "': bad time");
+      }
+    } else {
+      throw std::invalid_argument("kill spec '" + item +
+                                  "': trigger must be levelL or tSECONDS");
+    }
+    kills.push_back(kill);
+  }
+  if (kills.empty()) {
+    throw std::invalid_argument("empty kill spec: " + spec);
+  }
+  return kills;
 }
 
 }  // namespace dbfs::simmpi

@@ -17,7 +17,18 @@
 //     a data-carrying collective. The checked_* wrappers in comm.hpp
 //     detect this with order-independent per-call checksums and re-issue
 //     the exchange; an unrecoverable payload raises FaultError so a
-//     corrupted BFS can never complete silently wrong.
+//     corrupted BFS can never complete silently wrong;
+//   * fail-stop rank kills — a scheduled rank dies permanently at a
+//     virtual time or BFS level. The first collective issued on a group
+//     containing the dead rank raises RankFailedError (ULFM-style revoke
+//     semantics: every survivor learns of the death at the same barrier)
+//     after the survivors pay the detection timeout modeled in
+//     model::cost_failure_detection. Recovery — shrink to p-1 ranks or
+//     promote a hot spare — lives in src/recover/ and the BFS drivers.
+//
+// After a shrink, remaining kill entries are interpreted against the
+// rebuilt communicator's rank numbering (the plan names logical slots,
+// not physical hosts).
 //
 // A default-constructed (zero) plan is inert: every consultation point is
 // gated so the unfaulted paths are bit-identical to a build without the
@@ -43,20 +54,62 @@ const char* to_string(CorruptKind kind);
 CorruptKind parse_corrupt_kind(const std::string& name);
 
 /// Structured error raised when a fault exhausts its retry budget: the
-/// injection site, the fault kind, and how many attempts were made are
-/// preserved so harnesses can assert on *why* a run aborted.
+/// injection site, the fault kind, how many attempts were made, and —
+/// when known — the rank and BFS level are preserved so harnesses can
+/// assert on *why* a run aborted without a trace dump.
 class FaultError : public std::runtime_error {
  public:
-  FaultError(std::string site, std::string kind, int attempts);
+  FaultError(std::string site, std::string kind, int attempts,
+             int rank = -1, int level = -1);
 
   const std::string& site() const noexcept { return site_; }
   const std::string& kind() const noexcept { return kind_; }
   int attempts() const noexcept { return attempts_; }
+  /// Rank the fault is attributed to, or -1 when it hit the whole group.
+  int rank() const noexcept { return rank_; }
+  /// BFS level in flight when the fault fired, or -1 outside a traversal.
+  int level() const noexcept { return level_; }
+
+ protected:
+  /// For subclasses that phrase their own what() but keep the fields.
+  struct Prebuilt {};
+  FaultError(Prebuilt, const std::string& message, std::string site,
+             std::string kind, int attempts, int rank, int level);
 
  private:
   std::string site_;
   std::string kind_;
   int attempts_;
+  int rank_;
+  int level_;
+};
+
+/// Raised by the first collective issued on a group containing a dead
+/// rank. Carries the virtual time at which the survivors finished the
+/// detection timeout so recovery can resume their clocks from there.
+class RankFailedError : public FaultError {
+ public:
+  RankFailedError(std::string site, int rank, int level,
+                  double virtual_time);
+
+  double virtual_time() const noexcept { return virtual_time_; }
+
+ private:
+  double virtual_time_;
+};
+
+/// One scheduled fail-stop death. Exactly one of at_level / at_time
+/// should be >= 0; the kill fires at the first collective on a group
+/// containing `rank` once the trigger is due.
+struct RankKill {
+  int rank = -1;
+  int at_level = -1;     ///< fire once the BFS reaches this level
+  double at_time = -1.0; ///< fire once the rank's clock reaches this time
+
+  bool due(int current_level, double now) const noexcept {
+    if (at_level >= 0 && current_level >= at_level) return true;
+    return at_time >= 0.0 && now >= at_time;
+  }
 };
 
 struct FaultPlan {
@@ -85,6 +138,10 @@ struct FaultPlan {
   std::vector<std::pair<int, double>> compute_stragglers;
   std::vector<std::pair<int, double>> nic_stragglers;
 
+  /// Scheduled fail-stop deaths (see RankKill). Entries for ranks outside
+  /// the cluster are ignored, like the straggler lists.
+  std::vector<RankKill> rank_kills;
+
   /// True when any perturbation is configured; gates every hot path.
   bool enabled() const noexcept;
   bool payload_faults() const noexcept { return corrupt_rate > 0.0; }
@@ -101,6 +158,21 @@ struct FaultPlan {
 
   double backoff_seconds(int attempt) const noexcept;
 };
+
+/// Serialize a plan as a JSON object (hand-rolled, byte-stable like the
+/// other writers). Kill schedules land under "rank_kills"; a plan without
+/// kills omits the key so pre-kill readers keep working.
+std::string to_json(const FaultPlan& plan);
+
+/// Parse a plan written by to_json (or by hand). Absent keys keep their
+/// defaults, so an old pre-kill plan JSON loads with an empty kill
+/// schedule — inert with respect to fail-stop faults.
+FaultPlan fault_plan_from_json(const std::string& text);
+
+/// Parse the CLI kill syntax: comma-separated "RANK@levelL" /
+/// "RANK@tSECONDS" specs, e.g. "2@level3,0@t0.05". Throws
+/// std::invalid_argument on malformed specs.
+std::vector<RankKill> parse_kill_specs(const std::string& spec);
 
 /// Per-run fault accounting, reset alongside clocks and traffic.
 struct FaultCounters {

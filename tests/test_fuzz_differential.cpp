@@ -4,6 +4,7 @@
 // invariants as well — the broadest correctness net in the suite.
 #include <gtest/gtest.h>
 
+#include "bfs/direction_optimizing.hpp"
 #include "bfs/serial.hpp"
 #include "core/engine.hpp"
 #include "graph/components.hpp"
@@ -101,6 +102,17 @@ TEST_P(DifferentialFuzz, AllAlgorithmsAgreeWithSerial) {
     EXPECT_TRUE(v.ok) << core::to_string(algorithm)
                       << " seed=" << GetParam().seed << ": " << v.error;
   }
+
+  // Direction-optimizing BFS is host-side but shares the differential
+  // net: its hybrid top-down/bottom-up switching must never change the
+  // level structure, and its parents must validate.
+  const auto diropt = bfs::direction_optimizing_bfs(built.csr, source);
+  EXPECT_EQ(diropt.out.level, serial.level)
+      << "direction-optimizing seed=" << GetParam().seed;
+  const auto dv = graph::validate_bfs_tree(built.csr, source,
+                                           diropt.out.parent, reference);
+  EXPECT_TRUE(dv.ok) << "direction-optimizing seed=" << GetParam().seed
+                     << ": " << dv.error;
 }
 
 // Chaos mode: the same differential net, but each engine runs under a
@@ -151,6 +163,23 @@ TEST_P(DifferentialFuzz, ChaosRunsMatchSerialOrFailLoudly) {
       } else {
         faults.nic_stragglers.emplace_back(rank, factor);
       }
+    }
+    // Fail-stop kills join the chaos mix: a recovered run must still
+    // agree exactly; an unrecoverable one (spares exhausted) must abort
+    // with the structured RankFailedError like any other fault.
+    const auto kill_count = rng.next_below(3);
+    for (std::uint64_t k = 0; k < kill_count; ++k) {
+      simmpi::RankKill kill;
+      kill.rank = static_cast<int>(rng.next_below(16));
+      kill.at_level = 1 + static_cast<int>(rng.next_below(4));
+      faults.rank_kills.push_back(kill);
+    }
+    if (!faults.rank_kills.empty()) {
+      opts.recover.checkpoint_every = static_cast<int>(rng.next_below(3));
+      opts.recover.policy = rng.next_below(2) == 0
+                                ? recover::Policy::kShrink
+                                : recover::Policy::kSpare;
+      opts.recover.spare_ranks = 1;
     }
 
     core::Engine engine{built.edges, n, opts};
