@@ -75,6 +75,7 @@ endif()
 
 execute_process(
   COMMAND "${BENCH_DIFF}" "${BASELINE_DIR}" "${OUT_DIR}/slowed"
+          "--doctor-out=${OUT_DIR}/doctor"
   RESULT_VARIABLE slow_diff_rc
   OUTPUT_VARIABLE slow_diff_out
   ERROR_VARIABLE slow_diff_err)
@@ -87,6 +88,12 @@ if(NOT slow_diff_out MATCHES "REGRESSION")
   message(FATAL_ERROR "bench_smoke: slowed diff exited 1 but printed no "
                       "REGRESSION line\n${slow_diff_out}")
 endif()
+# The gate trip must hand the developer a diagnosis, not just a red flag:
+# bench_diff --doctor-out names the auto-generated DOCTOR_*.json reports.
+if(NOT slow_diff_out MATCHES "doctor: wrote .*DOCTOR_")
+  message(FATAL_ERROR "bench_smoke: gate tripped but no doctor report was "
+                      "generated/referenced\n${slow_diff_out}")
+endif()
 
 message(STATUS "bench_smoke passed: ${nbaselines} baselines, identical-seed "
-               "rerun clean, 2x beta_net flagged")
+               "rerun clean, 2x beta_net flagged and diagnosed")

@@ -1,0 +1,83 @@
+# doctor_smoke: end-to-end check of the regression-attribution loop.
+#   1. Seed a known regression: a scale-14 1d/raw run with --slow-beta=2
+#      (doubled per-byte network cost — a pure machine-model drift).
+#   2. bench_diff against the committed baselines with --doctor-out must
+#      exit 1 AND auto-produce the doctor report: the output names the
+#      DOCTOR_*.json path and the top-ranked cause.
+#   3. The diagnosis must attribute the regression to the seeded cause
+#      (network-beta-drift) — not merely detect "slower".
+#   4. The standalone bench_doctor CLI on the same pair agrees.
+# Invoked by ctest as
+#   cmake -DBENCH_SUITE=<exe> -DBENCH_DIFF=<exe> -DBENCH_DOCTOR=<exe>
+#         -DBASELINE_DIR=<repo> -DOUT_DIR=<scratch> -P doctor_smoke.cmake
+foreach(var BENCH_SUITE BENCH_DIFF BENCH_DOCTOR BASELINE_DIR OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "doctor_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}/slowed" "${OUT_DIR}/doctor")
+
+# One slowed record is enough: the doctor attributes per record pair.
+execute_process(
+  COMMAND "${BENCH_SUITE}" --scales=14 --algos=1d --wires=raw --slow-beta=2
+          "--out-dir=${OUT_DIR}/slowed"
+  RESULT_VARIABLE suite_rc
+  OUTPUT_VARIABLE suite_out
+  ERROR_VARIABLE suite_err)
+if(NOT suite_rc EQUAL 0)
+  message(FATAL_ERROR "doctor_smoke: bench_suite failed (rc=${suite_rc})\n"
+                      "stdout:\n${suite_out}\nstderr:\n${suite_err}")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_DIFF}" "${BASELINE_DIR}" "${OUT_DIR}/slowed"
+          "--doctor-out=${OUT_DIR}/doctor"
+  RESULT_VARIABLE diff_rc
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_err)
+if(NOT diff_rc EQUAL 1)
+  message(FATAL_ERROR "doctor_smoke: slowed diff should exit 1, got "
+                      "rc=${diff_rc}\nstdout:\n${diff_out}\n"
+                      "stderr:\n${diff_err}")
+endif()
+if(NOT diff_out MATCHES "DOCTOR_")
+  message(FATAL_ERROR "doctor_smoke: gate tripped but the output does not "
+                      "reference a DOCTOR_*.json report\n${diff_out}")
+endif()
+if(NOT diff_out MATCHES "top cause network-beta-drift")
+  message(FATAL_ERROR "doctor_smoke: 2x beta_net regression was not "
+                      "attributed to network-beta-drift\n${diff_out}")
+endif()
+
+file(GLOB doctor_reports "${OUT_DIR}/doctor/DOCTOR_*.json")
+list(LENGTH doctor_reports nreports)
+if(nreports LESS 1)
+  message(FATAL_ERROR "doctor_smoke: no DOCTOR_*.json written under "
+                      "${OUT_DIR}/doctor")
+endif()
+list(GET doctor_reports 0 first_report)
+file(READ "${first_report}" report_json)
+if(NOT report_json MATCHES "network-beta-drift")
+  message(FATAL_ERROR "doctor_smoke: ${first_report} does not name "
+                      "network-beta-drift\n${report_json}")
+endif()
+
+# The standalone CLI over the same pair must reach the same diagnosis.
+execute_process(
+  COMMAND "${BENCH_DOCTOR}" "${BASELINE_DIR}" "${OUT_DIR}/slowed"
+  RESULT_VARIABLE doctor_rc
+  OUTPUT_VARIABLE doctor_out
+  ERROR_VARIABLE doctor_err)
+if(NOT doctor_rc EQUAL 0)
+  message(FATAL_ERROR "doctor_smoke: bench_doctor failed (rc=${doctor_rc})\n"
+                      "stdout:\n${doctor_out}\nstderr:\n${doctor_err}")
+endif()
+if(NOT doctor_out MATCHES "1\\. network-beta-drift")
+  message(FATAL_ERROR "doctor_smoke: bench_doctor did not rank "
+                      "network-beta-drift first\n${doctor_out}")
+endif()
+
+message(STATUS "doctor_smoke passed: ${nreports} report(s), seeded 2x "
+               "beta_net attributed to network-beta-drift")

@@ -112,6 +112,13 @@ int main(int argc, char** argv) {
       .describe("metrics",
                 "collect the metrics registry; prints a summary and is "
                 "embedded in --json output")
+      .describe("metrics-format",
+                "with --metrics, also dump the full registry to stdout "
+                "as: openmetrics | json")
+      .describe("flight-out",
+                "write the always-on flight recorder's event ring as "
+                "JSON to this path after the run (written there "
+                "automatically if the run dies)")
       .describe("fault-seed", "seed for deterministic fault injection", "0")
       .describe("straggler",
                 "compute stragglers as rank:factor[,rank:factor...]")
@@ -221,6 +228,25 @@ int main(int argc, char** argv) {
                 core::to_string(opts.algorithm), opts.machine.name.c_str(),
                 engine.cores_used());
 
+    // Black-box dump: on demand via --flight-out, or forced to that path
+    // (default FLIGHT_ERROR.json) when the run dies.
+    const std::string flight_out = args.get("flight-out", "");
+    const auto dump_flight = [&engine](const std::string& path) {
+      const obs::FlightRecorder* flight = engine.flight_recorder();
+      if (flight == nullptr || path.empty()) return;
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write flight dump to %s\n",
+                     path.c_str());
+        return;
+      }
+      flight->write_json(out);
+      std::printf("wrote flight recorder dump to %s (%zu events held, "
+                  "%llu dropped)\n",
+                  path.c_str(), flight->size(),
+                  static_cast<unsigned long long>(flight->dropped()));
+    };
+
     const auto comps = graph::connected_components(engine.csr());
     const auto sources = graph::sample_sources(
         engine.csr(), comps, static_cast<int>(args.get_int("sources", 4)),
@@ -230,10 +256,19 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const auto batch = engine.run_batch(sources, built.directed_edge_count);
+    core::BatchResult batch;
+    try {
+      batch = engine.run_batch(sources, built.directed_edge_count);
+    } catch (const simmpi::RankFailedError&) {
+      // An unrecovered fail-stop kill: dump the black box before dying so
+      // the last collectives, codec decisions, and levels are on disk.
+      dump_flight(flight_out.empty() ? "FLIGHT_ERROR.json" : flight_out);
+      throw;
+    }
     if (batch.failed > 0) {
       std::fprintf(stderr, "VALIDATION FAILED (%d/%zu sources): %s\n",
                    batch.failed, sources.size(), batch.first_error.c_str());
+      dump_flight(flight_out.empty() ? "FLIGHT_ERROR.json" : flight_out);
       return 1;
     }
     const auto teps =
@@ -299,6 +334,18 @@ int main(int argc, char** argv) {
           "p95 %.3e s, p99 %.3e s\n",
           static_cast<unsigned long long>(wait.count()), wait.mean(),
           wait.quantile(0.95), wait.quantile(0.99));
+      const std::string metrics_format = args.get("metrics-format", "");
+      if (metrics_format == "openmetrics") {
+        std::ostringstream exposition;
+        engine.metrics()->write_openmetrics(exposition);
+        std::fputs(exposition.str().c_str(), stdout);
+      } else if (metrics_format == "json") {
+        std::printf("%s\n", engine.metrics()->to_json().c_str());
+      } else if (!metrics_format.empty()) {
+        std::fprintf(stderr, "error: unknown --metrics-format '%s'\n",
+                     metrics_format.c_str());
+        return 2;
+      }
     }
     if (args.get_flag("json")) {
       bfs::ReportJsonOptions jopts;
@@ -306,6 +353,7 @@ int main(int argc, char** argv) {
       jopts.critical_path = have_cp ? &cp : nullptr;
       std::printf("%s\n", bfs::report_to_json(r, jopts).c_str());
     }
+    dump_flight(flight_out);  // on-demand dump of the last run's ring
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n%s", e.what(), args.usage().c_str());

@@ -4,7 +4,8 @@
 // the harmonic-mean TEPS with quartiles — the benchmark's output format.
 //
 //   ./examples/graph500_runner [scale] [cores] [algorithm] [nsources]
-//             [--trace-out=PATH] [--bench-out=PATH]
+//             [--trace-out=PATH] [--bench-out=PATH] [--flight-out=PATH]
+//             [--metrics-format=openmetrics|json]
 //             [--wire-format=raw|sieve|bitmap|varint|auto]
 //             [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
 //             [--checkpoint-every=K] [--recover-policy=shrink|spare]
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   std::string bench_out;
+  std::string flight_out;
+  std::string metrics_format;
   std::string fault_plan;
   comm::WireFormat wire_format = comm::WireFormat::kRaw;
   recover::RecoverOptions recover_opts;
@@ -57,6 +60,10 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
       bench_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--flight-out=", 13) == 0) {
+      flight_out = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--metrics-format=", 17) == 0) {
+      metrics_format = argv[i] + 17;
     } else if (std::strncmp(argv[i], "--wire-format=", 14) == 0) {
       wire_format = comm::parse_wire_format(argv[i] + 14);
     } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
@@ -111,7 +118,7 @@ int main(int argc, char** argv) {
   }
   opts.recover = recover_opts;
   opts.trace = !trace_out.empty() || !bench_out.empty();
-  opts.metrics = !bench_out.empty();
+  opts.metrics = !bench_out.empty() || !metrics_format.empty();
   core::Engine engine{built.edges, n, opts};
 
   const auto comps = graph::connected_components(engine.csr());
@@ -150,6 +157,7 @@ int main(int argc, char** argv) {
   std::printf("  q3_TEPS:       %.4e\n", teps.samples.p75);
   std::printf("  p95_TEPS:      %.4e\n", teps.samples.p95);
   std::printf("  p99_TEPS:      %.4e\n", teps.samples.p99);
+  std::printf("  p999_TEPS:     %.4e\n", teps.samples.p999);
   std::printf("  max_TEPS:      %.4e\n", teps.samples.max);
   std::printf("  harmonic_mean_TEPS: %.4e  (%.3f GTEPS)\n",
               teps.harmonic_mean, teps.gteps);
@@ -202,6 +210,32 @@ int main(int argc, char** argv) {
       std::printf("wrote BenchRecord to %s (diff with bench_diff)\n",
                   bench_out.c_str());
     }
+  }
+
+  if (!metrics_format.empty() && engine.metrics() != nullptr) {
+    if (metrics_format == "openmetrics") {
+      std::ostringstream exposition;
+      engine.metrics()->write_openmetrics(exposition);
+      std::fputs(exposition.str().c_str(), stdout);
+    } else if (metrics_format == "json") {
+      std::printf("%s\n", engine.metrics()->to_json().c_str());
+    } else {
+      std::fprintf(stderr, "unknown --metrics-format '%s'\n",
+                   metrics_format.c_str());
+      return 1;
+    }
+  }
+
+  if (!flight_out.empty() && engine.flight_recorder() != nullptr) {
+    std::ofstream flight_file(flight_out);
+    if (!flight_file) {
+      std::fprintf(stderr, "cannot write flight dump to %s\n",
+                   flight_out.c_str());
+      return 1;
+    }
+    engine.flight_recorder()->write_json(flight_file);
+    std::printf("wrote flight recorder dump to %s (%zu events held)\n",
+                flight_out.c_str(), engine.flight_recorder()->size());
   }
   return 0;
 }

@@ -1,13 +1,22 @@
-// trace_lint: validate a Chrome trace-event JSON file emitted by
-// `bfs_tool --trace-out` / `graph500_runner --trace-out=`.
+// trace_lint: validate an observability JSON file emitted by the tools —
+// either a Chrome trace-event file (`--trace-out`) or a flight-recorder
+// dump (`--flight-out`, recognized by its top-level "flight" key).
 //
 // Deliberately standalone (no library dependency, own ~150-line JSON
 // parser): it is the independent half of the trace-smoke check, so a bug
-// in the library's writer cannot hide inside a shared serializer. Checks:
-// the file parses as JSON, has the traceEvents array, every duration
-// event has begin <= end (non-negative dur) and non-negative ts, and
-// every category / span name / fault marker is one the simulator is
-// documented to emit.
+// in the library's writer cannot hide inside a shared serializer.
+//
+// Chrome traces: the file parses as JSON, has the traceEvents array,
+// every duration event has begin <= end (non-negative dur) and
+// non-negative ts, and every category / span name / fault marker is one
+// the simulator is documented to emit. Zero-duration spans are flagged
+// as warnings (still exit 0) — except "checkpoint", whose begin == end
+// is intentional (checkpoints are overlapped, so the span marks an
+// unpriced transition).
+//
+// Flight dumps: the counters are consistent, timestamps are
+// non-decreasing (they sample the cluster's max_now), every kind is a
+// documented one, and ranks/levels are >= -1.
 //
 //   trace_lint FILE          exits 0 and prints a summary, or exits 1
 //                            with the first problem found
@@ -251,7 +260,7 @@ int lint(const JsonValue& root) {
     return 1;
   }
 
-  std::size_t spans = 0, metas = 0, instants = 0;
+  std::size_t spans = 0, metas = 0, instants = 0, zero_spans = 0;
   for (std::size_t i = 0; i < events.items.size(); ++i) {
     const JsonValue& e = events.items[i];
     const auto complain = [&](const std::string& why) {
@@ -275,6 +284,15 @@ int lint(const JsonValue& root) {
         const double dur = e.at("dur").number;
         if (ts < 0.0) return complain("negative ts");
         if (dur < 0.0) return complain("span begins after it ends");
+        if (dur == 0.0 && name != "checkpoint") {
+          // Suspicious but not fatal: a span that opened and closed on
+          // the same virtual instant usually means a lost clock update.
+          ++zero_spans;
+          std::fprintf(stderr,
+                       "trace_lint: warning: event %zu: zero-duration "
+                       "span '%s' at ts %g\n",
+                       i, name.c_str(), ts);
+        }
         if (kSpanCats.count(e.at("cat").text) == 0) {
           return complain("unknown span cat '" + e.at("cat").text + "'");
         }
@@ -301,9 +319,81 @@ int lint(const JsonValue& root) {
     }
   }
 
-  std::printf("trace OK: %zu events (%zu spans, %zu metadata, %zu faults)\n",
+  std::printf("trace OK: %zu events (%zu spans, %zu metadata, %zu faults",
               events.items.size(), spans, metas, instants);
+  if (zero_spans > 0) {
+    std::printf(", %zu zero-duration warnings", zero_spans);
+  }
+  std::printf(")\n");
   return 0;
+}
+
+// ---- Flight-recorder dump validation ------------------------------------
+
+const std::set<std::string> kFlightKinds = {"collective", "wire", "checkpoint",
+                                            "recover", "fault", "level"};
+
+int lint_flight(const JsonValue& flight) {
+  const auto complain = [](const std::string& why) {
+    std::fprintf(stderr, "trace_lint: flight: %s\n", why.c_str());
+    return 1;
+  };
+  try {
+    const double capacity = flight.at("capacity").number;
+    const double recorded = flight.at("recorded").number;
+    const double dropped = flight.at("dropped").number;
+    const JsonValue& events = flight.at("events");
+    if (events.kind != JsonValue::Kind::kArray) {
+      return complain("events is not an array");
+    }
+    if (capacity < 1.0) return complain("capacity < 1");
+    if (dropped < 0.0 || recorded < 0.0) {
+      return complain("negative recorded/dropped counter");
+    }
+    // held = recorded - dropped, and the events array holds exactly that.
+    if (recorded - dropped != static_cast<double>(events.items.size())) {
+      return complain("recorded - dropped != events held (" +
+                      std::to_string(events.items.size()) + ")");
+    }
+    double last_t = -1.0;
+    std::map<std::string, std::size_t> by_kind;
+    for (std::size_t i = 0; i < events.items.size(); ++i) {
+      const JsonValue& e = events.items[i];
+      const auto bad = [&](const std::string& why) {
+        return complain("event " + std::to_string(i) + ": " + why);
+      };
+      if (e.kind != JsonValue::Kind::kObject) return bad("not an object");
+      const double t = e.at("t").number;
+      if (t < 0.0) return bad("negative t");
+      if (t < last_t) {
+        // Timestamps sample the cluster max_now, which never rewinds;
+        // going backwards means events from two different runs got mixed.
+        return bad("t goes backwards (" + std::to_string(t) + " after " +
+                   std::to_string(last_t) + ")");
+      }
+      last_t = t;
+      const std::string& kind = e.at("kind").text;
+      if (kFlightKinds.count(kind) == 0) {
+        return bad("unknown kind '" + kind + "'");
+      }
+      ++by_kind[kind];
+      if (e.at("site").text.empty()) return bad("empty site");
+      if (e.at("rank").number < -1.0) return bad("rank < -1");
+      if (e.at("level").number < -1.0) return bad("level < -1");
+      if (e.at("payload").kind != JsonValue::Kind::kObject) {
+        return bad("payload is not an object");
+      }
+    }
+    std::printf("flight OK: %zu events held (%g recorded, %g dropped)",
+                events.items.size(), recorded, dropped);
+    for (const auto& [kind, count] : by_kind) {
+      std::printf(", %zu %s", count, kind.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  } catch (const std::exception& ex) {
+    return complain(ex.what());
+  }
 }
 
 }  // namespace
@@ -322,7 +412,11 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
   try {
     JsonParser parser(buffer.str());
-    return lint(parser.parse());
+    const JsonValue root = parser.parse();
+    if (root.kind == JsonValue::Kind::kObject && root.has("flight")) {
+      return lint_flight(root.at("flight"));
+    }
+    return lint(root);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace_lint: %s does not parse: %s\n", argv[1],
                  e.what());

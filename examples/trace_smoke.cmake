@@ -1,5 +1,6 @@
-# trace_smoke: run bfs_tool with --trace-out on a tiny R-MAT instance,
-# then validate the emitted Chrome trace with the standalone trace_lint.
+# trace_smoke: run bfs_tool with --trace-out and --flight-out on a tiny
+# R-MAT instance, then validate the emitted Chrome trace and the
+# flight-recorder dump with the standalone trace_lint.
 # Invoked by ctest as
 #   cmake -DBFS_TOOL=<exe> -DTRACE_LINT=<exe> -DOUT_DIR=<dir> -P trace_smoke.cmake
 foreach(var BFS_TOOL TRACE_LINT OUT_DIR)
@@ -10,11 +11,13 @@ endforeach()
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
 set(trace_file "${OUT_DIR}/trace_smoke.json")
-file(REMOVE "${trace_file}")
+set(flight_file "${OUT_DIR}/flight_smoke.json")
+file(REMOVE "${trace_file}" "${flight_file}")
 
 execute_process(
   COMMAND "${BFS_TOOL}" --gen rmat --scale 10 --cores 16 --algo 2d-hybrid
           --sources 1 --metrics --trace-out "${trace_file}"
+          --flight-out "${flight_file}"
   RESULT_VARIABLE run_rc
   OUTPUT_VARIABLE run_out
   ERROR_VARIABLE run_err)
@@ -25,6 +28,10 @@ endif()
 if(NOT EXISTS "${trace_file}")
   message(FATAL_ERROR "trace_smoke: bfs_tool exited 0 but wrote no trace\n"
                       "stdout:\n${run_out}")
+endif()
+if(NOT EXISTS "${flight_file}")
+  message(FATAL_ERROR "trace_smoke: bfs_tool exited 0 but wrote no flight "
+                      "dump\nstdout:\n${run_out}")
 endif()
 
 execute_process(
@@ -37,4 +44,19 @@ if(NOT lint_rc EQUAL 0)
                       "(rc=${lint_rc})\nstdout:\n${lint_out}\n"
                       "stderr:\n${lint_err}")
 endif()
-message(STATUS "trace_smoke passed: ${lint_out}")
+
+execute_process(
+  COMMAND "${TRACE_LINT}" "${flight_file}"
+  RESULT_VARIABLE flint_rc
+  OUTPUT_VARIABLE flint_out
+  ERROR_VARIABLE flint_err)
+if(NOT flint_rc EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: trace_lint rejected ${flight_file} "
+                      "(rc=${flint_rc})\nstdout:\n${flint_out}\n"
+                      "stderr:\n${flint_err}")
+endif()
+if(NOT flint_out MATCHES "flight OK")
+  message(FATAL_ERROR "trace_smoke: flight dump was not linted as a flight "
+                      "dump\n${flint_out}")
+endif()
+message(STATUS "trace_smoke passed: ${lint_out}; ${flint_out}")

@@ -71,6 +71,7 @@ struct Bfs1D::Impl {
     std::iota(world.begin(), world.end(), 0);
     cluster.set_fault_plan(opts.faults);
     cluster.set_observers(opts.tracer, opts.metrics);
+    cluster.set_flight(opts.flight);
     if (!opts.faults.rank_kills.empty() &&
         opts.recover.policy == recover::Policy::kShrink) {
       edges_keep = edges;
@@ -176,6 +177,16 @@ struct Bfs1D::Impl {
       opts.metrics->histogram("wire.level_bytes_saved")
           .observe(static_cast<double>(before) -
                    static_cast<double>(stats.encoded_bytes));
+    }
+    if (opts.flight != nullptr) {
+      opts.flight
+          ->append("wire", "1d-exchange", cluster.clocks().max_now(), -1,
+                   cluster.current_level())
+          .set("raw_bytes", static_cast<double>(pre_items) *
+                                static_cast<double>(sizeof(Candidate)))
+          .set("encoded_bytes", static_cast<double>(stats.encoded_bytes))
+          .set("sieved", static_cast<double>(dropped))
+          .set("items", static_cast<double>(stats.items));
     }
     return recv;
   }
@@ -294,6 +305,14 @@ struct Bfs1D::Impl {
       opts.tracer->record(0, obs::SpanKind::kCompute, "checkpoint", "", at,
                           at);
     }
+    if (opts.flight != nullptr) {
+      opts.flight
+          ->append("checkpoint", "checkpoint", cluster.clocks().max_now(), -1,
+                   cluster.current_level())
+          .set("levels_completed",
+               static_cast<double>(out.report.levels.size()))
+          .set("bytes", static_cast<double>(bytes));
+    }
   }
 
   /// Handle one fail-stop death: shrink or promote, restore the last
@@ -322,9 +341,8 @@ struct Bfs1D::Impl {
       cluster.revive_rank(dead.rank());
       // The promoted spare restores just the dead rank's shard from the
       // replica; the grid and partition are untouched.
-      restore_bytes =
-          static_cast<std::uint64_t>(local.partition().size(dead.rank())) *
-          (sizeof(vid_t) + sizeof(level_t));
+      restore_bytes = recover::shard_payload_bytes(
+          static_cast<std::uint64_t>(local.partition().size(dead.rank())));
       cluster.clocks().seed(dead.virtual_time());
     } else {
       const int p_new = opts.ranks - 1;
@@ -340,6 +358,7 @@ struct Bfs1D::Impl {
       fresh.set_fault_plan(std::move(remaining));
       fresh.fault_counters() = cluster.fault_counters();
       fresh.set_observers(opts.tracer, opts.metrics);
+      fresh.set_flight(opts.flight);
       // Carry history forward: the meter keeps everything that ever
       // moved (including the lost window, which will move again), and
       // the seeded clocks keep the makespan continuous across the
@@ -353,13 +372,7 @@ struct Bfs1D::Impl {
       std::iota(world.begin(), world.end(), 0);
       // Every survivor re-ingests its (re-partitioned) share of the
       // snapshot.
-      std::int64_t visited = 0;
-      for (level_t l : ckpt.level) {
-        if (l != kUnreached) ++visited;
-      }
-      restore_bytes = static_cast<std::uint64_t>(visited) *
-                          (sizeof(vid_t) + sizeof(level_t)) +
-                      ckpt.frontier.size() * sizeof(vid_t);
+      restore_bytes = recover::restore_payload_bytes(ckpt);
     }
 
     // Roll the traversal state back to the snapshot.
@@ -415,6 +428,18 @@ struct Bfs1D::Impl {
     simmpi::sync_collective(cluster, world, restore_seconds,
                             "recover-restore", simmpi::Pattern::kPointToPoint,
                             restore_bytes);
+    if (opts.flight != nullptr) {
+      opts.flight
+          ->append("recover",
+                   opts.recover.policy == recover::Policy::kSpare
+                       ? "spare-promote"
+                       : "shrink-rebuild",
+                   cluster.clocks().max_now(), dead.rank(),
+                   ckpt.levels_completed)
+          .set("replayed_levels", static_cast<double>(lost_levels))
+          .set("restore_bytes", static_cast<double>(restore_bytes))
+          .set("restore_seconds", detect_seconds + restore_seconds);
+    }
   }
 
   /// The level-synchronous loop (Algorithm 2), resumable: runs from the
@@ -690,6 +715,15 @@ void Bfs1D::Impl::traverse(BfsOutput& out,
       }
       stats.comm_seconds = comm_sum / static_cast<double>(p);
       stats.comp_seconds = comp_sum / static_cast<double>(p);
+    }
+    if (im.opts.flight != nullptr) {
+      im.opts.flight
+          ->append("level", "1d-level", im.cluster.clocks().max_now(), -1,
+                   static_cast<int>(level) - 1)
+          .set("frontier", static_cast<double>(stats.frontier))
+          .set("newly_visited", static_cast<double>(stats.newly_visited))
+          .set("edges_scanned", static_cast<double>(stats.edges_scanned))
+          .set("wall_seconds", stats.wall_seconds);
     }
     out.report.levels.push_back(stats);
     ++level;

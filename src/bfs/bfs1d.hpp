@@ -84,6 +84,9 @@ struct Bfs1DOptions {
   /// enables the per-level comm/comp breakdown in the report.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Always-on black-box event ring (see obs/flight_recorder.hpp); like
+  /// the observers it is passive, non-owning, and null = off.
+  obs::FlightRecorder* flight = nullptr;
   std::string label = "1d";
 };
 

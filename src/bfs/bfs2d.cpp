@@ -172,6 +172,7 @@ struct Bfs2D::Impl {
     std::iota(world.begin(), world.end(), 0);
     cluster.set_fault_plan(opts.faults);
     cluster.set_observers(opts.tracer, opts.metrics);
+    cluster.set_flight(opts.flight);
     if (!opts.faults.rank_kills.empty() &&
         opts.recover.policy == recover::Policy::kShrink) {
       edges_keep = edges;
@@ -222,6 +223,14 @@ struct Bfs2D::Impl {
       opts.tracer->record(0, obs::SpanKind::kCompute, "checkpoint", "", at,
                           at);
     }
+    if (opts.flight != nullptr) {
+      opts.flight
+          ->append("checkpoint", "checkpoint", cluster.clocks().max_now(), -1,
+                   cluster.current_level())
+          .set("levels_completed",
+               static_cast<double>(out.report.levels.size()))
+          .set("bytes", static_cast<double>(bytes));
+    }
   }
 
   /// Handle one fail-stop death: shrink the grid or promote a spare,
@@ -249,9 +258,9 @@ struct Bfs2D::Impl {
       cluster.revive_rank(dead.rank());
       // The promoted spare restores just the dead rank's vector piece
       // from the replica; the grid and partition are untouched.
-      restore_bytes = static_cast<std::uint64_t>(vdist.piece_size(
-                          grid.row_of(dead.rank()), grid.col_of(dead.rank()))) *
-                      (sizeof(vid_t) + sizeof(level_t));
+      restore_bytes = recover::shard_payload_bytes(
+          static_cast<std::uint64_t>(vdist.piece_size(
+              grid.row_of(dead.rank()), grid.col_of(dead.rank()))));
       cluster.clocks().seed(dead.virtual_time());
     } else {
       // Fold to the largest square grid fitting in the surviving ranks
@@ -276,6 +285,7 @@ struct Bfs2D::Impl {
       fresh.set_fault_plan(std::move(remaining));
       fresh.fault_counters() = cluster.fault_counters();
       fresh.set_observers(opts.tracer, opts.metrics);
+      fresh.set_flight(opts.flight);
       // Carry history forward: the meter keeps everything that ever
       // moved (including the lost window, which will move again), and
       // the seeded clocks keep the makespan continuous across the
@@ -290,13 +300,7 @@ struct Bfs2D::Impl {
       spa.assign(static_cast<std::size_t>(grid.ranks()), {});
       rebuild_thread_pieces();
       // Every survivor re-ingests its (re-folded) share of the snapshot.
-      std::int64_t visited = 0;
-      for (level_t l : ckpt.level) {
-        if (l != kUnreached) ++visited;
-      }
-      restore_bytes = static_cast<std::uint64_t>(visited) *
-                          (sizeof(vid_t) + sizeof(level_t)) +
-                      ckpt.frontier.size() * sizeof(vid_t);
+      restore_bytes = recover::restore_payload_bytes(ckpt);
     }
 
     // Roll the traversal state back to the snapshot.
@@ -350,6 +354,18 @@ struct Bfs2D::Impl {
     simmpi::sync_collective(cluster, world, restore_seconds,
                             "recover-restore", simmpi::Pattern::kPointToPoint,
                             restore_bytes);
+    if (opts.flight != nullptr) {
+      opts.flight
+          ->append("recover",
+                   opts.recover.policy == recover::Policy::kSpare
+                       ? "spare-promote"
+                       : "shrink-rebuild",
+                   cluster.clocks().max_now(), dead.rank(),
+                   ckpt.levels_completed)
+          .set("replayed_levels", static_cast<double>(lost_levels))
+          .set("restore_bytes", static_cast<double>(restore_bytes))
+          .set("restore_seconds", detect_seconds + restore_seconds);
+    }
   }
 
   /// The level-synchronous loop (Algorithm 3), resumable: runs from the
@@ -827,6 +843,16 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
           .observe(static_cast<double>(wire_level.pre_bytes) -
                    static_cast<double>(wire_level.stats.encoded_bytes));
     }
+    if ((wire_fold_on || wire_expand_on) && im.opts.flight != nullptr) {
+      im.opts.flight
+          ->append("wire", "2d-exchange", im.cluster.clocks().max_now(), -1,
+                   im.cluster.current_level())
+          .set("raw_bytes", static_cast<double>(wire_level.pre_bytes))
+          .set("encoded_bytes",
+               static_cast<double>(wire_level.stats.encoded_bytes))
+          .set("sieved", static_cast<double>(wire_level.dropped))
+          .set("items", static_cast<double>(wire_level.stats.items));
+    }
 
     // ---- Termination (implicit in Algorithm 3's while f != ∅).
     global_frontier = static_cast<vid_t>(simmpi::allreduce_sum<std::int64_t>(
@@ -860,6 +886,15 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
       }
       stats.comm_seconds = comm_sum / static_cast<double>(p);
       stats.comp_seconds = comp_sum / static_cast<double>(p);
+    }
+    if (im.opts.flight != nullptr) {
+      im.opts.flight
+          ->append("level", "2d-level", im.cluster.clocks().max_now(), -1,
+                   static_cast<int>(level) - 1)
+          .set("frontier", static_cast<double>(stats.frontier))
+          .set("newly_visited", static_cast<double>(stats.newly_visited))
+          .set("edges_scanned", static_cast<double>(stats.edges_scanned))
+          .set("wall_seconds", stats.wall_seconds);
     }
     out.report.levels.push_back(stats);
     out.report.spmsv_spa_calls +=

@@ -23,6 +23,7 @@
 #include "graph/edge_list.hpp"
 #include "model/cost.hpp"
 #include "model/machine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "recover/checkpoint.hpp"
@@ -75,6 +76,9 @@ struct Bfs2DOptions {
   /// enables the per-level comm/comp breakdown in the report.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Always-on black-box event ring (see obs/flight_recorder.hpp); like
+  /// the observers it is passive, non-owning, and null = off.
+  obs::FlightRecorder* flight = nullptr;
   std::string label = "2d";
 };
 

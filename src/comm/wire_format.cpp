@@ -18,6 +18,17 @@ const char* to_string(WireFormat f) {
   return "?";
 }
 
+double WireStats::compression_ratio() const noexcept {
+  if (raw_bytes == 0) return 1.0;
+  return static_cast<double>(encoded_bytes) / static_cast<double>(raw_bytes);
+}
+
+double WireStats::raw_block_share() const noexcept {
+  const std::uint64_t total = blocks_items + blocks_bitmap + blocks_varint;
+  if (total == 0) return 0.0;
+  return static_cast<double>(blocks_items) / static_cast<double>(total);
+}
+
 WireFormat parse_wire_format(const std::string& name) {
   if (name == "raw") return WireFormat::kRaw;
   if (name == "sieve") return WireFormat::kSieve;

@@ -77,6 +77,16 @@ struct WireStats {
     blocks_bitmap += o.blocks_bitmap;
     blocks_varint += o.blocks_varint;
   }
+
+  /// encoded/raw shipped-byte ratio: < 1 means the codec pays for
+  /// itself, ~1 means it is shipping raw blocks plus framing. 1.0 when
+  /// nothing has been encoded yet. This is the definition the doctor's
+  /// codec-fallback classifier and the wire.* metrics share.
+  double compression_ratio() const noexcept;
+
+  /// Share of emitted blocks that fell back to raw item lists (0 when no
+  /// blocks were emitted).
+  double raw_block_share() const noexcept;
 };
 
 /// Malformed frame or truncated payload. Checked collectives verify the

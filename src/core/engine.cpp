@@ -56,6 +56,7 @@ struct Engine::Impl {
   std::unique_ptr<graph::CsrGraph> csr;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::FlightRecorder> flight;
 
   Impl(const graph::EdgeList& input, vid_t num_vertices, EngineOptions options)
       : opts(std::move(options)), n(num_vertices), edges(input) {
@@ -71,6 +72,10 @@ struct Engine::Impl {
     if (is_distributed(opts.algorithm)) {
       if (opts.trace) tracer = std::make_unique<obs::Tracer>();
       if (opts.metrics) metrics = std::make_unique<obs::MetricsRegistry>();
+      // The flight recorder is always on for distributed runs: a bounded
+      // ring the error paths can dump post mortem. It is passive, so the
+      // run and its report are byte-identical with or without it.
+      flight = std::make_unique<obs::FlightRecorder>();
     }
 
     switch (opts.algorithm) {
@@ -90,6 +95,7 @@ struct Engine::Impl {
         o.recover = opts.recover;
         o.tracer = tracer.get();
         o.metrics = metrics.get();
+        o.flight = flight.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -108,6 +114,7 @@ struct Engine::Impl {
         o.recover = opts.recover;
         o.tracer = tracer.get();
         o.metrics = metrics.get();
+        o.flight = flight.get();
         two_d = std::make_unique<bfs::Bfs2D>(edges, n, std::move(o));
         break;
       }
@@ -119,6 +126,7 @@ struct Engine::Impl {
         o.faults = opts.faults;
         o.tracer = tracer.get();
         o.metrics = metrics.get();
+        o.flight = flight.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -130,6 +138,7 @@ struct Engine::Impl {
         o.faults = opts.faults;
         o.tracer = tracer.get();
         o.metrics = metrics.get();
+        o.flight = flight.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -164,6 +173,10 @@ int Engine::cores_used() const {
 obs::Tracer* Engine::tracer() const { return impl_->tracer.get(); }
 
 obs::MetricsRegistry* Engine::metrics() const { return impl_->metrics.get(); }
+
+obs::FlightRecorder* Engine::flight_recorder() const {
+  return impl_->flight.get();
+}
 
 const graph::CsrGraph& Engine::csr() const {
   impl_->ensure_csr();

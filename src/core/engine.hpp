@@ -22,6 +22,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "model/machine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "recover/checkpoint.hpp"
@@ -143,6 +144,10 @@ class Engine {
   /// most recent run().
   obs::Tracer* tracer() const;
   obs::MetricsRegistry* metrics() const;
+  /// The always-on flight recorder (null for kSerial/kShared). Holds the
+  /// most recent run's black-box events; dump with
+  /// FlightRecorder::write_json on error or on demand.
+  obs::FlightRecorder* flight_recorder() const;
   /// CSR view of the prepared graph (built lazily; used for validation).
   const graph::CsrGraph& csr() const;
 

@@ -50,7 +50,8 @@ void write_summary(std::ostream& out, const util::Summary& s) {
       << ",\"harmonic_mean\":" << s.harmonic_mean
       << ",\"median\":" << s.median << ",\"p25\":" << s.p25
       << ",\"p75\":" << s.p75 << ",\"p95\":" << s.p95
-      << ",\"p99\":" << s.p99 << ",\"stddev\":" << s.stddev << "}";
+      << ",\"p99\":" << s.p99 << ",\"p999\":" << s.p999
+      << ",\"stddev\":" << s.stddev << "}";
 }
 
 util::Summary parse_summary(const util::JsonValue& v) {
@@ -65,6 +66,8 @@ util::Summary parse_summary(const util::JsonValue& v) {
   s.p75 = v.number_or("p75", 0.0);
   s.p95 = v.number_or("p95", 0.0);
   s.p99 = v.number_or("p99", 0.0);
+  // Schema-additive: absent in pre-p999 baselines, defaulting to 0.
+  s.p999 = v.number_or("p999", 0.0);
   s.stddev = v.number_or("stddev", 0.0);
   return s;
 }
@@ -146,7 +149,15 @@ void write_bench_record_json(std::ostream& out, const BenchRecord& r) {
         << ",\"straggler_rank\":" << l.straggler_rank
         << ",\"straggler_phase\":";
     write_escaped(out, l.straggler_phase);
-    out << "}";
+    out << ",\"sites\":{";
+    bool first_site = true;
+    for (const auto& [site, seconds] : l.sites) {
+      if (!first_site) out << ',';
+      first_site = false;
+      write_escaped(out, site);
+      out << ':' << seconds;
+    }
+    out << "}}";
   }
   out << "]";
 
@@ -275,6 +286,12 @@ BenchRecord parse_bench_record(const std::string& json) {
         l.wait_p99 = lv.number_or("wait_p99", 0.0);
         l.straggler_rank = static_cast<int>(lv.int_or("straggler_rank", 0));
         l.straggler_phase = lv.string_or("straggler_phase", "");
+        // Schema-additive: per-site transfer split, absent in old records.
+        if (lv.has("sites")) {
+          for (const auto& [site, seconds] : lv.at("sites").members) {
+            l.sites[site] = seconds.as_number();
+          }
+        }
         r.levels.push_back(std::move(l));
       }
     }
@@ -397,8 +414,9 @@ void BenchRecordBuilder::attach_profile(const Tracer* tracer,
       l.compute_mean = la.compute_mean;
       l.wait_mean = la.wait_mean;
       double transfer = 0.0;
-      for (const auto& [pattern, seconds] : la.collective_seconds) {
+      for (const auto& [site, seconds] : la.collective_seconds) {
         transfer += seconds;
+        l.sites[site] = seconds;
       }
       l.transfer_mean = transfer;
       l.wait_max = la.wait_max;

@@ -84,6 +84,10 @@ struct BenchLevelSplit {
   double wait_p99 = 0.0;
   int straggler_rank = 0;
   std::string straggler_phase;
+  /// Mean per-rank transfer seconds by collective site at this level
+  /// (from LevelAttribution::collective_seconds). Schema-additive:
+  /// absent in pre-doctor baselines, parsed as empty.
+  std::map<std::string, double> sites;
 };
 
 /// Across-repetition relative stddevs (population stddev / mean; 0 when

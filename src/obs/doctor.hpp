@@ -1,0 +1,91 @@
+// Automated regression attribution over a pair of BENCH_*.json records.
+//
+// The paper's analysis method is decomposing BFS time into computation,
+// communication, and wait per level (Table 1, Fig 4); PR 4's bench_diff
+// detects that a metric regressed and this pass answers *why*: align the
+// two records' per-level compute/wait/transfer splits (with the
+// per-site transfer breakdown the critical-path pass persists), rank the
+// per-(level, phase) deltas by contribution to the slowdown, and match
+// the result against the known regression signatures — a straggling
+// rank, the auto codec degrading to raw blocks, checkpoint/recovery
+// overhead, α–β machine-model drift, a frontier-shape change — emitting
+// a ranked, confidence-scored diagnosis in both human-readable text and
+// machine JSON.
+//
+// Everything here is pure analysis over already-recorded data: no
+// simulator state, no side effects, usable from the bench_doctor CLI,
+// from bench_diff's gate path (--doctor-out), and from tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/bench_record.hpp"
+
+namespace dbfs::obs {
+
+/// One aligned per-(level, phase) delta. `phase` is "compute", "wait",
+/// or a transfer site name ("1d-exchange", "2d-expand", ...; plain
+/// "transfer" when the records predate the per-site split).
+struct DoctorContribution {
+  int level = -1;  ///< BFS level; -1 = whole-run roll-up
+  std::string phase;
+  double baseline_seconds = 0.0;
+  double candidate_seconds = 0.0;
+  double delta_seconds = 0.0;  ///< candidate - baseline (positive = slower)
+  double share = 0.0;          ///< |delta| / sum of all |delta|, in [0,1]
+};
+
+/// One classified signature, confidence-scored in [0,1].
+struct DoctorFinding {
+  std::string cause;   ///< stable identifier, e.g. "network-beta-drift"
+  double confidence = 0.0;
+  std::string detail;  ///< human-readable evidence sentence
+};
+
+struct DoctorReport {
+  std::string baseline_name;
+  std::string candidate_name;
+  double baseline_teps = 0.0;
+  double candidate_teps = 0.0;
+  double teps_ratio = 0.0;  ///< candidate / baseline; < 1 = regression
+  double baseline_seconds = 0.0;
+  double candidate_seconds = 0.0;
+
+  /// Config fields that differ between the records (fault-plan fields are
+  /// reported separately — they are an experiment input, not drift).
+  std::vector<std::string> config_drift;
+
+  std::vector<DoctorContribution> contributions;  ///< ranked by |delta|
+  std::vector<DoctorFinding> findings;            ///< ranked by confidence
+
+  /// The top-ranked cause ("" when findings is empty — never the case for
+  /// diagnose(), which always emits at least "unattributed").
+  const std::string& top_cause() const;
+};
+
+/// Known cause identifiers, in the order the classifiers run:
+///   "wire-format-change"            config wire_format differs
+///   "config-drift"                  other config fields differ
+///   "checkpoint-recovery-overhead"  candidate survived rank failures
+///   "straggler-rank"                busy/comp imbalance jumped; names rank
+///   "network-beta-drift"            transfer up, compute flat, balance flat
+///   "codec-raw-fallback"            compressing format shipping raw blocks
+///   "frontier-shape-change"         traversal level structure changed
+///   "unattributed"                  fallback when nothing matched
+DoctorReport diagnose(const BenchRecord& baseline,
+                      const BenchRecord& candidate);
+
+/// Multi-line human-readable diagnosis (ranked findings + top
+/// contributions), for CLI output and gate failure messages.
+std::string format_doctor_report(const DoctorReport& report);
+
+/// Machine JSON: {"doctor":{...}} with the full report.
+void write_doctor_json(std::ostream& out, const DoctorReport& report);
+void save_doctor_report(const std::string& path, const DoctorReport& report);
+
+/// Conventional report filename: DOCTOR_<candidate-name>.json.
+std::string doctor_report_filename(const std::string& candidate_name);
+
+}  // namespace dbfs::obs

@@ -1,0 +1,86 @@
+#include "obs/flight_recorder.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace dbfs::obs {
+
+namespace {
+
+/// Same escaping rules as the other hand-rolled writers (bench_record,
+/// report_json): site/kind/key strings are static identifiers, but escape
+/// defensively anyway so a dump is always valid JSON.
+void write_escaped(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::clear() noexcept {
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::chronological() const {
+  std::vector<FlightEvent> out;
+  const std::size_t held = size();
+  out.reserve(held);
+  // When the ring has wrapped, the oldest held event sits at next_.
+  const std::size_t start = recorded_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::write_json(std::ostream& out) const {
+  const auto old_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\"flight\":{\"capacity\":" << ring_.size()
+      << ",\"recorded\":" << recorded_ << ",\"dropped\":" << dropped()
+      << ",\"events\":[";
+  const auto events = chronological();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& ev = events[i];
+    if (i > 0) out << ',';
+    out << "{\"t\":" << ev.t << ",\"kind\":";
+    write_escaped(out, ev.kind);
+    out << ",\"site\":";
+    write_escaped(out, ev.site);
+    out << ",\"rank\":" << ev.rank << ",\"level\":" << ev.level
+        << ",\"payload\":{";
+    bool first = true;
+    for (int s = 0; s < FlightEvent::kSlots; ++s) {
+      if (ev.key[s] == nullptr) continue;
+      if (!first) out << ',';
+      first = false;
+      write_escaped(out, ev.key[s]);
+      out << ':' << ev.value[s];
+    }
+    out << "}}";
+  }
+  out << "]}}\n";
+  out.precision(old_precision);
+}
+
+}  // namespace dbfs::obs

@@ -1,0 +1,122 @@
+// Always-on flight recorder for post-mortem diagnosis.
+//
+// A bounded ring buffer of small structured events fed from cheap hooks
+// in the simmpi collectives, the wire-format codec decisions, the
+// checkpoint/recover transitions, and the per-level loops of the
+// distributed BFS drivers. Unlike the Tracer (opt-in, unbounded, one
+// span per rank per event), the recorder is meant to run on every
+// distributed search at negligible cost: one fixed-size record per
+// cluster-wide event, overwriting the oldest once the ring is full.
+//
+// Nothing in the simulator consults it, so recording cannot perturb
+// clocks, traffic, or fault draws, and the run report stays
+// byte-identical whether or not a recorder is attached. The buffer is
+// serialized to JSON only on demand (`--flight-out`) or when a run dies
+// (RankFailedError, validation failure) — the black-box dump that tells
+// you what every site was doing when the failure hit.
+//
+// Timestamps are the cluster's max_now() sampled after the event's clock
+// update: the simulated wall clock, which is non-decreasing across a
+// run, so dumps are chronologically ordered and lintable
+// (examples/trace_lint.cpp checks exactly this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace dbfs::obs {
+
+/// One recorded event. `kind`/`site` and payload keys must be static
+/// strings (stored unowned, same contract as Tracer span names).
+struct FlightEvent {
+  static constexpr int kSlots = 4;
+
+  double t = 0.0;          ///< virtual seconds (cluster max_now)
+  const char* kind = "";   ///< "collective", "wire", "checkpoint",
+                           ///< "recover", "fault", "level"
+  const char* site = "";   ///< site label ("1d-fold", "2d-expand", ...)
+  int rank = -1;           ///< affected rank; -1 = whole cluster
+  int level = -1;          ///< BFS level current when recorded
+
+  const char* key[kSlots] = {nullptr, nullptr, nullptr, nullptr};
+  double value[kSlots] = {0.0, 0.0, 0.0, 0.0};
+
+  /// Append one key=value payload slot; silently drops past kSlots.
+  FlightEvent& set(const char* k, double v) noexcept {
+    for (int i = 0; i < kSlots; ++i) {
+      if (key[i] == nullptr) {
+        key[i] = k;
+        value[i] = v;
+        return *this;
+      }
+    }
+    return *this;
+  }
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events recorded over the recorder's lifetime (>= size()).
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const noexcept {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  /// Events currently held (min(recorded, capacity)).
+  std::size_t size() const noexcept {
+    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                    : ring_.size();
+  }
+
+  /// Record one event, overwriting the oldest when full.
+  void record(const FlightEvent& ev) noexcept {
+    ring_[next_] = ev;
+    next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+    ++recorded_;
+  }
+
+  /// Record and return a reference for payload chaining:
+  ///   flight->append("wire", "1d-fold", t, -1, level)
+  ///         .set("raw_bytes", raw).set("encoded_bytes", enc);
+  /// The reference is valid until the next record()/append() call.
+  FlightEvent& append(const char* kind, const char* site, double t,
+                      int rank, int level) noexcept {
+    FlightEvent ev;
+    ev.t = t;
+    ev.kind = kind;
+    ev.site = site;
+    ev.rank = rank;
+    ev.level = level;
+    const std::size_t at = next_;
+    record(ev);
+    return ring_[at];
+  }
+
+  /// Drop all events (Cluster::reset_accounting calls this so each run's
+  /// dump describes that run alone).
+  void clear() noexcept;
+
+  /// Held events in recording order, oldest first.
+  std::vector<FlightEvent> chronological() const;
+
+  /// Serialize the buffer as one JSON object:
+  ///   {"flight":{"capacity":...,"recorded":...,"dropped":...,
+  ///              "events":[{"t":...,"kind":...,"site":...,"rank":...,
+  ///                         "level":...,"payload":{...}},...]}}
+  /// trace_lint recognizes the top-level "flight" key.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace dbfs::obs

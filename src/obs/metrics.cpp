@@ -98,4 +98,53 @@ std::string MetricsRegistry::to_json() const {
   return out.str();
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map the
+/// dots (and anything else) to underscores under a dbfs_ prefix.
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "dbfs_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_openmetrics(std::ostream& out) const {
+  for (const auto& [name, value] : counters_) {
+    const std::string m = openmetrics_name(name);
+    out << "# TYPE " << m << " counter\n";
+    out << m << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    const std::string m = openmetrics_name(name);
+    out << "# TYPE " << m << " gauge\n";
+    out << m << ' ' << value << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string m = openmetrics_name(name);
+    out << "# TYPE " << m << " histogram\n";
+    // Cumulative le buckets at the log-bucket upper edges. The zero mass
+    // (observations <= 0) belongs under every finite bound, so it seeds
+    // the running total.
+    std::uint64_t cumulative = h.zeros();
+    for (int i = 0; i < LogHistogram::kBuckets; ++i) {
+      const std::uint64_t c = h.buckets()[static_cast<std::size_t>(i)];
+      if (c == 0) continue;
+      cumulative += c;
+      out << m << "_bucket{le=\""
+          << std::exp2(static_cast<double>(i + LogHistogram::kMinExp + 1))
+          << "\"} " << cumulative << "\n";
+    }
+    out << m << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+    out << m << "_sum " << h.sum() << "\n";
+    out << m << "_count " << h.count() << "\n";
+  }
+  out << "# EOF\n";
+}
+
 }  // namespace dbfs::obs

@@ -93,6 +93,15 @@ class MetricsRegistry {
   void write_json(std::ostream& out) const;
   std::string to_json() const;
 
+  /// Serialize in the OpenMetrics / Prometheus text exposition format so
+  /// the registry can feed standard dashboards: counters as `counter`
+  /// (`dbfs_<name>_total`), gauges as `gauge`, and log histograms as
+  /// cumulative-bucket `histogram` families with `le` upper bounds at the
+  /// bucket edges (2^(exp+1); zeros land in the lowest bucket). Metric
+  /// names are sanitized to [a-zA-Z0-9_:] with a `dbfs_` prefix; the
+  /// output ends with the `# EOF` terminator the format requires.
+  void write_openmetrics(std::ostream& out) const;
+
  private:
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, double> gauges_;

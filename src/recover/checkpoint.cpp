@@ -50,4 +50,18 @@ std::uint64_t CheckpointStore::take(Checkpoint snapshot) {
   return increment;
 }
 
+std::uint64_t restore_payload_bytes(const Checkpoint& snapshot) {
+  std::int64_t visited = 0;
+  for (level_t l : snapshot.level) {
+    if (l != kUnreached) ++visited;
+  }
+  return static_cast<std::uint64_t>(visited > 0 ? visited : 0) *
+             (sizeof(vid_t) + sizeof(level_t)) +
+         snapshot.frontier.size() * sizeof(vid_t);
+}
+
+std::uint64_t shard_payload_bytes(std::uint64_t shard_vertices) noexcept {
+  return shard_vertices * (sizeof(vid_t) + sizeof(level_t));
+}
+
 }  // namespace dbfs::recover

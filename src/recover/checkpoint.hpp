@@ -93,4 +93,14 @@ class CheckpointStore {
   std::uint64_t bytes_ = 0;
 };
 
+/// Bytes every survivor re-ingests for a full restore of `snapshot`: the
+/// (parent, level) pair of each visited vertex plus the frontier list.
+/// Shared by both distributions' shrink paths so the recover.* metrics
+/// and the flight-recorder payloads price restores identically.
+std::uint64_t restore_payload_bytes(const Checkpoint& snapshot);
+
+/// Bytes a promoted spare re-ingests from the replica: one rank's shard
+/// of the (parent, level) arrays.
+std::uint64_t shard_payload_bytes(std::uint64_t shard_vertices) noexcept;
+
 }  // namespace dbfs::recover

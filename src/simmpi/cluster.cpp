@@ -120,6 +120,11 @@ void Cluster::check_fail_stop(std::span<const int> group, const char* site) {
     ++metrics_->counter("fault.rank_kills");
     metrics_->histogram("fault.detect_seconds").observe(detect);
   }
+  if (flight_ != nullptr) {
+    flight_->append("fault", site, detected_at, victim, current_level_)
+        .set("detect_seconds", detect)
+        .set("survivors", static_cast<double>(survivors.size()));
+  }
   throw RankFailedError(site, victim, current_level_, detected_at);
 }
 
@@ -146,6 +151,7 @@ void Cluster::reset_accounting() {
   fault_counters_.reset();
   if (tracer_ != nullptr) tracer_->clear();
   if (metrics_ != nullptr) metrics_->clear();
+  if (flight_ != nullptr) flight_->clear();
 }
 
 }  // namespace dbfs::simmpi

@@ -16,6 +16,7 @@
 
 #include "model/clocks.hpp"
 #include "model/machine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simmpi/fault.hpp"
@@ -75,6 +76,12 @@ class Cluster {
   bool observing() const noexcept {
     return tracer_ != nullptr || metrics_ != nullptr;
   }
+
+  /// Attach the always-on flight recorder (see obs/flight_recorder.hpp).
+  /// Like the observers it is passive and non-owning; reset_accounting
+  /// clears it so each run's dump describes that run alone.
+  void set_flight(obs::FlightRecorder* flight) noexcept { flight_ = flight; }
+  obs::FlightRecorder* flight() const noexcept { return flight_; }
 
   /// Label applied to subsequent charge_compute spans ("1d-scan",
   /// "2d-spmsv", ...). Must be a static string.
@@ -177,6 +184,7 @@ class Cluster {
 
   obs::Tracer* tracer_ = nullptr;            ///< non-owning; null = off
   obs::MetricsRegistry* metrics_ = nullptr;  ///< non-owning; null = off
+  obs::FlightRecorder* flight_ = nullptr;    ///< non-owning; null = off
   const char* compute_phase_ = "compute";
   int current_level_ = -1;
 

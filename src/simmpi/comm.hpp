@@ -89,6 +89,17 @@ inline void sync_collective(Cluster& cluster, std::span<const int> group,
     }
   }
   cluster.clocks().collective(group, cost);
+  // Flight-recorder hook, after the clock update so the timestamp is the
+  // simulated wall clock (max_now is non-decreasing across a run even for
+  // per-pair transpose exchanges, whose own end times are not).
+  if (obs::FlightRecorder* flight = cluster.flight()) {
+    flight
+        ->append("collective", site, cluster.clocks().max_now(), -1,
+                 cluster.current_level())
+        .set("cost_seconds", cost)
+        .set("bytes", static_cast<double>(network_bytes))
+        .set("ranks", static_cast<double>(group.size()));
+  }
 }
 
 /// Price one collective under the cluster's fault plan: scale `base_cost`

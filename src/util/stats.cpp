@@ -27,7 +27,8 @@ Summary summarize(std::span<const double> samples) {
     // order statistic, with zero spread.
     const double x = samples.front();
     s.count = 1;
-    s.min = s.max = s.mean = s.median = s.p25 = s.p75 = s.p95 = s.p99 = x;
+    s.min = s.max = s.mean = s.median = s.p25 = s.p75 = s.p95 = s.p99 =
+        s.p999 = x;
     s.harmonic_mean = x == 0.0 ? 0.0 : x;
     s.stddev = 0.0;
     return s;
@@ -43,6 +44,7 @@ Summary summarize(std::span<const double> samples) {
   s.p75 = interp_sorted(sorted, 0.75);
   s.p95 = interp_sorted(sorted, 0.95);
   s.p99 = interp_sorted(sorted, 0.99);
+  s.p999 = interp_sorted(sorted, 0.999);
 
   double sum = 0.0;
   double recip_sum = 0.0;

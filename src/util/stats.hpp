@@ -22,6 +22,7 @@ struct Summary {
   double p75 = 0.0;
   double p95 = 0.0;           ///< tail percentiles for skew/straggler
   double p99 = 0.0;           ///< reporting (wait-time distributions)
+  double p999 = 0.0;          ///< extreme tail (SLO-style reporting)
   double stddev = 0.0;        ///< population standard deviation
 };
 
@@ -30,7 +31,7 @@ struct Summary {
 /// Degenerate inputs are well-defined (relied on by the bench harness and
 /// covered by tests/test_stats.cpp):
 ///  * empty input  -> all-zero Summary (count 0);
-///  * single value -> every order statistic (min/max/median/p25..p99)
+///  * single value -> every order statistic (min/max/median/p25..p999)
 ///    equals that value, mean == harmonic_mean == the value (0 input
 ///    gives harmonic_mean 0, per the any-zero rule), stddev == 0.
 Summary summarize(std::span<const double> samples);

@@ -156,6 +156,17 @@ TEST(RecoverChaos, DoubleKillShrinksTwice) {
   EXPECT_EQ(out.report.recover.ranks_lost, 2);
 }
 
+TEST(Recover, PayloadByteHelpersPriceRestores) {
+  recover::Checkpoint ckpt;
+  ckpt.level = {0, 1, kUnreached, 2};  // 3 visited vertices
+  ckpt.frontier = {3};
+  EXPECT_EQ(recover::restore_payload_bytes(ckpt),
+            3u * (sizeof(vid_t) + sizeof(level_t)) + sizeof(vid_t));
+  EXPECT_EQ(recover::shard_payload_bytes(10),
+            10u * (sizeof(vid_t) + sizeof(level_t)));
+  EXPECT_EQ(recover::restore_payload_bytes(recover::Checkpoint{}), 0u);
+}
+
 TEST(Recover, SpareExhaustionFailsLoudly) {
   const auto built = test::rmat_graph(8, 8);
   const vid_t n = built.csr.num_vertices();

@@ -63,8 +63,10 @@ TEST(Summarize, TailPercentiles) {
   const Summary s = summarize(v);
   EXPECT_NEAR(s.p95, 95.05, 1e-12);  // interpolated at q*(n-1)
   EXPECT_NEAR(s.p99, 99.01, 1e-12);
+  EXPECT_NEAR(s.p999, 99.901, 1e-12);
   EXPECT_LE(s.p95, s.p99);
-  EXPECT_LE(s.p99, s.max);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
   EXPECT_GE(s.p95, s.p75);
 }
 
@@ -73,9 +75,11 @@ TEST(Summarize, TailPercentilesDegenerate) {
   const Summary one = summarize(single);
   EXPECT_DOUBLE_EQ(one.p95, 2.5);
   EXPECT_DOUBLE_EQ(one.p99, 2.5);
+  EXPECT_DOUBLE_EQ(one.p999, 2.5);
   const Summary none = summarize({});
   EXPECT_DOUBLE_EQ(none.p95, 0.0);
   EXPECT_DOUBLE_EQ(none.p99, 0.0);
+  EXPECT_DOUBLE_EQ(none.p999, 0.0);
 }
 
 TEST(Percentile, InterpolatesBetweenSamples) {

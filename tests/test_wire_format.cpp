@@ -73,6 +73,21 @@ TEST(ParseWireFormat, NamesRoundTrip) {
   EXPECT_THROW(parse_wire_format("zstd"), std::invalid_argument);
 }
 
+TEST(WireStats, RatioHelpersHandleEmptyAndTypicalCounts) {
+  WireStats empty;
+  EXPECT_DOUBLE_EQ(empty.compression_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.raw_block_share(), 0.0);
+
+  WireStats s;
+  s.raw_bytes = 1000;
+  s.encoded_bytes = 250;
+  s.blocks_items = 1;
+  s.blocks_bitmap = 2;
+  s.blocks_varint = 1;
+  EXPECT_DOUBLE_EQ(s.compression_ratio(), 0.25);
+  EXPECT_DOUBLE_EQ(s.raw_block_share(), 0.25);
+}
+
 TEST(WireFormat, PredicatesMatchSemantics) {
   EXPECT_FALSE(wire_sieves(WireFormat::kRaw));
   EXPECT_TRUE(wire_sieves(WireFormat::kSieve));
