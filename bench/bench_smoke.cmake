@@ -39,6 +39,21 @@ if(NOT suite_rc EQUAL 0)
                       "stdout:\n${suite_out}\nstderr:\n${suite_err}")
 endif()
 
+# The direction-optimized trajectory is gated too: regenerate the
+# scale-14 hybrid point into the same directory so the diff below covers
+# BENCH_rmat14_2d_hybrid_c64.json alongside the top-down matrix.
+execute_process(
+  COMMAND "${BENCH_SUITE}" --scales=14 --algos=2d --wires=auto
+          --direction=hybrid "--out-dir=${OUT_DIR}/current"
+  RESULT_VARIABLE hybrid_rc
+  OUTPUT_VARIABLE hybrid_out
+  ERROR_VARIABLE hybrid_err)
+if(NOT hybrid_rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: hybrid bench_suite run failed "
+                      "(rc=${hybrid_rc})\nstdout:\n${hybrid_out}\n"
+                      "stderr:\n${hybrid_err}")
+endif()
+
 # Identical seeds => the diff against the committed baselines must be
 # clean. (The baseline set also covers scales 15-16; the extra names are
 # fine, bench_diff only compares common names.)

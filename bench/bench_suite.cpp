@@ -7,7 +7,7 @@
 //
 //   bench_suite [--out-dir=DIR] [--scales=14,15,16] [--algos=1d,2d]
 //               [--wires=raw,auto] [--cores=N] [--reps=N] [--sources=N]
-//               [--slow-beta=X] [--list]
+//               [--direction=topdown|bottomup|hybrid] [--slow-beta=X] [--list]
 //               [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
 //               [--checkpoint-every=K] [--recover-policy=shrink|spare]
 //
@@ -61,6 +61,7 @@ struct SuiteOptions {
   int cores = 64;
   int reps = 5;
   int sources = 2;
+  bfs::DirectionMode direction = bfs::DirectionMode::kTopDown;
   double slow_beta = 1.0;
   bool list_only = false;
   std::string fault_plan;
@@ -99,6 +100,13 @@ int main(int argc, char** argv) {
       opt.reps = std::stoi(arg.substr(7));
     } else if (arg.rfind("--sources=", 0) == 0) {
       opt.sources = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--direction=", 0) == 0) {
+      try {
+        opt.direction = bfs::parse_direction_mode(arg.substr(12));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_suite: %s\n", e.what());
+        return 2;
+      }
     } else if (arg.rfind("--slow-beta=", 0) == 0) {
       opt.slow_beta = std::stod(arg.substr(12));
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
@@ -148,8 +156,13 @@ int main(int argc, char** argv) {
     for (const std::string& algo : opt.algos) {
       for (const std::string& wire : opt.wires) {
         BenchSpec spec;
+        // Direction-optimized points replace the wire tag with the
+        // direction tag (BENCH_rmat14_2d_hybrid_c64.json): run them with
+        // a single --wires value or the names collide.
+        const bool dirop = opt.direction != bfs::DirectionMode::kTopDown;
         spec.name = "rmat" + std::to_string(scale) + "_" + algo + "_" +
-                    wire + "_c" + std::to_string(opt.cores);
+                    (dirop ? bfs::to_string(opt.direction) : wire) + "_c" +
+                    std::to_string(opt.cores);
         spec.created_by = "bench_suite";
         spec.scale = scale;
         spec.edge_factor = 16;
@@ -162,6 +175,7 @@ int main(int argc, char** argv) {
           spec.engine.machine = model::hopper();
           spec.engine.machine.beta_net *= opt.slow_beta;
           spec.engine.wire_format = comm::parse_wire_format(wire);
+          spec.engine.direction = opt.direction;
           spec.engine.faults = faults;
           spec.engine.recover = opt.recover;
         } catch (const std::exception& e) {
@@ -179,6 +193,30 @@ int main(int argc, char** argv) {
               opt.out_dir + "/" + obs::bench_record_filename(record.name);
           obs::save_bench_record(path, record);
           std::printf("  %s\n", describe_bench_record(record).c_str());
+          if (dirop) {
+            // Per-direction shipped-bytes ratios from the profile run's
+            // dirop.wire.* counters (also stored in the record).
+            const auto counter = [&record](const char* key) {
+              const auto it = record.counters.find(key);
+              return it == record.counters.end() ? 0.0
+                                                 : static_cast<double>(
+                                                       it->second);
+            };
+            const double td_raw = counter("dirop.wire.top_down_raw_bytes");
+            const double bu_raw = counter("dirop.wire.bottom_up_raw_bytes");
+            std::printf(
+                "    dirop: %lld top-down / %lld bottom-up level(s), "
+                "wire ratio td=%.3f bu=%.3f\n",
+                static_cast<long long>(
+                    counter("dirop.levels.top_down")),
+                static_cast<long long>(
+                    counter("dirop.levels.bottom_up")),
+                td_raw > 0.0 ? counter("dirop.wire.top_down_bytes") / td_raw
+                             : 0.0,
+                bu_raw > 0.0
+                    ? counter("dirop.wire.bottom_up_bytes") / bu_raw
+                    : 0.0);
+          }
           ++written;
         } catch (const std::exception& e) {
           std::fprintf(stderr, "bench_suite: %s failed: %s\n",

@@ -102,6 +102,19 @@ int main(int argc, char** argv) {
                 "exchange payload encoding: raw | sieve | bitmap | varint "
                 "| auto (sender-side visited sieve + compressed blocks)",
                 "raw")
+      .describe("direction",
+                "2D traversal direction: topdown | bottomup | hybrid "
+                "(hybrid prices the per-level Beamer switch on the "
+                "machine model)",
+                "topdown")
+      .describe("alpha",
+                "bottom-up engage threshold: switch when m_f > m_u/alpha "
+                "(<= 0 derives it from the machine model)",
+                "14")
+      .describe("beta",
+                "bottom-up disengage threshold: return when frontier < "
+                "n/beta (<= 0 derives it from the machine model)",
+                "24")
       .describe("sources", "number of BFS sources (Graph500 style)", "4")
       .describe("no-shuffle", "skip the random vertex relabeling")
       .describe("save", "write the prepared graph to this file and exit")
@@ -181,6 +194,9 @@ int main(int argc, char** argv) {
     opts.machine = model::preset(args.get("machine", "hopper"));
     opts.triangular_storage = args.get_flag("triangular");
     opts.wire_format = comm::parse_wire_format(args.get("wire-format", "raw"));
+    opts.direction = bfs::parse_direction_mode(args.get("direction", "topdown"));
+    opts.alpha = args.get_double("alpha", 14.0);
+    opts.beta = args.get_double("beta", 24.0);
     const std::string backend = args.get("backend", "auto");
     opts.backend = backend == "spa"    ? sparse::SpmsvBackend::kSpa
                    : backend == "heap" ? sparse::SpmsvBackend::kHeap

@@ -1,0 +1,67 @@
+# dirop_smoke: exercise direction-optimized 2D traversal end to end —
+# run bfs_tool with --direction hybrid on a scale-14 R-MAT instance and
+# require (a) every BFS tree to validate and (b) at least one level to
+# actually run bottom-up (the dirop JSON block reports the tally). Then
+# prove the legacy path is untouched: a --direction topdown run must be
+# byte-identical to a run that never mentions the flag. Invoked by ctest
+# as
+#   cmake -DBFS_TOOL=<exe> -P dirop_smoke.cmake
+if(NOT DEFINED BFS_TOOL)
+  message(FATAL_ERROR "dirop_smoke: -DBFS_TOOL=... is required")
+endif()
+
+# (a)+(b): hybrid validates and engages bottom-up on the dense R-MAT.
+execute_process(
+  COMMAND "${BFS_TOOL}" --gen rmat --scale 14 --cores 64 --algo 2d
+          --sources 2 --direction hybrid --json
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE hybrid_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "dirop_smoke: hybrid run failed (rc=${run_rc})\n"
+                      "stdout:\n${hybrid_out}\nstderr:\n${run_err}")
+endif()
+if(NOT hybrid_out MATCHES "validated 2/2 BFS trees")
+  message(FATAL_ERROR "dirop_smoke: hybrid run did not validate both "
+                      "trees\nstdout:\n${hybrid_out}")
+endif()
+if(NOT hybrid_out MATCHES "\"bottom_up_levels\":[1-9]")
+  message(FATAL_ERROR "dirop_smoke: hybrid run never went bottom-up on "
+                      "the scale-14 R-MAT\nstdout:\n${hybrid_out}")
+endif()
+
+# Byte-identity: --direction topdown is the default spelled out, so its
+# whole output (banner, per-level table, report JSON) must match a run
+# without the flag character for character.
+execute_process(
+  COMMAND "${BFS_TOOL}" --gen rmat --scale 12 --cores 64 --algo 2d
+          --sources 2 --direction topdown --json
+  RESULT_VARIABLE forced_rc
+  OUTPUT_VARIABLE forced_out
+  ERROR_VARIABLE forced_err)
+execute_process(
+  COMMAND "${BFS_TOOL}" --gen rmat --scale 12 --cores 64 --algo 2d
+          --sources 2 --json
+  RESULT_VARIABLE plain_rc
+  OUTPUT_VARIABLE plain_out
+  ERROR_VARIABLE plain_err)
+if(NOT forced_rc EQUAL 0 OR NOT plain_rc EQUAL 0)
+  message(FATAL_ERROR "dirop_smoke: topdown comparison runs failed "
+                      "(rc=${forced_rc}/${plain_rc})\n"
+                      "stderr:\n${forced_err}\n${plain_err}")
+endif()
+if(NOT forced_out STREQUAL plain_out)
+  message(FATAL_ERROR "dirop_smoke: --direction topdown output differs "
+                      "from the flagless run — the legacy path is no "
+                      "longer byte-identical\n--- forced ---\n${forced_out}"
+                      "\n--- plain ---\n${plain_out}")
+endif()
+if(forced_out MATCHES "\"dirop\"")
+  message(FATAL_ERROR "dirop_smoke: topdown report JSON carries a dirop "
+                      "block — it must only appear for bottomup/hybrid\n"
+                      "stdout:\n${forced_out}")
+endif()
+
+message(STATUS "dirop_smoke passed: hybrid validates with bottom-up "
+               "levels; --direction topdown is byte-identical to the "
+               "flagless run")

@@ -7,6 +7,7 @@
 //             [--trace-out=PATH] [--bench-out=PATH] [--flight-out=PATH]
 //             [--metrics-format=openmetrics|json]
 //             [--wire-format=raw|sieve|bitmap|varint|auto]
+//             [--direction=topdown|bottomup|hybrid] [--alpha=A] [--beta=B]
 //             [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
 //             [--checkpoint-every=K] [--recover-policy=shrink|spare]
 //   algorithm in {1d, 1d-hybrid, 2d, 2d-hybrid}
@@ -53,6 +54,9 @@ int main(int argc, char** argv) {
   std::string metrics_format;
   std::string fault_plan;
   comm::WireFormat wire_format = comm::WireFormat::kRaw;
+  bfs::DirectionMode direction = bfs::DirectionMode::kTopDown;
+  double alpha = 14.0;
+  double beta = 24.0;
   recover::RecoverOptions recover_opts;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +70,12 @@ int main(int argc, char** argv) {
       metrics_format = argv[i] + 17;
     } else if (std::strncmp(argv[i], "--wire-format=", 14) == 0) {
       wire_format = comm::parse_wire_format(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--direction=", 12) == 0) {
+      direction = bfs::parse_direction_mode(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--alpha=", 8) == 0) {
+      alpha = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--beta=", 7) == 0) {
+      beta = std::atof(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
       fault_plan = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
@@ -86,9 +96,9 @@ int main(int argc, char** argv) {
 
   std::printf("=== Graph500-style run ===\n");
   std::printf("SCALE: %d  edgefactor: 16  cores: %d  algorithm: %s  "
-              "wire-format: %s\n",
+              "wire-format: %s  direction: %s\n",
               scale, cores, core::to_string(algorithm),
-              comm::to_string(wire_format));
+              comm::to_string(wire_format), bfs::to_string(direction));
 
   graph::RmatParams params;
   params.scale = scale;
@@ -101,6 +111,9 @@ int main(int argc, char** argv) {
   opts.cores = cores;
   opts.machine = model::hopper();
   opts.wire_format = wire_format;
+  opts.direction = direction;
+  opts.alpha = alpha;
+  opts.beta = beta;
   if (!fault_plan.empty()) {
     if (fault_plan.rfind("kill:", 0) == 0) {
       opts.faults.rank_kills = simmpi::parse_kill_specs(fault_plan.substr(5));

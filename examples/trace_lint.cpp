@@ -235,10 +235,13 @@ const std::set<std::string> kSpanCats = {"compute", "wait", "transfer"};
 const std::set<std::string> kSpanNames = {
     // compute phases
     "compute", "1d-scan", "1d-update", "2d-spmsv", "2d-merge", "2d-tri-scan",
+    "2d-bottomup", "wire-encode", "wire-decode",
     // collective sites
     "1d-exchange", "1d-chunked", "2d-expand", "2d-fold", "level-sync",
     "checksum", "alltoallv", "allgatherv", "allreduce", "broadcast",
     "gatherv", "transpose",
+    // direction-optimized bottom-up exchanges (src/bfs/bfs2d.cpp)
+    "2d-bu-frontier", "2d-bu-complete", "2d-bu-result", "dirop-sync",
     // fail-stop recovery (src/recover/)
     "checkpoint", "failure-detect", "recover-restore",
 };
@@ -331,7 +334,8 @@ int lint(const JsonValue& root) {
 // ---- Flight-recorder dump validation ------------------------------------
 
 const std::set<std::string> kFlightKinds = {"collective", "wire", "checkpoint",
-                                            "recover", "fault", "level"};
+                                            "recover", "fault", "level",
+                                            "dirop"};
 
 int lint_flight(const JsonValue& flight) {
   const auto complain = [](const std::string& why) {

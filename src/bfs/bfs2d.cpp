@@ -40,6 +40,21 @@ struct Bfs2D::Impl {
   recover::CheckpointStore store;
   RecoverReport rec;  ///< per-run recovery accounting; reset by run()
 
+  /// Direction optimization (opts.direction != kTopDown). `deg` holds
+  /// per-vertex stored-nonzero counts summed over the blocks — exactly
+  /// the adjacencies top-down would scan for that vertex — so the m_f
+  /// allreduce and the m_u ledger below price the same work the engine
+  /// actually does. Degrees are partition-independent, so a shrink
+  /// rebuild keeps them as-is. The m_u/m_f/direction scalars are the
+  /// heuristic's carried state: snapshotted with every checkpoint and
+  /// restored on recovery, so a replay re-takes identical decisions.
+  std::vector<eid_t> deg;
+  eid_t dirop_m_u = 0;           ///< m_u: degree-sum not yet frontier-charged
+  eid_t dirop_m_f = 0;           ///< m_f of the frontier entering this level
+  bool dirop_bottom_up = false;  ///< direction the previous level ran in
+  double dirop_alpha_eff = 0.0;  ///< resolved threshold (option or model)
+  double dirop_beta_eff = 0.0;
+
   /// Per-level wire accounting, summed over the level's expand and fold
   /// rounds and recorded into the metrics registry once per level.
   struct WireLevel {
@@ -178,6 +193,23 @@ struct Bfs2D::Impl {
       edges_keep = edges;
     }
     rebuild_thread_pieces();
+    if (opts.direction != DirectionMode::kTopDown) build_degrees();
+  }
+
+  /// Per-vertex stored-nonzero counts, summed over the blocks (duplicates
+  /// and self-loops already resolved by the partitioner, so this matches
+  /// the SpMSV flop accounting exactly).
+  void build_degrees() {
+    deg.assign(static_cast<std::size_t>(n), 0);
+    const auto& bl = part.blocks();
+    for (int r = 0; r < grid.ranks(); ++r) {
+      const vid_t col_base = bl.begin(grid.col_of(r));
+      const auto& a = part.block(r);
+      for (vid_t k = 0; k < a.nzc(); ++k) {
+        deg[static_cast<std::size_t>(col_base + a.nonzero_column_id(k))] +=
+            static_cast<eid_t>(a.nonzero_column(k).size());
+      }
+    }
   }
 
   void rebuild_thread_pieces() {
@@ -210,6 +242,9 @@ struct Bfs2D::Impl {
       snap.frontier.insert(snap.frontier.end(), f.begin(), f.end());
     }
     std::sort(snap.frontier.begin(), snap.frontier.end());
+    snap.dirop_frontier_edges = dirop_m_f;
+    snap.dirop_unexplored_edges = dirop_m_u;
+    snap.dirop_bottom_up = dirop_bottom_up;
     const std::uint64_t bytes = store.take(std::move(snap));
     rec.checkpoints_taken = store.checkpoints_taken();
     rec.checkpoint_bytes = store.bytes_shipped();
@@ -309,6 +344,12 @@ struct Bfs2D::Impl {
     out.report.levels.resize(static_cast<std::size_t>(ckpt.levels_completed));
     global_frontier = static_cast<vid_t>(ckpt.global_frontier);
     level = static_cast<level_t>(ckpt.levels_completed) + 1;
+    // Direction-heuristic state rolls back with the traversal state, so
+    // the replayed levels re-evaluate the same switch predicate on the
+    // same inputs and take the same directions as the lost window.
+    dirop_m_f = ckpt.dirop_frontier_edges;
+    dirop_m_u = ckpt.dirop_unexplored_edges;
+    dirop_bottom_up = ckpt.dirop_bottom_up;
     fs.assign(static_cast<std::size_t>(grid.ranks()), {});
     for (vid_t v : ckpt.frontier) {
       fs[static_cast<std::size_t>(vdist.owner_rank(v))].push_back(v);
@@ -368,11 +409,40 @@ struct Bfs2D::Impl {
     }
   }
 
+  /// One bottom-up level's exchanges and local scan (the direction-
+  /// optimized pull step): row-group frontier/visited allgather, pairwise
+  /// completeness swap, early-exit probe scan over the stored blocks.
+  /// Discovered parents land in `mirrored` — the transpose partner's row
+  /// range — so the shared fold path finishes the level unchanged.
+  void bottom_up_level(const BfsOutput& out,
+                       std::vector<std::vector<vid_t>>& fs,
+                       std::vector<std::vector<Candidate>>& mirrored,
+                       std::vector<eid_t>& flops, WireLevel& wl);
+
   /// The level-synchronous loop (Algorithm 3), resumable: runs from the
   /// current (fs, global_frontier, level) state to termination.
   void traverse(BfsOutput& out, std::vector<std::vector<vid_t>>& fs,
                 vid_t& global_frontier, level_t& level, bool armed);
 };
+
+const char* to_string(DirectionMode mode) {
+  switch (mode) {
+    case DirectionMode::kTopDown:
+      return "topdown";
+    case DirectionMode::kBottomUp:
+      return "bottomup";
+    case DirectionMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+DirectionMode parse_direction_mode(const std::string& name) {
+  if (name == "topdown") return DirectionMode::kTopDown;
+  if (name == "bottomup") return DirectionMode::kBottomUp;
+  if (name == "hybrid") return DirectionMode::kHybrid;
+  throw std::invalid_argument("unknown direction mode: " + name);
+}
 
 Bfs2D::Bfs2D(const graph::EdgeList& edges, vid_t n, Bfs2DOptions opts)
     : impl_(std::make_unique<Impl>(edges, n, std::move(opts))) {
@@ -381,6 +451,22 @@ Bfs2D::Bfs2D(const graph::EdgeList& edges, vid_t n, Bfs2DOptions opts)
       impl_->opts.vector_dist == dist::VectorDistKind::kDiagonal) {
     throw std::invalid_argument(
         "Bfs2D: triangular storage requires the 2D vector distribution");
+  }
+  if (impl_->opts.direction != DirectionMode::kTopDown) {
+    // The bottom-up probe scan needs every stored adjacency direction in
+    // the blocks (the wedge alone cannot answer "does any frontier vertex
+    // neighbor me"), and the diagonal baseline exists only to reproduce
+    // the Fig 4 bottleneck on the legacy path.
+    if (impl_->opts.triangular_storage) {
+      throw std::invalid_argument(
+          "Bfs2D: direction optimization requires full (non-triangular) "
+          "storage");
+    }
+    if (impl_->opts.vector_dist == dist::VectorDistKind::kDiagonal) {
+      throw std::invalid_argument(
+          "Bfs2D: direction optimization requires a non-diagonal vector "
+          "distribution");
+    }
   }
 }
 
@@ -424,10 +510,30 @@ BfsOutput Bfs2D::run(vid_t source) {
   BfsOutput out;
   out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
   out.level.assign(static_cast<std::size_t>(n), kUnreached);
-  out.report.algorithm = std::string(im.opts.label) +
-                         (im.opts.threads_per_rank > 1 ? "-hybrid" : "-flat") +
-                         (diagonal ? "-diagvec" : "") +
-                         (im.opts.triangular_storage ? "-tri" : "");
+  out.report.algorithm =
+      std::string(im.opts.label) +
+      (im.opts.threads_per_rank > 1 ? "-hybrid" : "-flat") +
+      (diagonal ? "-diagvec" : "") +
+      (im.opts.triangular_storage ? "-tri" : "") +
+      (im.opts.direction == DirectionMode::kHybrid ? "-dirop" : "") +
+      (im.opts.direction == DirectionMode::kBottomUp ? "-bottomup" : "");
+
+  const bool dirop_on = im.opts.direction != DirectionMode::kTopDown;
+  if (dirop_on) {
+    im.dirop_alpha_eff = im.opts.alpha > 0.0
+                             ? im.opts.alpha
+                             : model::dirop_alpha(im.cluster.machine());
+    im.dirop_beta_eff = im.opts.beta > 0.0
+                            ? im.opts.beta
+                            : model::dirop_beta(im.cluster.machine());
+    im.dirop_m_u = im.part.total_nnz();
+    im.dirop_m_f = im.deg[static_cast<std::size_t>(source)];
+    im.dirop_bottom_up = false;
+    out.report.dirop.enabled = true;
+    out.report.dirop.mode = to_string(im.opts.direction);
+    out.report.dirop.alpha = im.dirop_alpha_eff;
+    out.report.dirop.beta = im.dirop_beta_eff;
+  }
 
   // Frontier pieces: per rank, sorted global ids within its vector piece.
   std::vector<std::vector<vid_t>> fs(
@@ -456,6 +562,25 @@ BfsOutput Bfs2D::run(vid_t source) {
 
   finalize_report(out.report, im.cluster);
   out.report.recover = im.rec;
+  if (dirop_on) {
+    // Tally from the surviving per-level stats (recovery rollbacks trim
+    // report.levels, so replayed windows are counted exactly once here;
+    // the wire-byte fields follow the traffic meter's keep-everything
+    // convention instead and accumulate during traverse).
+    DiropReport& d = out.report.dirop;
+    bool prev = false;
+    for (const LevelStats& l : out.report.levels) {
+      if (l.bottom_up) {
+        ++d.bottom_up_levels;
+        d.bottom_up_edges += l.edges_scanned;
+      } else {
+        ++d.top_down_levels;
+        d.top_down_edges += l.edges_scanned;
+      }
+      if (l.level > 0 && l.bottom_up != prev) ++d.switches;
+      prev = l.bottom_up;
+    }
+  }
   return out;
 }
 
@@ -478,6 +603,7 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
   const bool wire_fold_on = im.wire_fold_on();
   const bool wire_expand_on =
       !diagonal && comm::wire_compresses(im.opts.wire_format);
+  const bool dirop_on = im.opts.direction != DirectionMode::kTopDown;
 
   const bool observing = im.cluster.observing();
   std::vector<double> comm_before, comp_before;
@@ -500,10 +626,82 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
         traffic.totals(simmpi::Pattern::kGatherv).bytes;
     const auto tr_before = traffic.totals(simmpi::Pattern::kTranspose).bytes;
 
-    // ---- Expand: make f_{C_j} available to every rank in column j.
+    // ---- Direction decision (Beamer's alpha-beta rule, priced per the
+    // machine model's thresholds when none were given). Every input is
+    // globally identical: global_frontier comes from the "level-sync"
+    // allreduce, m_f from the "dirop-sync" allreduce of the owners'
+    // degree sums below, and m_u from the same subtraction replayed on
+    // every rank — so all ranks evaluate the same predicate and switch
+    // in lockstep, and a recovery replay (which restores m_u and the
+    // previous direction from the checkpoint) re-takes the same branch.
+    bool bottom_up = false;
+    if (dirop_on) {
+      std::vector<std::int64_t> contrib(static_cast<std::size_t>(p), 0);
+      for (int r = 0; r < p; ++r) {
+        for (vid_t v : fs[static_cast<std::size_t>(r)]) {
+          contrib[static_cast<std::size_t>(r)] += static_cast<std::int64_t>(
+              im.deg[static_cast<std::size_t>(v)]);
+        }
+      }
+      im.dirop_m_f = static_cast<eid_t>(simmpi::allreduce_sum<std::int64_t>(
+          im.cluster, im.world, contrib, "dirop-sync"));
+
+      DiropRationale rationale = DiropRationale::kTopDownStay;
+      if (im.opts.direction == DirectionMode::kBottomUp) {
+        bottom_up = true;
+        rationale = DiropRationale::kForced;
+      } else {
+        // Engage only when the frontier is both edge-heavy and broad; a
+        // narrow frontier late in the traversal can trip the edge ratio
+        // while bottom-up would still probe every unvisited vertex.
+        const bool broad = static_cast<double>(global_frontier) >=
+                           static_cast<double>(n) / im.dirop_beta_eff;
+        if (!im.dirop_bottom_up && broad &&
+            static_cast<double>(im.dirop_m_f) >
+                static_cast<double>(im.dirop_m_u) / im.dirop_alpha_eff) {
+          bottom_up = true;
+          rationale = DiropRationale::kEngage;
+        } else if (im.dirop_bottom_up && !broad) {
+          rationale = DiropRationale::kDisengage;
+        } else if (im.dirop_bottom_up) {
+          bottom_up = true;
+          rationale = DiropRationale::kBottomUpStay;
+        }
+      }
+      stats.bottom_up = bottom_up;
+      stats.frontier_edges = im.dirop_m_f;
+      stats.unexplored_edges = im.dirop_m_u;
+      stats.dirop_rationale = static_cast<int>(rationale);
+      im.dirop_bottom_up = bottom_up;
+      im.dirop_m_u -= std::min(im.dirop_m_u, im.dirop_m_f);
+      if (im.opts.flight != nullptr) {
+        im.opts.flight
+            ->append("dirop", to_string(rationale),
+                     im.cluster.clocks().max_now(), -1,
+                     static_cast<int>(stats.level))
+            .set("frontier", static_cast<double>(global_frontier))
+            .set("frontier_edges", static_cast<double>(stats.frontier_edges))
+            .set("unexplored_edges",
+                 static_cast<double>(stats.unexplored_edges))
+            .set("bottom_up", bottom_up ? 1.0 : 0.0);
+      }
+    }
+
+    // ---- Expand / local step. A bottom-up level replaces the expand
+    // and the forward SpMSV with the pull formulation; its discovered
+    // parents land in `mirrored` and ride the shared fold path below.
     Impl::WireLevel wire_level;
+    std::vector<sparse::SparseVector<vid_t>> partials(
+        static_cast<std::size_t>(p));
+    std::vector<double> spmsv_costs(static_cast<std::size_t>(p), 0.0);
+    std::vector<eid_t> flops(static_cast<std::size_t>(p), 0);
+    std::vector<std::int64_t> spa_calls(static_cast<std::size_t>(p), 0);
+    std::vector<std::int64_t> heap_calls(static_cast<std::size_t>(p), 0);
+    std::vector<std::vector<Candidate>> mirrored(static_cast<std::size_t>(p));
     std::vector<std::vector<vid_t>> gathered(static_cast<std::size_t>(s));
-    if (!diagonal) {
+    if (bottom_up) {
+      im.bottom_up_level(out, fs, mirrored, flops, wire_level);
+    } else if (!diagonal) {
       // TransposeVector (line 5), then Allgatherv over columns (line 6).
       auto transposed =
           simmpi::transpose_exchange(im.cluster, im.grid, std::move(fs));
@@ -541,95 +739,95 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
     }
 
     // ---- Local SpMSV (line 7): t_i = A_ij ⊗ f_{C_j} on (select, max).
-    std::vector<sparse::SparseVector<vid_t>> partials(
-        static_cast<std::size_t>(p));
-    std::vector<double> spmsv_costs(static_cast<std::size_t>(p), 0.0);
-    std::vector<eid_t> flops(static_cast<std::size_t>(p), 0);
-    std::vector<std::int64_t> spa_calls(static_cast<std::size_t>(p), 0);
-    std::vector<std::int64_t> heap_calls(static_cast<std::size_t>(p), 0);
-    im.cluster.for_each_rank([&](int r) {
-      const auto ri = static_cast<std::size_t>(r);
-      const int i = im.grid.row_of(r);
-      const int j = im.grid.col_of(r);
-      const vid_t col_base = blocks.begin(j);
-      const auto& column_frontier = gathered[static_cast<std::size_t>(j)];
+    // Skipped wholesale on bottom-up levels: running it on the empty
+    // gathered frontier would still pay thread barriers and skew the
+    // spmsv.* back-end counters.
+    if (!bottom_up) {
+      im.cluster.for_each_rank([&](int r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const int i = im.grid.row_of(r);
+        const int j = im.grid.col_of(r);
+        const vid_t col_base = blocks.begin(j);
+        const auto& column_frontier = gathered[static_cast<std::size_t>(j)];
 
-      std::vector<sparse::SvEntry<vid_t>> x_entries;
-      x_entries.reserve(column_frontier.size());
-      for (vid_t gv : column_frontier) {
-        x_entries.push_back(sparse::SvEntry<vid_t>{gv - col_base, gv});
-      }
-      auto x = sparse::SparseVector<vid_t>::from_sorted(
-          blocks.size(j), std::move(x_entries));
+        std::vector<sparse::SvEntry<vid_t>> x_entries;
+        x_entries.reserve(column_frontier.size());
+        for (vid_t gv : column_frontier) {
+          x_entries.push_back(sparse::SvEntry<vid_t>{gv - col_base, gv});
+        }
+        auto x = sparse::SparseVector<vid_t>::from_sorted(
+            blocks.size(j), std::move(x_entries));
 
-      auto mul = sparse::BfsParentSemiring{col_base}.multiply();
-      auto comb = sparse::BfsParentSemiring::combine();
-      sparse::SpmsvStats st;
-      if (t > 1) {
-        // Fig 2: one SpMSV per thread-local row piece; the pieces cover
-        // disjoint ascending row ranges, so concatenation (with re-based
-        // row ids) reassembles the rank's sorted output.
-        const auto& pieces = im.thread_pieces[ri];
-        const vid_t rows_per =
-            std::max<vid_t>(1, im.part.block(r).nrows() / t);
-        std::vector<sparse::SvEntry<vid_t>> merged;
-        st.flops = 0;
-        for (std::size_t piece = 0; piece < pieces.size(); ++piece) {
-          sparse::SpmsvStats piece_st;
-          auto y = sparse::spmsv<vid_t>(pieces[piece], x, mul, comb,
-                                        im.opts.backend, &im.spa[ri],
-                                        &piece_st);
-          const vid_t base = static_cast<vid_t>(piece) * rows_per;
-          for (const auto& e : y.entries()) {
-            merged.push_back(sparse::SvEntry<vid_t>{base + e.index, e.value});
+        auto mul = sparse::BfsParentSemiring{col_base}.multiply();
+        auto comb = sparse::BfsParentSemiring::combine();
+        sparse::SpmsvStats st;
+        if (t > 1) {
+          // Fig 2: one SpMSV per thread-local row piece; the pieces cover
+          // disjoint ascending row ranges, so concatenation (with re-based
+          // row ids) reassembles the rank's sorted output.
+          const auto& pieces = im.thread_pieces[ri];
+          const vid_t rows_per =
+              std::max<vid_t>(1, im.part.block(r).nrows() / t);
+          std::vector<sparse::SvEntry<vid_t>> merged;
+          st.flops = 0;
+          for (std::size_t piece = 0; piece < pieces.size(); ++piece) {
+            sparse::SpmsvStats piece_st;
+            auto y = sparse::spmsv<vid_t>(pieces[piece], x, mul, comb,
+                                          im.opts.backend, &im.spa[ri],
+                                          &piece_st);
+            const vid_t base = static_cast<vid_t>(piece) * rows_per;
+            for (const auto& e : y.entries()) {
+              merged.push_back(
+                  sparse::SvEntry<vid_t>{base + e.index, e.value});
+            }
+            st.flops += piece_st.flops;
+            if (piece_st.used == sparse::SpmsvBackend::kSpa) {
+              ++spa_calls[ri];
+            } else {
+              ++heap_calls[ri];
+            }
           }
-          st.flops += piece_st.flops;
-          if (piece_st.used == sparse::SpmsvBackend::kSpa) {
+          st.output_nnz = static_cast<vid_t>(merged.size());
+          partials[ri] = sparse::SparseVector<vid_t>::from_sorted(
+              im.part.block(r).nrows(), std::move(merged));
+        } else {
+          partials[ri] = sparse::spmsv<vid_t>(im.part.block(r), x, mul,
+                                              comb, im.opts.backend,
+                                              &im.spa[ri], &st);
+          if (st.used == sparse::SpmsvBackend::kSpa) {
             ++spa_calls[ri];
           } else {
             ++heap_calls[ri];
           }
         }
-        st.output_nnz = static_cast<vid_t>(merged.size());
-        partials[ri] = sparse::SparseVector<vid_t>::from_sorted(
-            im.part.block(r).nrows(), std::move(merged));
-      } else {
-        partials[ri] = sparse::spmsv<vid_t>(im.part.block(r), x, mul, comb,
-                                            im.opts.backend, &im.spa[ri],
-                                            &st);
-        if (st.used == sparse::SpmsvBackend::kSpa) {
-          ++spa_calls[ri];
-        } else {
-          ++heap_calls[ri];
-        }
-      }
-      flops[ri] = st.flops;
+        flops[ri] = st.flops;
 
-      model::Work2D work;
-      work.spmsv_flops = st.flops;
-      work.x_nnz = x.nnz();
-      work.output_nnz = st.output_nnz;
-      work.x_dim = blocks.size(j);
-      work.out_dim = blocks.size(i);
-      work.heap_backend = st.used == sparse::SpmsvBackend::kHeap;
-      work.threads = t;
-      spmsv_costs[ri] =
-          model::cost_2d_local(im.cluster.machine(), work) +
-          model::cost_thread_barriers(im.cluster.machine(), t, 2);
-    });
-    im.cluster.set_compute_phase("2d-spmsv");
-    im.charge_smoothed(im.world, spmsv_costs);
-    if (obs::MetricsRegistry* m = im.cluster.metrics()) {
-      // SpMSV workload distributions (per rank per level) for the kernel
-      // ablations: flop counts, output sizes, and back-end selection.
-      auto& flops_hist = m->histogram("spmsv.flops");
-      auto& nnz_hist = m->histogram("spmsv.output_nnz");
-      for (int r = 0; r < p; ++r) {
-        const auto ri = static_cast<std::size_t>(r);
-        flops_hist.observe(static_cast<double>(flops[ri]));
-        nnz_hist.observe(static_cast<double>(partials[ri].nnz()));
-        m->counter("spmsv.spa_calls") += spa_calls[ri];
-        m->counter("spmsv.heap_calls") += heap_calls[ri];
+        model::Work2D work;
+        work.spmsv_flops = st.flops;
+        work.x_nnz = x.nnz();
+        work.output_nnz = st.output_nnz;
+        work.x_dim = blocks.size(j);
+        work.out_dim = blocks.size(i);
+        work.heap_backend = st.used == sparse::SpmsvBackend::kHeap;
+        work.threads = t;
+        spmsv_costs[ri] =
+            model::cost_2d_local(im.cluster.machine(), work) +
+            model::cost_thread_barriers(im.cluster.machine(), t, 2);
+      });
+      im.cluster.set_compute_phase("2d-spmsv");
+      im.charge_smoothed(im.world, spmsv_costs);
+      if (obs::MetricsRegistry* m = im.cluster.metrics()) {
+        // SpMSV workload distributions (per rank per level) for the kernel
+        // ablations: flop counts, output sizes, and back-end selection.
+        auto& flops_hist = m->histogram("spmsv.flops");
+        auto& nnz_hist = m->histogram("spmsv.output_nnz");
+        for (int r = 0; r < p; ++r) {
+          const auto ri = static_cast<std::size_t>(r);
+          flops_hist.observe(static_cast<double>(flops[ri]));
+          nnz_hist.observe(static_cast<double>(partials[ri].nnz()));
+          m->counter("spmsv.spa_calls") += spa_calls[ri];
+          m->counter("spmsv.heap_calls") += heap_calls[ri];
+        }
       }
     }
 
@@ -639,7 +837,6 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
     // (held post-expand by its transpose partner) and its z output lives
     // in C_j's range = its partner's row block, so both the frontier and
     // the result take one pairwise exchange each.
-    std::vector<std::vector<Candidate>> mirrored(static_cast<std::size_t>(p));
     if (im.opts.triangular_storage) {
       // Pairwise frontier swap: rank (i,j) receives f_{C_i}.
       std::vector<std::vector<vid_t>> f_for_partner(
@@ -825,7 +1022,8 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
       }
     }
 
-    if ((wire_fold_on || wire_expand_on) && im.opts.metrics != nullptr) {
+    if ((wire_fold_on || wire_expand_on || bottom_up) &&
+        im.opts.metrics != nullptr) {
       obs::MetricsRegistry& m = *im.opts.metrics;
       m.counter("wire.bytes_before") +=
           static_cast<std::int64_t>(wire_level.pre_bytes);
@@ -843,7 +1041,8 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
           .observe(static_cast<double>(wire_level.pre_bytes) -
                    static_cast<double>(wire_level.stats.encoded_bytes));
     }
-    if ((wire_fold_on || wire_expand_on) && im.opts.flight != nullptr) {
+    if ((wire_fold_on || wire_expand_on || bottom_up) &&
+        im.opts.flight != nullptr) {
       im.opts.flight
           ->append("wire", "2d-exchange", im.cluster.clocks().max_now(), -1,
                    im.cluster.current_level())
@@ -861,6 +1060,33 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
     stats.edges_scanned =
         std::accumulate(flops.begin(), flops.end(), eid_t{0});
     stats.newly_visited = global_frontier;
+    if (dirop_on) {
+      // Per-direction wire and edge accounting. Like the traffic meter,
+      // these keep everything that ever moved — a recovery replay counts
+      // its window again, matching the wire.* counters' convention.
+      DiropReport& d = out.report.dirop;
+      if (bottom_up) {
+        d.bottom_up_wire_raw_bytes += wire_level.pre_bytes;
+        d.bottom_up_wire_bytes += wire_level.stats.encoded_bytes;
+      } else {
+        d.top_down_wire_raw_bytes += wire_level.pre_bytes;
+        d.top_down_wire_bytes += wire_level.stats.encoded_bytes;
+      }
+      if (im.opts.metrics != nullptr) {
+        obs::MetricsRegistry& m = *im.opts.metrics;
+        ++m.counter(bottom_up ? "dirop.levels.bottom_up"
+                              : "dirop.levels.top_down");
+        m.counter(bottom_up ? "dirop.edges.bottom_up"
+                            : "dirop.edges.top_down") +=
+            static_cast<std::int64_t>(stats.edges_scanned);
+        m.counter(bottom_up ? "dirop.wire.bottom_up_raw_bytes"
+                            : "dirop.wire.top_down_raw_bytes") +=
+            static_cast<std::int64_t>(wire_level.pre_bytes);
+        m.counter(bottom_up ? "dirop.wire.bottom_up_bytes"
+                            : "dirop.wire.top_down_bytes") +=
+            static_cast<std::int64_t>(wire_level.stats.encoded_bytes);
+      }
+    }
     stats.expand_bytes = traffic.totals(simmpi::Pattern::kAllgatherv).bytes +
                          traffic.totals(simmpi::Pattern::kBroadcast).bytes -
                          ag_before;
@@ -907,6 +1133,200 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
       im.take_checkpoint(out, fs, global_frontier);
     }
   }
+}
+
+void Bfs2D::Impl::bottom_up_level(const BfsOutput& out,
+                                  std::vector<std::vector<vid_t>>& fs,
+                                  std::vector<std::vector<Candidate>>& mirrored,
+                                  std::vector<eid_t>& flops, WireLevel& wl) {
+  const int s = grid.pr();
+  const int p = grid.ranks();
+  const int t = opts.threads_per_rank;
+  const auto& bl = part.blocks();
+
+  // Owned visited lists: one ascending pass over the distance array, so
+  // each owner's list comes out sorted without a per-rank sort.
+  std::vector<std::vector<vid_t>> visited(static_cast<std::size_t>(p));
+  for (vid_t v = 0; v < n; ++v) {
+    if (out.level[static_cast<std::size_t>(v)] != kUnreached) {
+      visited[static_cast<std::size_t>(vdist.owner_rank(v))].push_back(v);
+    }
+  }
+
+  // ---- (a) Frontier/completeness gather over each processor row: every
+  // rank of row i ends up holding f_{R_i} (the probe targets) and
+  // visited_{R_i} (the basis of the unvisited masks). Each contribution
+  // is two wire-coded segments — both dense-bitmap candidates over the
+  // row range — length-framed so the concatenated allgatherv stream
+  // splits back per contributor:
+  //   [uvarint frontier_bytes][uvarint visited_bytes][frontier][visited]
+  std::vector<std::vector<vid_t>> row_frontier(static_cast<std::size_t>(s));
+  std::vector<std::vector<vid_t>> row_visited(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    const auto group = grid.row_group(i);
+    const vid_t row_begin = bl.begin(i);
+    const vid_t row_end = row_begin + bl.size(i);
+    std::vector<std::vector<std::uint8_t>> enc(group.size());
+    std::vector<double> codec_costs(group.size(), 0.0);
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      const auto r = static_cast<std::size_t>(group[g]);
+      comm::WireStats st;
+      std::vector<std::uint8_t> fenc;
+      std::vector<std::uint8_t> venc;
+      comm::encode_vertex_bitmap(fs[r], row_begin, row_end, opts.wire_format,
+                                 fenc, &st);
+      comm::encode_vertex_bitmap(visited[r], row_begin, row_end,
+                                 opts.wire_format, venc, &st);
+      wl.pre_bytes += (fs[r].size() + visited[r].size()) * sizeof(vid_t);
+      auto& dst = enc[g];
+      comm::put_uvarint(dst, fenc.size());
+      comm::put_uvarint(dst, venc.size());
+      dst.insert(dst.end(), fenc.begin(), fenc.end());
+      dst.insert(dst.end(), venc.begin(), venc.end());
+      codec_costs[g] = model::cost_wire_codec(
+          cluster.machine(), static_cast<std::size_t>(st.raw_bytes),
+          static_cast<std::size_t>(st.encoded_bytes), t);
+      wl.stats.merge(st);
+    }
+    cluster.set_compute_phase("wire-encode");
+    charge_smoothed(group, codec_costs);
+
+    auto bytes = simmpi::checked_allgatherv(cluster, group, std::move(enc),
+                                            "2d-bu-frontier",
+                                            opts.allgather_algo);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      std::uint64_t fbytes = 0;
+      std::uint64_t vbytes = 0;
+      off += comm::get_uvarint(bytes.data() + off, bytes.size() - off,
+                               &fbytes);
+      off += comm::get_uvarint(bytes.data() + off, bytes.size() - off,
+                               &vbytes);
+      if (off + fbytes + vbytes > bytes.size()) {
+        throw comm::WireDecodeError("wire: bottom-up contribution overrun");
+      }
+      comm::decode_vertex_stream(bytes.data() + off,
+                                 static_cast<std::size_t>(fbytes),
+                                 row_frontier[static_cast<std::size_t>(i)]);
+      off += static_cast<std::size_t>(fbytes);
+      comm::decode_vertex_stream(bytes.data() + off,
+                                 static_cast<std::size_t>(vbytes),
+                                 row_visited[static_cast<std::size_t>(i)]);
+      off += static_cast<std::size_t>(vbytes);
+    }
+    const double decode_cost = model::cost_wire_codec(
+        cluster.machine(),
+        (row_frontier[static_cast<std::size_t>(i)].size() +
+         row_visited[static_cast<std::size_t>(i)].size()) *
+            sizeof(vid_t),
+        bytes.size(), t);
+    std::vector<double> decode_costs(group.size(), decode_cost);
+    cluster.set_compute_phase("wire-decode");
+    charge_smoothed(group, decode_costs);
+  }
+  // The frontier pieces are consumed; the fold below rebuilds them.
+  fs.assign(static_cast<std::size_t>(p), {});
+
+  // ---- (b) Completeness swap: rank (i,j)'s probe scan filters on the
+  // visited status of its *column* range C_j, which is the transpose
+  // partner's row range — one pairwise exchange of the assembled
+  // visited_{R_i}, again through the dense-bitmap wire path. Diagonal
+  // ranks keep their own copy for free.
+  std::vector<std::vector<vid_t>> col_visited(static_cast<std::size_t>(p));
+  {
+    std::vector<std::vector<std::uint8_t>> venc(static_cast<std::size_t>(p));
+    std::vector<double> codec_costs(static_cast<std::size_t>(p), 0.0);
+    for (int r = 0; r < p; ++r) {
+      const auto i = static_cast<std::size_t>(grid.row_of(r));
+      comm::WireStats st;
+      comm::encode_vertex_bitmap(
+          row_visited[i], bl.begin(grid.row_of(r)),
+          bl.begin(grid.row_of(r)) + bl.size(grid.row_of(r)),
+          opts.wire_format, venc[static_cast<std::size_t>(r)], &st);
+      wl.pre_bytes += row_visited[i].size() * sizeof(vid_t);
+      codec_costs[static_cast<std::size_t>(r)] = model::cost_wire_codec(
+          cluster.machine(), static_cast<std::size_t>(st.raw_bytes),
+          static_cast<std::size_t>(st.encoded_bytes), t);
+      wl.stats.merge(st);
+    }
+    cluster.set_compute_phase("wire-encode");
+    charge_smoothed(world, codec_costs);
+
+    auto swapped = simmpi::transpose_exchange(cluster, grid, std::move(venc),
+                                              "2d-bu-complete");
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      comm::decode_vertex_stream(swapped[ri].data(), swapped[ri].size(),
+                                 col_visited[ri]);
+      codec_costs[ri] = model::cost_wire_codec(
+          cluster.machine(), col_visited[ri].size() * sizeof(vid_t),
+          swapped[ri].size(), t);
+    }
+    cluster.set_compute_phase("wire-decode");
+    charge_smoothed(world, codec_costs);
+  }
+
+  // ---- (c) Local pull step: every stored column still unvisited probes
+  // its rows (descending) against the frontier support and stops at the
+  // first hit — the per-block max, which the fold's max-parent merge
+  // combines into exactly the parent top-down would have produced.
+  std::vector<std::vector<Candidate>> z(static_cast<std::size_t>(p));
+  std::vector<double> scan_costs(static_cast<std::size_t>(p), 0.0);
+  cluster.for_each_rank([&](int r) {
+    const auto ri = static_cast<std::size_t>(r);
+    const int i = grid.row_of(r);
+    const int j = grid.col_of(r);
+    const vid_t row_base = bl.begin(i);
+    const vid_t col_base = bl.begin(j);
+
+    // Dense frontier support over R_i (value = parent global id).
+    std::vector<vid_t> xval(static_cast<std::size_t>(bl.size(i)), kNoVertex);
+    for (vid_t gv : row_frontier[static_cast<std::size_t>(i)]) {
+      xval[static_cast<std::size_t>(gv - row_base)] = gv;
+    }
+    // Visited mask over C_j from the completeness swap.
+    std::vector<std::uint8_t> done(static_cast<std::size_t>(bl.size(j)), 0);
+    for (vid_t gv : col_visited[ri]) {
+      done[static_cast<std::size_t>(gv - col_base)] = 1;
+    }
+
+    vid_t candidates = 0;
+    sparse::SpmsvStats st;
+    auto zt = sparse::spmsv_bottom_up<vid_t>(
+        part.block(r),
+        [&done, &candidates](vid_t c) {
+          if (done[static_cast<std::size_t>(c)] != 0) return false;
+          ++candidates;
+          return true;
+        },
+        [&xval](vid_t row) -> const vid_t* {
+          const vid_t* v = &xval[static_cast<std::size_t>(row)];
+          return *v == kNoVertex ? nullptr : v;
+        },
+        [](vid_t, vid_t, vid_t fv) { return fv; }, &st);
+    z[ri].reserve(static_cast<std::size_t>(zt.nnz()));
+    for (const auto& e : zt.entries()) {
+      z[ri].push_back(Candidate{col_base + e.index, e.value});
+    }
+    flops[ri] = st.flops;
+
+    model::WorkBottomUp work;
+    work.probes = st.flops;
+    work.candidates = candidates;
+    work.output_nnz = st.output_nnz;
+    work.x_dim = bl.size(i);
+    work.threads = t;
+    scan_costs[ri] = model::cost_2d_bottom_up(cluster.machine(), work) +
+                     model::cost_thread_barriers(cluster.machine(), t, 2);
+  });
+  cluster.set_compute_phase("2d-bottomup");
+  charge_smoothed(world, scan_costs);
+
+  // ---- (d) Discovered parents live in C_j's range = the partner's row
+  // block: ship them there so the shared fold path (scatter to owners,
+  // max-parent merge, parents update) finishes the level unchanged.
+  mirrored = simmpi::transpose_exchange(cluster, grid, std::move(z),
+                                        "2d-bu-result");
 }
 
 }  // namespace dbfs::bfs

@@ -33,6 +33,18 @@
 
 namespace dbfs::bfs {
 
+/// Traversal direction policy for the 2D engine (Beamer et al. SC'12
+/// brought into the 2D SpMSV formulation, after Buluç et al. 2017).
+enum class DirectionMode {
+  kTopDown,   ///< classic Algorithm 3 only — the byte-identical legacy path
+  kBottomUp,  ///< transposed-SpMSV pull on every level after the first
+  kHybrid,    ///< per-level alpha-beta switch, agreed globally per level
+};
+
+const char* to_string(DirectionMode mode);
+/// Parse "topdown" | "bottomup" | "hybrid"; throws std::invalid_argument.
+DirectionMode parse_direction_mode(const std::string& name);
+
 struct Bfs2DOptions {
   /// Total simulated cores; the grid is the closest square over
   /// cores/threads_per_rank ranks (paper §6).
@@ -79,6 +91,17 @@ struct Bfs2DOptions {
   /// Always-on black-box event ring (see obs/flight_recorder.hpp); like
   /// the observers it is passive, non-owning, and null = off.
   obs::FlightRecorder* flight = nullptr;
+  /// Direction optimization. kTopDown (the default) keeps every code path
+  /// and report byte-identical to the pre-hybrid engine; kHybrid prices
+  /// the per-level switch with Beamer's alpha-beta rule on globally
+  /// agreed (allreduced) frontier statistics, so every rank changes
+  /// direction in lockstep and the decision replays deterministically
+  /// under recovery. Requires full (non-triangular) storage and a
+  /// non-diagonal vector distribution. alpha/beta <= 0 derive the
+  /// thresholds from the machine model (model::dirop_alpha/dirop_beta).
+  DirectionMode direction = DirectionMode::kTopDown;
+  double alpha = 14.0;
+  double beta = 24.0;
   std::string label = "2d";
 };
 

@@ -8,6 +8,17 @@
 
 namespace dbfs::bfs {
 
+const char* to_string(DiropRationale r) {
+  switch (r) {
+    case DiropRationale::kTopDownStay: return "topdown-stay";
+    case DiropRationale::kEngage: return "engage";
+    case DiropRationale::kBottomUpStay: return "bottomup-stay";
+    case DiropRationale::kDisengage: return "disengage";
+    case DiropRationale::kForced: return "forced";
+  }
+  return "unknown";
+}
+
 void finalize_report(RunReport& report, const simmpi::Cluster& cluster) {
   const auto& clocks = cluster.clocks();
   report.ranks = cluster.ranks();

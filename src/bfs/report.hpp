@@ -29,7 +29,28 @@ struct LevelStats {
   /// byte-identical.
   double comm_seconds_max = 0.0;
   double comp_seconds_max = 0.0;
+
+  /// Direction-optimization heuristic state for this level. Filled only
+  /// by direction-aware drivers (the hybrid 2D engine and the host
+  /// direction_optimizing extension); emitted in the JSON `dirop` block,
+  /// never in the plain `levels` array, so top-down reports stay
+  /// byte-identical.
+  bool bottom_up = false;          ///< direction this level actually ran in
+  eid_t frontier_edges = 0;        ///< m_f: deg-sum of the entering frontier
+  eid_t unexplored_edges = 0;      ///< m_u at decision time (Beamer's count)
+  int dirop_rationale = 0;         ///< DiropRationale the decision followed
 };
+
+/// Why a level ran in the direction it did (one per LevelStats).
+enum class DiropRationale : int {
+  kTopDownStay = 0,   ///< heuristic kept top-down
+  kEngage = 1,        ///< m_f > m_u / alpha and frontier >= n / beta
+  kBottomUpStay = 2,  ///< stayed bottom-up (frontier still broad)
+  kDisengage = 3,     ///< frontier fell below n / beta, back to top-down
+  kForced = 4,        ///< direction pinned by options (no heuristic)
+};
+
+const char* to_string(DiropRationale r);
 
 /// Fault-injection outcome of one run (plain fields so this header stays
 /// free of simulator dependencies; finalize_report copies them from the
@@ -63,6 +84,31 @@ struct RecoverReport {
   double recovery_seconds = 0.0;        ///< detection + restore virtual time
   int ranks_lost = 0;                   ///< shrink: ranks retired for good
   int spares_used = 0;
+};
+
+/// Direction-optimization outcome of one run. `enabled` gates the JSON
+/// `dirop` block the same way RecoverReport gates `recover`: a pure
+/// top-down run (the default) emits nothing and stays byte-identical to
+/// the pre-hybrid engine.
+struct DiropReport {
+  bool enabled = false;
+  std::string mode;           ///< "topdown" | "bottomup" | "hybrid"
+  double alpha = 0.0;
+  double beta = 0.0;
+  std::int64_t top_down_levels = 0;
+  std::int64_t bottom_up_levels = 0;
+  eid_t top_down_edges = 0;   ///< adjacencies examined while top-down
+  eid_t bottom_up_edges = 0;  ///< adjacencies examined while bottom-up
+  std::int64_t switches = 0;  ///< direction changes after level 0
+
+  /// Per-direction wire accounting (2D engine only; zero on host runs):
+  /// pre-codec vs shipped bytes of the frontier/candidate exchanges,
+  /// split by the direction the level ran in. The acceptance check
+  /// "bottom-up shipped-bytes ratio <= top-down ratio" reads these.
+  std::uint64_t top_down_wire_raw_bytes = 0;
+  std::uint64_t top_down_wire_bytes = 0;
+  std::uint64_t bottom_up_wire_raw_bytes = 0;
+  std::uint64_t bottom_up_wire_bytes = 0;
 };
 
 struct RunReport {
@@ -113,6 +159,9 @@ struct RunReport {
 
   /// Fail-stop recovery outcome (zero when no rank died).
   RecoverReport recover;
+
+  /// Direction-optimization outcome (disabled for pure top-down runs).
+  DiropReport dirop;
 
   /// TEPS for a given edge denominator (Graph500 counts the input's
   /// directed edges): edges / total_seconds.

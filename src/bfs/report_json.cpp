@@ -116,6 +116,40 @@ void write_report_json(std::ostream& out, const RunReport& report,
         << ",\"spares_used\":" << r.spares_used << "}";
   }
 
+  if (report.dirop.enabled) {
+    // Direction-aware runs only: a pure top-down run (the default) emits
+    // nothing here and its per-level objects below stay untouched, so
+    // the legacy report is byte-identical to the pre-hybrid engine.
+    const DiropReport& d = report.dirop;
+    out << ",\"dirop\":{"
+        << "\"mode\":";
+    write_escaped(out, d.mode);
+    out << ",\"alpha\":" << d.alpha << ",\"beta\":" << d.beta
+        << ",\"top_down_levels\":" << d.top_down_levels
+        << ",\"bottom_up_levels\":" << d.bottom_up_levels
+        << ",\"top_down_edges\":" << d.top_down_edges
+        << ",\"bottom_up_edges\":" << d.bottom_up_edges
+        << ",\"switches\":" << d.switches
+        << ",\"top_down_wire_raw_bytes\":" << d.top_down_wire_raw_bytes
+        << ",\"top_down_wire_bytes\":" << d.top_down_wire_bytes
+        << ",\"bottom_up_wire_raw_bytes\":" << d.bottom_up_wire_raw_bytes
+        << ",\"bottom_up_wire_bytes\":" << d.bottom_up_wire_bytes
+        << ",\"levels\":[";
+    for (std::size_t i = 0; i < report.levels.size(); ++i) {
+      const LevelStats& l = report.levels[i];
+      if (i > 0) out << ',';
+      out << "{\"level\":" << l.level << ",\"direction\":"
+          << (l.bottom_up ? "\"bottomup\"" : "\"topdown\"")
+          << ",\"rationale\":";
+      write_escaped(out, to_string(static_cast<DiropRationale>(
+                             l.dirop_rationale)));
+      out << ",\"frontier_edges\":" << l.frontier_edges
+          << ",\"unexplored_edges\":" << l.unexplored_edges
+          << ",\"edges\":" << l.edges_scanned << "}";
+    }
+    out << "]}";
+  }
+
   out << ",\"levels\":[";
   for (std::size_t i = 0; i < report.levels.size(); ++i) {
     const LevelStats& l = report.levels[i];

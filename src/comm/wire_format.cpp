@@ -203,6 +203,47 @@ void encode_vertex_list(std::span<const vid_t> sorted, WireFormat format,
   }
 }
 
+void encode_vertex_bitmap(std::span<const vid_t> sorted, vid_t range_begin,
+                          vid_t range_end, WireFormat format,
+                          std::vector<std::uint8_t>& out, WireStats* stats) {
+  if (sorted.empty()) return;
+  const auto width =
+      static_cast<std::uint64_t>(range_end) - static_cast<std::uint64_t>(
+                                                  range_begin);
+  // Fast path only when dense enough that a range-wide bitmap wins
+  // against raw ids regardless of layout: count bits >= width/8 bits
+  // means the bitmap's width/8 bytes <= 8*count bytes of raw items.
+  if (!wire_compresses(format) || width == 0 ||
+      static_cast<std::uint64_t>(sorted.size()) * 8 < width) {
+    encode_vertex_list(sorted, format, out, stats);
+    return;
+  }
+  const std::uint64_t raw_bytes =
+      static_cast<std::uint64_t>(sorted.size()) * sizeof(vid_t);
+  const std::size_t out_before = out.size();
+  const auto base = static_cast<std::uint64_t>(range_begin);
+  const std::uint64_t bitmap_payload =
+      uvarint_size(base) + uvarint_size(width) + (width + 7) / 8;
+  detail::write_frame(out, BlockEncoding::kBitmap,
+                      static_cast<std::uint64_t>(sorted.size()),
+                      bitmap_payload);
+  put_uvarint(out, base);
+  put_uvarint(out, width);
+  const std::size_t bits_at = out.size();
+  out.resize(bits_at + static_cast<std::size_t>((width + 7) / 8), 0);
+  for (vid_t v : sorted) {
+    const auto bit = static_cast<std::uint64_t>(v) - base;
+    out[bits_at + static_cast<std::size_t>(bit >> 3)] |=
+        static_cast<std::uint8_t>(1u << (bit & 7));
+  }
+  if (stats != nullptr) {
+    ++stats->blocks_bitmap;
+    stats->raw_bytes += raw_bytes;
+    stats->encoded_bytes += out.size() - out_before;
+    stats->items += sorted.size();
+  }
+}
+
 void decode_vertex_stream(const std::uint8_t* data, std::size_t size,
                           std::vector<vid_t>& out) {
   std::size_t offset = 0;

@@ -117,6 +117,20 @@ void encode_vertex_list(std::span<const vid_t> sorted, WireFormat format,
 void decode_vertex_stream(const std::uint8_t* data, std::size_t size,
                           std::vector<vid_t>& out);
 
+/// Dense-bitmap fast path for vertex lists whose owner range is known to
+/// the caller (the bottom-up frontier/visited exchanges, where every
+/// vertex falls in [range_begin, range_end)): when the format compresses
+/// and the list fills at least 1/8 of the range — the density at which a
+/// range-wide presence bitmap beats raw 8-byte ids outright — one bitmap
+/// block spanning the whole range is emitted directly, with no per-item
+/// sizing pass. Sparse lists and non-compressing formats delegate to
+/// encode_vertex_list unchanged; either way the output decodes with
+/// decode_vertex_stream. This is a separate entry point so the top-down
+/// expand/fold byte streams stay byte-for-byte what they were.
+void encode_vertex_bitmap(std::span<const vid_t> sorted, vid_t range_begin,
+                          vid_t range_end, WireFormat format,
+                          std::vector<std::uint8_t>& out, WireStats* stats);
+
 // ---------- candidate blocks ----------
 
 namespace detail {

@@ -115,6 +115,9 @@ struct Engine::Impl {
         o.tracer = tracer.get();
         o.metrics = metrics.get();
         o.flight = flight.get();
+        o.direction = opts.direction;
+        o.alpha = opts.alpha;
+        o.beta = opts.beta;
         two_d = std::make_unique<bfs::Bfs2D>(edges, n, std::move(o));
         break;
       }

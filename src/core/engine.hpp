@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bfs/bfs2d.hpp"
 #include "bfs/report.hpp"
 #include "comm/wire_format.hpp"
 #include "dist/vector_dist.hpp"
@@ -91,6 +92,15 @@ struct EngineOptions {
   /// care about. Ignored by kSerial/kShared.
   bool trace = false;
   bool metrics = false;
+  /// Traversal direction for the 2D algorithms (see
+  /// bfs::Bfs2DOptions::direction). kTopDown — the default — keeps the
+  /// run and its report byte-identical to the pre-hybrid engine; kHybrid
+  /// enables the Beamer-style alpha-beta switch. Ignored by every other
+  /// algorithm. alpha/beta <= 0 derive the thresholds from the machine
+  /// model.
+  bfs::DirectionMode direction = bfs::DirectionMode::kTopDown;
+  double alpha = 14.0;
+  double beta = 24.0;
 };
 
 /// Knobs for Engine::run_batch.

@@ -215,4 +215,49 @@ double cost_thread_barriers(const MachineModel& m, int threads, int barriers) {
          (1.0 + 0.1 * static_cast<double>(threads));
 }
 
+double cost_2d_bottom_up(const MachineModel& m, const WorkBottomUp& w) {
+  const double support_bytes = static_cast<double>(w.x_dim) * kWordBytes;
+  double serial =
+      // per probe: streamed row id + irregular test against the gathered
+      // frontier support (working set = the row block's frontier piece)
+      static_cast<double>(w.probes) *
+          (m.beta_local + m.alpha_local(std::max(support_bytes, 64.0))) +
+      // per candidate column: one DCSC column-header touch even when the
+      // very first probe hits (the latency floor dirop_beta guards)
+      static_cast<double>(w.candidates) * m.beta_local +
+      // per discovered parent: stack push into the transpose buffer
+      static_cast<double>(w.output_nnz) * m.beta_local * kStackFactor;
+  serial *= m.compute_scale;
+  const int t = std::max(1, w.threads);
+  return serial / (static_cast<double>(t) * m.thread_efficiency(t));
+}
+
+double dirop_alpha(const MachineModel& m) {
+  // Per top-down edge: stream the row id, pack a candidate word into the
+  // fold buffer, ship one word through the all-to-all. Per bottom-up
+  // probe: stream the row id and test the frontier bit. The ratio is the
+  // modelled break-even of "engage when m_f > m_u / alpha"; clamped to a
+  // sane Beamer-style band so a degenerate preset cannot disable the
+  // heuristic outright.
+  const double per_edge_td =
+      m.beta_local * (1.0 + kPackFactor) * m.compute_scale +
+      kWordBytes * m.beta_net;
+  const double per_edge_bu = 2.0 * m.beta_local * m.compute_scale;
+  return std::clamp(per_edge_td / per_edge_bu, 4.0, 64.0);
+}
+
+double dirop_beta(const MachineModel& m) {
+  // Bottom-up charges every unvisited vertex a column-header touch even
+  // when its first probe hits; top-down only ever touches frontier
+  // adjacencies. The guard n/beta keeps bottom-up engaged only while the
+  // frontier is broad enough to amortize that floor, scaled by how much
+  // the machine's irregular-reference latency (DRAM-resident support)
+  // exceeds its streaming cost.
+  const double dram_alpha =
+      m.caches.empty() ? m.beta_local
+                       : m.caches.back().latency_seconds;
+  const double ratio = dram_alpha / std::max(m.beta_local, 1e-12);
+  return std::clamp(24.0 * ratio / 16.0, 8.0, 96.0);
+}
+
 }  // namespace dbfs::model

@@ -118,4 +118,35 @@ double cost_2d_transpose_scan(const MachineModel& m,
 /// thread barriers (Algorithm 2 has four per level).
 double cost_thread_barriers(const MachineModel& m, int threads, int barriers);
 
+// ---------- direction optimization ----------
+
+/// One rank's share of one *bottom-up* 2D level: the early-exit probe
+/// scan of spmsv_bottom_up over the local DCSC blocks. Per probe, a
+/// streamed read of the stored row id plus an irregular test against the
+/// gathered frontier support (x_dim entries); per produced parent, a
+/// stack push. Structurally a transpose scan, but priced separately
+/// because the probe count is the *early-exit* count — the quantity the
+/// direction heuristic trades against top-down flops.
+struct WorkBottomUp {
+  eid_t probes = 0;         ///< entries examined before early exits
+  vid_t candidates = 0;     ///< unvisited columns still being probed
+  vid_t output_nnz = 0;     ///< parents found this level
+  vid_t x_dim = 0;          ///< frontier-support length (row-block size)
+  int threads = 1;
+};
+double cost_2d_bottom_up(const MachineModel& m, const WorkBottomUp& w);
+
+/// Model-derived Beamer thresholds, used when the caller passes
+/// alpha/beta <= 0 ("price the switch by the machine model" mode).
+/// dirop_alpha prices how many times more expensive one top-down edge is
+/// (stream + pack into fold buffers + ship a candidate word through the
+/// all-to-all) than one bottom-up probe (stream + frontier test), so
+/// "engage when m_f > m_u / alpha" compares modelled work, not counts.
+double dirop_alpha(const MachineModel& m);
+/// dirop_beta sizes the frontier-breadth guard n/beta: bottom-up pays a
+/// fixed per-unvisited-vertex latency (the irregular frontier probe), so
+/// it stays profitable only while the frontier is broad enough that the
+/// per-edge savings dominate that latency floor.
+double dirop_beta(const MachineModel& m);
+
 }  // namespace dbfs::model

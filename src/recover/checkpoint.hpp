@@ -56,6 +56,14 @@ struct Checkpoint {
   std::vector<level_t> level;   ///< full distance array at the barrier
   std::vector<vid_t> parent;    ///< full parent array at the barrier
   std::vector<vid_t> frontier;  ///< sorted global ids of the live frontier
+  /// Direction-optimization heuristic state at the barrier. The per-level
+  /// direction decision is a pure function of (m_f, m_u, frontier size,
+  /// current direction), so snapshotting these three scalars makes a
+  /// replayed traversal take the same directions as the original — the
+  /// replay-determinism contract the hybrid engine promises.
+  eid_t dirop_frontier_edges = 0;    ///< m_f at the barrier
+  eid_t dirop_unexplored_edges = 0;  ///< m_u at the barrier
+  bool dirop_bottom_up = false;      ///< direction the last level ran in
 };
 
 /// Holds the latest replicated snapshot plus byte/count accounting.

@@ -140,4 +140,51 @@ SparseVector<T> spmsv_transpose(const DcscMatrix& a, InSupport lookup,
   return out;
 }
 
+/// Bottom-up BFS step as a transposed SpMSV (Buluç et al. 2017, "the
+/// direction-optimizing distributed formulation"): for every stored
+/// column the caller still *wants* (an unvisited vertex), scan its
+/// entries until one row lies in the input's support, emit that row's
+/// value as the column's result, and stop — Beamer's early exit. The
+/// scan runs over the stored row order *backwards* (row ids descending),
+/// so the first hit is the maximum-row-id hit: the per-block result is
+/// the max over the block's rows, making the combined cross-block result
+/// (max again) independent of how the matrix is partitioned — the same
+/// partition-independence the top-down (select, max) combine has, which
+/// keeps parents bit-identical across grid shapes and shrink recoveries.
+///
+/// stats->flops counts entries actually probed (early exit included):
+/// the bottom-up edge-examination count the direction heuristic trades
+/// against the top-down flops.
+///
+///   ColumnSelect: bool want(vid_t col)   — false once the vertex is done
+///   InSupport:    const T* lookup(vid_t row) — null when x has no entry
+///   Multiply:     T mul(vid_t out_col, vid_t in_row, const T& xval)
+template <typename T, typename ColumnSelect, typename InSupport,
+          typename Multiply>
+SparseVector<T> spmsv_bottom_up(const DcscMatrix& a, ColumnSelect want,
+                                InSupport lookup, Multiply mul,
+                                SpmsvStats* stats = nullptr) {
+  SparseVector<T> out{a.ncols()};
+  eid_t scanned = 0;
+  for (vid_t k = 0; k < a.nzc(); ++k) {
+    const vid_t col = a.nonzero_column_id(k);
+    if (!want(col)) continue;
+    const auto rows = a.nonzero_column(k);
+    for (std::size_t idx = rows.size(); idx > 0; --idx) {
+      const vid_t row = rows[idx - 1];
+      ++scanned;
+      if (const T* xval = lookup(row)) {
+        out.push_back(col, mul(col, row, *xval));
+        break;  // first (= max-row) hit wins; the rest is never examined
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->flops = scanned;
+    stats->output_nnz = out.nnz();
+    stats->used = SpmsvBackend::kHeap;  // scan-based; no SPA involved
+  }
+  return out;
+}
+
 }  // namespace dbfs::sparse

@@ -10,6 +10,15 @@ namespace {
 double interp_sorted(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted.front();
+  // Small-sample tail contract (see stats.hpp): n samples cannot resolve
+  // a quantile beyond rank n-1, i.e. whenever n < 1/(1-q) the
+  // interpolation point q*(n-1) already sits inside the top interval and
+  // the "percentile" is really the max plus interpolation noise from the
+  // second-largest sample. Return the max exactly instead, so p999 on a
+  // 5-rep BENCH sample is deterministic and bench_doctor never blames a
+  // regression on tail jitter the sample cannot express.
+  const double n = static_cast<double>(sorted.size());
+  if (q > 0.0 && n * (1.0 - q) < 1.0) return sorted.back();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

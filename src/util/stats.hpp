@@ -33,11 +33,20 @@ struct Summary {
 ///  * empty input  -> all-zero Summary (count 0);
 ///  * single value -> every order statistic (min/max/median/p25..p999)
 ///    equals that value, mean == harmonic_mean == the value (0 input
-///    gives harmonic_mean 0, per the any-zero rule), stddev == 0.
+///    gives harmonic_mean 0, per the any-zero rule), stddev == 0;
+///  * small-sample tails: a quantile q is resolvable only when
+///    n >= 1/(1-q). Below that (p95 under 20 samples, p99 under 100,
+///    p999 under 1000 — including the >=5-rep BENCH records) the
+///    interpolation point lies inside the top interval, so the percentile
+///    is clamped to exactly the max rather than "max plus interpolation
+///    noise from the second-largest sample". This keeps small-n tail
+///    statistics deterministic for the bench_diff / bench_doctor gates.
 Summary summarize(std::span<const double> samples);
 
 /// Interpolated percentile (q in [0,1]) of an unsorted sample set.
-/// Empty input yields 0; a single sample is returned for every q.
+/// Empty input yields 0; a single sample is returned for every q; tail
+/// quantiles unresolvable at the sample size (n < 1/(1-q)) return the
+/// max exactly — see the summarize() small-sample contract above.
 double percentile(std::vector<double> samples, double q);
 
 /// Load-imbalance factor: max over arithmetic mean, the convention used

@@ -100,5 +100,111 @@ TEST(DirectionOptimizing, RejectsBadSource) {
   EXPECT_THROW(direction_optimizing_bfs(g, 9), std::out_of_range);
 }
 
+TEST(DirectionOptimizing, PinnedEdgeAccountingOnFixedRmat) {
+  // Regression pin on a fixed generator seed: the per-direction edge
+  // counters after the single-degree-sum-per-level fix and the Beamer
+  // m_u audit. A change to the heuristic inputs, the retirement pass, or
+  // the switch points moves these numbers — update them only on an
+  // *intentional* accounting change.
+  const auto built = test::rmat_graph(12, 16);  // seed 1, fixed shuffle
+  const vid_t source = test::hub_source(built.csr);
+  const auto r = direction_optimizing_bfs(built.csr, source);
+
+  EXPECT_EQ(r.top_down_edges, 1528u);
+  EXPECT_EQ(r.bottom_up_edges, 1660u);
+  EXPECT_EQ(r.bottom_up_levels, 2);
+
+  eid_t scanned = 0;
+  for (const LevelStats& l : r.out.report.levels) scanned += l.edges_scanned;
+  EXPECT_EQ(scanned, r.top_down_edges + r.bottom_up_edges);
+  EXPECT_EQ(r.out.report.edges_traversed, scanned);
+}
+
+TEST(DirectionOptimizing, HeuristicInputsMatchBruteForce) {
+  // Audit the carried-over accounting against a per-level recompute from
+  // the final level array:
+  //   m_f = degree sum of the frontier entering the level;
+  //   m_u = copies of edges incident to >= 1 vertex not yet visited at
+  //         decision time (Beamer's definition on a symmetric graph).
+  const auto built = test::rmat_graph(10, 16);
+  const graph::CsrGraph& g = built.csr;
+  const vid_t n = g.num_vertices();
+  const vid_t source = test::hub_source(g);
+  const auto r = direction_optimizing_bfs(g, source);
+  const std::vector<level_t>& lv = r.out.level;
+
+  const auto unvisited_at = [&](vid_t v, level_t at) {
+    return lv[v] == kUnreached || lv[v] > at;
+  };
+  for (const LevelStats& l : r.out.report.levels) {
+    const auto at = static_cast<level_t>(l.level);
+    eid_t mf = 0;
+    eid_t mu = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (lv[v] == at) mf += g.degree(v);
+      for (vid_t w : g.neighbors(v)) {
+        // The copy v->w is unexplored while either endpoint is still
+        // unvisited when the level's direction decision is priced.
+        if (unvisited_at(v, at) || unvisited_at(w, at)) ++mu;
+      }
+    }
+    EXPECT_EQ(l.frontier_edges, mf) << "level " << l.level;
+    EXPECT_EQ(l.unexplored_edges, mu) << "level " << l.level;
+  }
+}
+
+TEST(DirectionOptimizing, RecordsBothSwitchRationales) {
+  // Both switch directions must be exercised and labeled: the engage
+  // level runs bottom-up, the disengage level is back to top-down, and
+  // the rationale trail in LevelStats explains every level.
+  const auto built = test::rmat_graph(12, 16);
+  const vid_t source = test::hub_source(built.csr);
+  const auto r = direction_optimizing_bfs(built.csr, source);
+
+  bool saw_engage = false;
+  bool saw_disengage = false;
+  bool prev_bottom_up = false;
+  for (const LevelStats& l : r.out.report.levels) {
+    const auto why = static_cast<DiropRationale>(l.dirop_rationale);
+    if (why == DiropRationale::kEngage) {
+      saw_engage = true;
+      EXPECT_TRUE(l.bottom_up);
+      EXPECT_FALSE(prev_bottom_up);
+    }
+    if (why == DiropRationale::kDisengage) {
+      saw_disengage = true;
+      EXPECT_FALSE(l.bottom_up);
+      EXPECT_TRUE(prev_bottom_up);
+    }
+    prev_bottom_up = l.bottom_up;
+  }
+  EXPECT_TRUE(saw_engage);
+  EXPECT_TRUE(saw_disengage);
+  EXPECT_GE(r.out.report.dirop.switches, 2);
+
+  // Forced top-down never switches and says so.
+  DirectionOptimizingOptions classic;
+  classic.force_top_down = true;
+  const auto base = direction_optimizing_bfs(built.csr, source, classic);
+  for (const LevelStats& l : base.out.report.levels) {
+    EXPECT_EQ(l.dirop_rationale, static_cast<int>(DiropRationale::kForced));
+    EXPECT_FALSE(l.bottom_up);
+  }
+  EXPECT_EQ(base.out.report.dirop.switches, 0);
+}
+
+TEST(DirectionOptimizing, UnexploredEdgesDrainOnConnectedGraphs) {
+  // On a connected graph the ledger must run dry: after the last level
+  // every edge copy has both endpoints visited. The per-level sequence
+  // is non-increasing along the way.
+  const auto g = graph::CsrGraph::from_edges(test::star_edges(64));
+  const auto r = direction_optimizing_bfs(g, 0);
+  eid_t prev = g.num_edges();
+  for (const LevelStats& l : r.out.report.levels) {
+    EXPECT_LE(l.unexplored_edges, prev);
+    prev = l.unexplored_edges;
+  }
+}
+
 }  // namespace
 }  // namespace dbfs::bfs

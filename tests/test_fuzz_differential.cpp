@@ -6,6 +6,7 @@
 
 #include "bfs/direction_optimizing.hpp"
 #include "bfs/serial.hpp"
+#include "comm/wire_format.hpp"
 #include "core/engine.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
@@ -103,6 +104,42 @@ TEST_P(DifferentialFuzz, AllAlgorithmsAgreeWithSerial) {
                       << " seed=" << GetParam().seed << ": " << v.error;
   }
 
+  // Hybrid direction-optimized 2D joins the same net: the per-level
+  // alpha-beta decisions must never change the answer, across every
+  // wire format and grid shape. Forced bottom-up rides along as the
+  // harsher variant (pull on every level after the first).
+  const comm::WireFormat wires[] = {
+      comm::WireFormat::kRaw, comm::WireFormat::kSieve,
+      comm::WireFormat::kBitmap, comm::WireFormat::kVarint,
+      comm::WireFormat::kAuto};
+  const core::Algorithm two_d[] = {core::Algorithm::kTwoDFlat,
+                                   core::Algorithm::kTwoDHybrid};
+  for (core::Algorithm algorithm : two_d) {
+    core::EngineOptions opts;
+    opts.algorithm = algorithm;
+    opts.cores = 1 << (1 + rng.next_below(7));  // 2..128
+    opts.wire_format = wires[rng.next_below(5)];
+    opts.direction = rng.next_below(4) == 0 ? bfs::DirectionMode::kBottomUp
+                                            : bfs::DirectionMode::kHybrid;
+    // Sweep the switch thresholds too: they change *when* the direction
+    // flips, never the level structure.
+    opts.alpha = static_cast<double>(1 + rng.next_below(64));
+    opts.beta = static_cast<double>(1 + rng.next_below(64));
+    core::Engine engine{built.edges, n, opts};
+    const auto out = engine.run(source);
+
+    EXPECT_EQ(out.level, serial.level)
+        << core::to_string(algorithm) << " direction="
+        << bfs::to_string(opts.direction) << " wire="
+        << comm::to_string(opts.wire_format) << " cores=" << opts.cores
+        << " seed=" << GetParam().seed;
+    const auto v =
+        graph::validate_bfs_tree(built.csr, source, out.parent, reference);
+    EXPECT_TRUE(v.ok) << core::to_string(algorithm) << " direction="
+                      << bfs::to_string(opts.direction)
+                      << " seed=" << GetParam().seed << ": " << v.error;
+  }
+
   // Direction-optimizing BFS is host-side but shares the differential
   // net: its hybrid top-down/bottom-up switching must never change the
   // level structure, and its parents must validate.
@@ -146,6 +183,16 @@ TEST_P(DifferentialFuzz, ChaosRunsMatchSerialOrFailLoudly) {
     core::EngineOptions opts;
     opts.algorithm = algorithm;
     opts.cores = 1 << (2 + rng.next_below(5));  // 4..64
+    opts.wire_format = static_cast<comm::WireFormat>(rng.next_below(5));
+    if ((algorithm == core::Algorithm::kTwoDFlat ||
+         algorithm == core::Algorithm::kTwoDHybrid) &&
+        rng.next_below(2) == 0) {
+      // Hybrid 2D under chaos: kills scheduled at levels 1..4 routinely
+      // land mid-bottom-up-level, so recovery must replay the direction
+      // decision trail — shrink and spare both appear via the policy
+      // draw below.
+      opts.direction = bfs::DirectionMode::kHybrid;
+    }
 
     simmpi::FaultPlan& faults = opts.faults;
     faults.seed = rng();

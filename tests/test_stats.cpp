@@ -63,11 +63,49 @@ TEST(Summarize, TailPercentiles) {
   const Summary s = summarize(v);
   EXPECT_NEAR(s.p95, 95.05, 1e-12);  // interpolated at q*(n-1)
   EXPECT_NEAR(s.p99, 99.01, 1e-12);
-  EXPECT_NEAR(s.p999, 99.901, 1e-12);
+  // n*(1-q) < 1 for q=0.999 at n=100: the quantile is unresolvable, so
+  // the small-sample contract pins it to the max instead of reporting an
+  // interpolated value that is just max-minus-noise.
+  EXPECT_DOUBLE_EQ(s.p999, 100.0);
   EXPECT_LE(s.p95, s.p99);
   EXPECT_LE(s.p99, s.p999);
   EXPECT_LE(s.p999, s.max);
   EXPECT_GE(s.p95, s.p75);
+}
+
+TEST(Summarize, SmallSampleTailClamp) {
+  // The boundary of the resolvable region: a quantile q is honored only
+  // when n*(1-q) >= 1 (at least one sample beyond the interpolation
+  // point). Below that the summary returns the max exactly, so five-rep
+  // bench records never carry pseudo-precise p999 jitter.
+  std::vector<double> five{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s5 = summarize(five);
+  EXPECT_DOUBLE_EQ(s5.p95, 5.0);   // n=5 resolves only up to q=0.8
+  EXPECT_DOUBLE_EQ(s5.p99, 5.0);
+  EXPECT_DOUBLE_EQ(s5.p999, 5.0);
+  EXPECT_NEAR(s5.p75, 4.0, 1e-12);  // still resolvable: n*(1-q) = 1.25
+
+  // p95 needs n >= 20; exactly 20 sits on the boundary and resolves.
+  std::vector<double> twenty(20);
+  for (std::size_t i = 0; i < twenty.size(); ++i) {
+    twenty[i] = static_cast<double>(i + 1);
+  }
+  const Summary s20 = summarize(twenty);
+  EXPECT_NEAR(s20.p95, 19.05, 1e-12);  // interpolated, not the max
+  EXPECT_DOUBLE_EQ(s20.p99, 20.0);     // unresolvable until n >= 100
+  EXPECT_DOUBLE_EQ(s20.p999, 20.0);
+
+  std::vector<double> nineteen(twenty.begin(), twenty.begin() + 19);
+  const Summary s19 = summarize(nineteen);
+  EXPECT_DOUBLE_EQ(s19.p95, 19.0);  // one short of resolvable: the max
+}
+
+TEST(Percentile, SmallSampleClampMatchesSummarize) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.999), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.99), 5.0);
+  // q=0 and the median are unaffected by the tail clamp.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.5), 3.0);
 }
 
 TEST(Summarize, TailPercentilesDegenerate) {
