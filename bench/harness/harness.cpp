@@ -71,6 +71,7 @@ obs::BenchRecord run_bench_record(const BenchSpec& spec) {
   core::EngineOptions opts = spec.engine;
   opts.trace = true;
   opts.metrics = true;
+  opts.atlas = true;
   if (spec.paper_log2_edges > 0.0) {
     opts.machine = scaled_machine(std::move(opts.machine),
                                   built.directed_edge_count,
@@ -126,6 +127,7 @@ obs::BenchRecord run_bench_record(const BenchSpec& spec) {
     const auto out = engine.run(profile_sources.front());
     builder.attach_profile(engine.tracer(), engine.metrics(), out.report,
                            ranks);
+    builder.attach_atlas(engine.comm_atlas());
   }
   return builder.finish();
 }

@@ -14,6 +14,7 @@
 #include "core/engine.hpp"
 #include "bfs/report_json.hpp"
 #include "core/teps.hpp"
+#include "obs/comm_atlas.hpp"
 #include "obs/critical_path.hpp"
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
@@ -128,6 +129,9 @@ int main(int argc, char** argv) {
       .describe("metrics-format",
                 "with --metrics, also dump the full registry to stdout "
                 "as: openmetrics | json")
+      .describe("atlas-out",
+                "attach the communication atlas and write its per-rank-pair "
+                "traffic matrix + skew analytics as JSON to this path")
       .describe("flight-out",
                 "write the always-on flight recorder's event ring as "
                 "JSON to this path after the run (written there "
@@ -238,6 +242,8 @@ int main(int argc, char** argv) {
     const std::string trace_out = args.get("trace-out", "");
     opts.trace = !trace_out.empty();
     opts.metrics = args.get_flag("metrics");
+    const std::string atlas_out = args.get("atlas-out", "");
+    opts.atlas = !atlas_out.empty();
 
     core::Engine engine{built.edges, n, opts};
     std::printf("engine: %s on %s, %d cores used\n",
@@ -319,10 +325,11 @@ int main(int argc, char** argv) {
           r.recover.recovery_seconds,
           static_cast<long long>(r.recover.checkpoints_taken));
     }
-    if (engine.tracer() != nullptr || engine.metrics() != nullptr) {
+    if (engine.tracer() != nullptr || engine.metrics() != nullptr ||
+        engine.comm_atlas() != nullptr) {
       // Each run overwrites the observers' recordings, so re-run the
-      // first source: the run is deterministic, and afterwards the trace
-      // and metrics describe exactly the report printed below.
+      // first source: the run is deterministic, and afterwards the trace,
+      // metrics, and atlas describe exactly the report printed below.
       (void)engine.run(sources.front());
     }
     obs::CriticalPathReport cp;
@@ -362,6 +369,26 @@ int main(int argc, char** argv) {
                      metrics_format.c_str());
         return 2;
       }
+    }
+    if (engine.comm_atlas() != nullptr) {
+      std::ofstream atlas_file(atlas_out);
+      if (!atlas_file) {
+        std::fprintf(stderr, "error: cannot write atlas to %s\n",
+                     atlas_out.c_str());
+        return 2;
+      }
+      engine.comm_atlas()->write_json(atlas_file);
+      const obs::AtlasSummary summary = engine.comm_atlas()->summary();
+      std::printf(
+          "atlas (first run): %llu bytes (%llu on the network), locality "
+          "share %.4f, max pair %d->%d (%.1f%% of traffic), hotspot rank "
+          "%d (%.2fx mean), incast rank %d\n",
+          static_cast<unsigned long long>(summary.total_bytes),
+          static_cast<unsigned long long>(summary.network_bytes),
+          summary.locality_share, summary.max_pair_src, summary.max_pair_dst,
+          100.0 * summary.max_pair_share, summary.hotspot_rank,
+          summary.row_skew, summary.incast_rank);
+      std::printf("wrote communication atlas to %s\n", atlas_out.c_str());
     }
     if (args.get_flag("json")) {
       bfs::ReportJsonOptions jopts;

@@ -5,7 +5,7 @@
 //
 //   ./examples/graph500_runner [scale] [cores] [algorithm] [nsources]
 //             [--trace-out=PATH] [--bench-out=PATH] [--flight-out=PATH]
-//             [--metrics-format=openmetrics|json]
+//             [--atlas-out=PATH] [--metrics-format=openmetrics|json]
 //             [--wire-format=raw|sieve|bitmap|varint|auto]
 //             [--direction=topdown|bottomup|hybrid] [--alpha=A] [--beta=B]
 //             [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
@@ -29,6 +29,7 @@
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "obs/bench_record.hpp"
+#include "obs/comm_atlas.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string bench_out;
   std::string flight_out;
+  std::string atlas_out;
   std::string metrics_format;
   std::string fault_plan;
   comm::WireFormat wire_format = comm::WireFormat::kRaw;
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
       bench_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--flight-out=", 13) == 0) {
       flight_out = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--atlas-out=", 12) == 0) {
+      atlas_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-format=", 17) == 0) {
       metrics_format = argv[i] + 17;
     } else if (std::strncmp(argv[i], "--wire-format=", 14) == 0) {
@@ -132,6 +136,9 @@ int main(int argc, char** argv) {
   opts.recover = recover_opts;
   opts.trace = !trace_out.empty() || !bench_out.empty();
   opts.metrics = !bench_out.empty() || !metrics_format.empty();
+  // The atlas rides along with any bench record (its summary is a
+  // schema-additive block) or on explicit request.
+  opts.atlas = !atlas_out.empty() || !bench_out.empty();
   core::Engine engine{built.edges, n, opts};
 
   const auto comps = graph::connected_components(engine.csr());
@@ -177,12 +184,12 @@ int main(int argc, char** argv) {
   std::printf("  mean_search_time:   %.4f s (simulated)\n",
               teps.mean_seconds);
 
-  if (engine.tracer() != nullptr) {
+  if (engine.tracer() != nullptr || engine.comm_atlas() != nullptr) {
     // Observers hold the most recent run; re-run the first key so the
-    // trace matches a single deterministic search.
+    // trace and atlas match a single deterministic search.
     const auto profile = engine.run(sources.front());
 
-    if (!trace_out.empty()) {
+    if (!trace_out.empty() && engine.tracer() != nullptr) {
       std::ofstream trace_file(trace_out);
       if (!trace_file) {
         std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
@@ -219,9 +226,26 @@ int main(int argc, char** argv) {
                              batch.validated, batch.failed);
       builder.attach_profile(engine.tracer(), engine.metrics(),
                              profile.report, ranks);
+      builder.attach_atlas(engine.comm_atlas());
       obs::save_bench_record(bench_out, builder.finish());
       std::printf("wrote BenchRecord to %s (diff with bench_diff)\n",
                   bench_out.c_str());
+    }
+
+    if (!atlas_out.empty() && engine.comm_atlas() != nullptr) {
+      std::ofstream atlas_file(atlas_out);
+      if (!atlas_file) {
+        std::fprintf(stderr, "cannot write atlas to %s\n", atlas_out.c_str());
+        return 1;
+      }
+      engine.comm_atlas()->write_json(atlas_file);
+      const obs::AtlasSummary summary = engine.comm_atlas()->summary();
+      std::printf(
+          "atlas (first key): %llu bytes on the network, locality share "
+          "%.4f, hotspot rank %d, incast rank %d\n",
+          static_cast<unsigned long long>(summary.network_bytes),
+          summary.locality_share, summary.hotspot_rank, summary.incast_rank);
+      std::printf("wrote communication atlas to %s\n", atlas_out.c_str());
     }
   }
 

@@ -1,6 +1,7 @@
 // trace_lint: validate an observability JSON file emitted by the tools —
-// either a Chrome trace-event file (`--trace-out`) or a flight-recorder
-// dump (`--flight-out`, recognized by its top-level "flight" key).
+// a Chrome trace-event file (`--trace-out`), a flight-recorder dump
+// (`--flight-out`, recognized by its top-level "flight" key), or a
+// communication-atlas dump (`--atlas-out`, top-level "atlas" key).
 //
 // Deliberately standalone (no library dependency, own ~150-line JSON
 // parser): it is the independent half of the trace-smoke check, so a bug
@@ -17,6 +18,11 @@
 // Flight dumps: the counters are consistent, timestamps are
 // non-decreasing (they sample the cluster's max_now), every kind is a
 // documented one, and ranks/levels are >= -1.
+//
+// Atlas dumps: the traffic matrix is square with the declared rank
+// count, every cell is non-negative, the matrix total reconciles with
+// the embedded summary and with the per-pattern / per-site / per-level
+// totals, and the derived shares all lie in [0, 1].
 //
 //   trace_lint FILE          exits 0 and prints a summary, or exits 1
 //                            with the first problem found
@@ -335,7 +341,7 @@ int lint(const JsonValue& root) {
 
 const std::set<std::string> kFlightKinds = {"collective", "wire", "checkpoint",
                                             "recover", "fault", "level",
-                                            "dirop"};
+                                            "dirop", "atlas"};
 
 int lint_flight(const JsonValue& flight) {
   const auto complain = [](const std::string& why) {
@@ -400,6 +406,140 @@ int lint_flight(const JsonValue& flight) {
   }
 }
 
+// ---- Communication-atlas dump validation --------------------------------
+
+int lint_atlas(const JsonValue& atlas) {
+  const auto complain = [](const std::string& why) {
+    std::fprintf(stderr, "trace_lint: atlas: %s\n", why.c_str());
+    return 1;
+  };
+  try {
+    const int ranks = static_cast<int>(atlas.at("ranks").number);
+    if (ranks < 1) return complain("ranks < 1");
+    const JsonValue& grid = atlas.at("grid");
+    const int rows = static_cast<int>(grid.at("rows").number);
+    const int cols = static_cast<int>(grid.at("cols").number);
+    if (rows < 0 || cols < 0) return complain("negative grid dimension");
+    // A shrink recovery can leave the live grid smaller than the matrix
+    // (old pairs keep their slots), but never larger.
+    if (rows > 0 && cols > 0 && rows * cols > ranks) {
+      return complain("grid " + std::to_string(rows) + "x" +
+                      std::to_string(cols) + " larger than " +
+                      std::to_string(ranks) + " ranks");
+    }
+
+    const JsonValue& matrix = atlas.at("matrix");
+    if (matrix.kind != JsonValue::Kind::kArray ||
+        matrix.items.size() != static_cast<std::size_t>(ranks)) {
+      return complain("matrix is not a " + std::to_string(ranks) + "x" +
+                      std::to_string(ranks) + " array");
+    }
+    double matrix_total = 0.0, diagonal_total = 0.0;
+    for (std::size_t i = 0; i < matrix.items.size(); ++i) {
+      const JsonValue& row = matrix.items[i];
+      if (row.kind != JsonValue::Kind::kArray ||
+          row.items.size() != static_cast<std::size_t>(ranks)) {
+        return complain("matrix row " + std::to_string(i) + " is not " +
+                        std::to_string(ranks) + " cells");
+      }
+      for (std::size_t j = 0; j < row.items.size(); ++j) {
+        const double cell = row.items[j].number;
+        if (cell < 0.0) {
+          return complain("negative cell at (" + std::to_string(i) + "," +
+                          std::to_string(j) + ")");
+        }
+        matrix_total += cell;
+        if (i == j) diagonal_total += cell;
+      }
+    }
+
+    const JsonValue& summary = atlas.at("summary");
+    const double total = summary.at("total_bytes").number;
+    const double self_bytes = summary.at("self_bytes").number;
+    const double network = summary.at("network_bytes").number;
+    const double subcomm = summary.at("subcomm_bytes").number;
+    if (matrix_total != total) {
+      return complain("matrix sums to " + std::to_string(matrix_total) +
+                      ", summary.total_bytes says " + std::to_string(total));
+    }
+    if (diagonal_total != self_bytes) {
+      return complain("matrix diagonal != summary.self_bytes");
+    }
+    if (self_bytes + network != total) {
+      return complain("self_bytes + network_bytes != total_bytes");
+    }
+    if (subcomm < 0.0 || subcomm > network) {
+      return complain("subcomm_bytes outside [0, network_bytes]");
+    }
+    for (const char* share :
+         {"max_pair_share", "locality_share", "self_share"}) {
+      const double v = summary.at(share).number;
+      if (v < 0.0 || v > 1.0) {
+        return complain(std::string(share) + " outside [0, 1]");
+      }
+    }
+    for (const char* who : {"hotspot_rank", "incast_rank", "max_pair_src",
+                            "max_pair_dst"}) {
+      const double v = summary.at(who).number;
+      if (v < -1.0 || v >= static_cast<double>(ranks)) {
+        return complain(std::string(who) + " outside [-1, ranks)");
+      }
+    }
+
+    // The per-pattern / per-site / per-level cuts are three complete
+    // decompositions of the same traffic — each must sum back to the
+    // matrix total.
+    double pattern_total = 0.0;
+    for (const JsonValue& p : atlas.at("patterns").items) {
+      const double bytes = p.at("bytes").number;
+      const double local = p.at("local_bytes").number;
+      if (bytes < 0.0 || local < 0.0) {
+        return complain("negative pattern bytes for '" +
+                        p.at("pattern").text + "'");
+      }
+      pattern_total += bytes + local;
+    }
+    if (pattern_total != total) {
+      return complain("pattern totals sum to " +
+                      std::to_string(pattern_total) + ", matrix holds " +
+                      std::to_string(total));
+    }
+    double site_total = 0.0;
+    for (const JsonValue& s : atlas.at("sites").items) {
+      if (s.at("bytes").number < 0.0) {
+        return complain("negative site bytes for '" + s.at("site").text +
+                        "'");
+      }
+      site_total += s.at("bytes").number;
+    }
+    if (site_total != total) return complain("site totals != matrix total");
+    double level_total = 0.0;
+    for (const JsonValue& l : atlas.at("levels").items) {
+      const double bytes = l.at("bytes").number;
+      const double net = l.at("network_bytes").number;
+      const double sub = l.at("subcomm_bytes").number;
+      if (l.at("level").number < -1.0) return complain("level < -1");
+      if (bytes < 0.0 || net < 0.0 || net > bytes || sub < 0.0 ||
+          sub > net) {
+        return complain("inconsistent per-level cut at level " +
+                        std::to_string(l.at("level").number));
+      }
+      level_total += bytes;
+    }
+    if (level_total != total) return complain("level totals != matrix total");
+
+    std::printf(
+        "atlas OK: %dx%d matrix (%dx%d grid), %.0f bytes (%.0f network, "
+        "%.0f subcomm-local), %zu patterns, %zu sites, %zu levels\n",
+        ranks, ranks, rows, cols, total, network, subcomm,
+        atlas.at("patterns").items.size(), atlas.at("sites").items.size(),
+        atlas.at("levels").items.size());
+    return 0;
+  } catch (const std::exception& ex) {
+    return complain(ex.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -419,6 +559,9 @@ int main(int argc, char** argv) {
     const JsonValue root = parser.parse();
     if (root.kind == JsonValue::Kind::kObject && root.has("flight")) {
       return lint_flight(root.at("flight"));
+    }
+    if (root.kind == JsonValue::Kind::kObject && root.has("atlas")) {
+      return lint_atlas(root.at("atlas"));
     }
     return lint(root);
   } catch (const std::exception& e) {

@@ -9,6 +9,7 @@
 #include "bfs/frontier.hpp"
 #include "comm/sieve.hpp"
 #include "model/cost.hpp"
+#include "obs/comm_atlas.hpp"
 #include "simmpi/comm.hpp"
 
 namespace dbfs::bfs {
@@ -72,6 +73,13 @@ struct Bfs1D::Impl {
     cluster.set_fault_plan(opts.faults);
     cluster.set_observers(opts.tracer, opts.metrics);
     cluster.set_flight(opts.flight);
+    if (opts.atlas != nullptr) {
+      opts.atlas->ensure_ranks(opts.ranks);
+      // 1D = a degenerate 1×p grid: the single row group is the world,
+      // so no off-diagonal pair ever classifies as subcommunicator-local.
+      opts.atlas->set_grid(1, opts.ranks);
+      cluster.set_atlas(opts.atlas);
+    }
     if (!opts.faults.rank_kills.empty() &&
         opts.recover.policy == recover::Policy::kShrink) {
       edges_keep = edges;
@@ -273,6 +281,22 @@ struct Bfs1D::Impl {
                             simmpi::Pattern::kPointToPoint, network_bytes);
     cluster.traffic().record(simmpi::Pattern::kPointToPoint, network_bytes,
                              max_cost, opts.ranks);
+    if (obs::CommAtlas* atlas = cluster.atlas()) {
+      // Real per-pair volumes, recorded after the collective (mirroring
+      // the meter) so a kill at the barrier leaves nothing half-counted.
+      auto& sl = atlas->slice(
+          static_cast<int>(simmpi::Pattern::kPointToPoint),
+          simmpi::to_string(simmpi::Pattern::kPointToPoint), "1d-chunked",
+          cluster.current_level());
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+          if (i == j || send.counts[i][j] == 0) continue;
+          sl.add(static_cast<int>(i), static_cast<int>(j),
+                 static_cast<std::uint64_t>(send.counts[i][j]) *
+                     sizeof(Candidate));
+        }
+      }
+    }
     return recv;
   }
 
@@ -359,6 +383,11 @@ struct Bfs1D::Impl {
       fresh.fault_counters() = cluster.fault_counters();
       fresh.set_observers(opts.tracer, opts.metrics);
       fresh.set_flight(opts.flight);
+      // The atlas carries across the rebuild like the meter: pair bytes
+      // recorded before the kill stay put (its matrix keeps the original
+      // dimension), so the reconciliation with the carried meter holds.
+      fresh.set_atlas(cluster.atlas());
+      if (cluster.atlas() != nullptr) cluster.atlas()->set_grid(1, p_new);
       // Carry history forward: the meter keeps everything that ever
       // moved (including the lost window, which will move again), and
       // the seeded clocks keep the makespan continuous across the
@@ -724,6 +753,16 @@ void Bfs1D::Impl::traverse(BfsOutput& out,
           .set("newly_visited", static_cast<double>(stats.newly_visited))
           .set("edges_scanned", static_cast<double>(stats.edges_scanned))
           .set("wall_seconds", stats.wall_seconds);
+    }
+    if (im.opts.flight != nullptr && im.cluster.atlas() != nullptr) {
+      const obs::AtlasLevelCut cut =
+          im.cluster.atlas()->level_cut(static_cast<int>(level) - 1);
+      im.opts.flight
+          ->append("atlas", "1d-level", im.cluster.clocks().max_now(),
+                   cut.hotspot_rank, static_cast<int>(level) - 1)
+          .set("bytes", static_cast<double>(cut.total_bytes))
+          .set("network_bytes", static_cast<double>(cut.network_bytes))
+          .set("subcomm_bytes", static_cast<double>(cut.subcomm_bytes));
     }
     out.report.levels.push_back(stats);
     ++level;

@@ -87,6 +87,11 @@ struct Bfs1DOptions {
   /// Always-on black-box event ring (see obs/flight_recorder.hpp); like
   /// the observers it is passive, non-owning, and null = off.
   obs::FlightRecorder* flight = nullptr;
+  /// Per-rank-pair communication atlas (see obs/comm_atlas.hpp); passive,
+  /// non-owning, null = off. The driver installs the 1×p grid, so the
+  /// atlas's subcommunicator-locality share is 0 by construction (the
+  /// only row group IS the world — the paper's 1D contrast).
+  obs::CommAtlas* atlas = nullptr;
   std::string label = "1d";
 };
 

@@ -11,6 +11,7 @@
 #include "comm/sieve.hpp"
 #include "dist/partition2d.hpp"
 #include "model/cost.hpp"
+#include "obs/comm_atlas.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/comm.hpp"
 #include "sparse/semirings.hpp"
@@ -188,6 +189,13 @@ struct Bfs2D::Impl {
     cluster.set_fault_plan(opts.faults);
     cluster.set_observers(opts.tracer, opts.metrics);
     cluster.set_flight(opts.flight);
+    if (opts.atlas != nullptr) {
+      opts.atlas->ensure_ranks(grid.ranks());
+      // The pr×pc grid lets the atlas classify expand/fold bytes as
+      // row/column-subcommunicator traffic (the 2D locality split).
+      opts.atlas->set_grid(grid.pr(), grid.pc());
+      cluster.set_atlas(opts.atlas);
+    }
     if (!opts.faults.rank_kills.empty() &&
         opts.recover.policy == recover::Policy::kShrink) {
       edges_keep = edges;
@@ -321,6 +329,13 @@ struct Bfs2D::Impl {
       fresh.fault_counters() = cluster.fault_counters();
       fresh.set_observers(opts.tracer, opts.metrics);
       fresh.set_flight(opts.flight);
+      // The atlas rides across the rebuild like the meter; its matrix
+      // keeps the original dimension (old pairs stay attributed) while
+      // the locality split follows the re-folded, smaller grid.
+      fresh.set_atlas(cluster.atlas());
+      if (cluster.atlas() != nullptr) {
+        cluster.atlas()->set_grid(grid.pr(), grid.pc());
+      }
       // Carry history forward: the meter keeps everything that ever
       // moved (including the lost window, which will move again), and
       // the seeded clocks keep the makespan continuous across the
@@ -1121,6 +1136,16 @@ void Bfs2D::Impl::traverse(BfsOutput& out,
           .set("newly_visited", static_cast<double>(stats.newly_visited))
           .set("edges_scanned", static_cast<double>(stats.edges_scanned))
           .set("wall_seconds", stats.wall_seconds);
+    }
+    if (im.opts.flight != nullptr && im.cluster.atlas() != nullptr) {
+      const obs::AtlasLevelCut cut =
+          im.cluster.atlas()->level_cut(static_cast<int>(level) - 1);
+      im.opts.flight
+          ->append("atlas", "2d-level", im.cluster.clocks().max_now(),
+                   cut.hotspot_rank, static_cast<int>(level) - 1)
+          .set("bytes", static_cast<double>(cut.total_bytes))
+          .set("network_bytes", static_cast<double>(cut.network_bytes))
+          .set("subcomm_bytes", static_cast<double>(cut.subcomm_bytes));
     }
     out.report.levels.push_back(stats);
     out.report.spmsv_spa_calls +=

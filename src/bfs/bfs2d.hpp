@@ -31,6 +31,10 @@
 #include "simmpi/process_grid.hpp"
 #include "sparse/spmsv.hpp"
 
+namespace dbfs::obs {
+class CommAtlas;
+}
+
 namespace dbfs::bfs {
 
 /// Traversal direction policy for the 2D engine (Beamer et al. SC'12
@@ -91,6 +95,12 @@ struct Bfs2DOptions {
   /// Always-on black-box event ring (see obs/flight_recorder.hpp); like
   /// the observers it is passive, non-owning, and null = off.
   obs::FlightRecorder* flight = nullptr;
+  /// Per-rank-pair communication atlas (see obs/comm_atlas.hpp); passive,
+  /// non-owning, null = off. The driver installs the pr×pc grid so the
+  /// atlas can split bytes into row/column subcommunicator traffic
+  /// (expand, fold) versus grid-wide traffic (transpose, allreduces) —
+  /// the 2D locality contrast the paper's §6 breakdown is built on.
+  obs::CommAtlas* atlas = nullptr;
   /// Direction optimization. kTopDown (the default) keeps every code path
   /// and report byte-identical to the pre-hybrid engine; kHybrid prices
   /// the per-level switch with Beamer's alpha-beta rule on globally

@@ -10,6 +10,7 @@
 #include "bfs/serial.hpp"
 #include "bfs/shared.hpp"
 #include "graph/validator.hpp"
+#include "obs/comm_atlas.hpp"
 
 namespace dbfs::core {
 
@@ -57,6 +58,7 @@ struct Engine::Impl {
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::CommAtlas> atlas;
 
   Impl(const graph::EdgeList& input, vid_t num_vertices, EngineOptions options)
       : opts(std::move(options)), n(num_vertices), edges(input) {
@@ -72,6 +74,7 @@ struct Engine::Impl {
     if (is_distributed(opts.algorithm)) {
       if (opts.trace) tracer = std::make_unique<obs::Tracer>();
       if (opts.metrics) metrics = std::make_unique<obs::MetricsRegistry>();
+      if (opts.atlas) atlas = std::make_unique<obs::CommAtlas>();
       // The flight recorder is always on for distributed runs: a bounded
       // ring the error paths can dump post mortem. It is passive, so the
       // run and its report are byte-identical with or without it.
@@ -96,6 +99,7 @@ struct Engine::Impl {
         o.tracer = tracer.get();
         o.metrics = metrics.get();
         o.flight = flight.get();
+        o.atlas = atlas.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -115,6 +119,7 @@ struct Engine::Impl {
         o.tracer = tracer.get();
         o.metrics = metrics.get();
         o.flight = flight.get();
+        o.atlas = atlas.get();
         o.direction = opts.direction;
         o.alpha = opts.alpha;
         o.beta = opts.beta;
@@ -130,6 +135,7 @@ struct Engine::Impl {
         o.tracer = tracer.get();
         o.metrics = metrics.get();
         o.flight = flight.get();
+        o.atlas = atlas.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -142,6 +148,7 @@ struct Engine::Impl {
         o.tracer = tracer.get();
         o.metrics = metrics.get();
         o.flight = flight.get();
+        o.atlas = atlas.get();
         one_d = std::make_unique<bfs::Bfs1D>(edges, n, std::move(o));
         break;
       }
@@ -176,6 +183,8 @@ int Engine::cores_used() const {
 obs::Tracer* Engine::tracer() const { return impl_->tracer.get(); }
 
 obs::MetricsRegistry* Engine::metrics() const { return impl_->metrics.get(); }
+
+obs::CommAtlas* Engine::comm_atlas() const { return impl_->atlas.get(); }
 
 obs::FlightRecorder* Engine::flight_recorder() const {
   return impl_->flight.get();

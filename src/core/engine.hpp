@@ -92,6 +92,12 @@ struct EngineOptions {
   /// care about. Ignored by kSerial/kShared.
   bool trace = false;
   bool metrics = false;
+  /// Attach the per-rank-pair communication atlas (obs/comm_atlas.hpp) to
+  /// the distributed algorithms. Passive like the other observers — the
+  /// run and its report stay byte-identical — and each run overwrites the
+  /// previous run's matrix, so read comm_atlas() after the run you care
+  /// about. Ignored by kSerial/kShared.
+  bool atlas = false;
   /// Traversal direction for the 2D algorithms (see
   /// bfs::Bfs2DOptions::direction). kTopDown — the default — keeps the
   /// run and its report byte-identical to the pre-hybrid engine; kHybrid
@@ -154,6 +160,10 @@ class Engine {
   /// most recent run().
   obs::Tracer* tracer() const;
   obs::MetricsRegistry* metrics() const;
+  /// The attached communication atlas (null unless EngineOptions::atlas
+  /// was set and the algorithm is distributed). Holds the most recent
+  /// run's per-rank-pair traffic matrix and skew analytics.
+  obs::CommAtlas* comm_atlas() const;
   /// The always-on flight recorder (null for kSerial/kShared). Holds the
   /// most recent run's black-box events; dump with
   /// FlightRecorder::write_json on error or on demand.

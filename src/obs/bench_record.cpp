@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/comm_atlas.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -189,6 +190,22 @@ void write_bench_record_json(std::ostream& out, const BenchRecord& r) {
   }
   out << "]}";
 
+  // Schema-additive: atlas block only when a profile run carried one, so
+  // records from unobserved runs stay byte-identical to pre-atlas output.
+  if (r.atlas.present) {
+    const BenchAtlasSummary& at = r.atlas;
+    out << ",\"atlas\":{\"grid_rows\":" << at.grid_rows
+        << ",\"grid_cols\":" << at.grid_cols
+        << ",\"total_bytes\":" << at.total_bytes
+        << ",\"network_bytes\":" << at.network_bytes
+        << ",\"max_pair_share\":" << at.max_pair_share
+        << ",\"row_skew\":" << at.row_skew << ",\"col_skew\":" << at.col_skew
+        << ",\"hotspot_rank\":" << at.hotspot_rank
+        << ",\"incast_rank\":" << at.incast_rank
+        << ",\"locality_share\":" << at.locality_share
+        << ",\"self_share\":" << at.self_share << "}";
+  }
+
   out << ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : r.counters) {
@@ -326,6 +343,22 @@ BenchRecord parse_bench_record(const std::string& json) {
       }
     }
 
+    if (doc.has("atlas")) {
+      const util::JsonValue& at = doc.at("atlas");
+      r.atlas.present = true;
+      r.atlas.grid_rows = static_cast<int>(at.int_or("grid_rows", 0));
+      r.atlas.grid_cols = static_cast<int>(at.int_or("grid_cols", 0));
+      r.atlas.total_bytes = at.int_or("total_bytes", 0);
+      r.atlas.network_bytes = at.int_or("network_bytes", 0);
+      r.atlas.max_pair_share = at.number_or("max_pair_share", 0.0);
+      r.atlas.row_skew = at.number_or("row_skew", 1.0);
+      r.atlas.col_skew = at.number_or("col_skew", 1.0);
+      r.atlas.hotspot_rank = static_cast<int>(at.int_or("hotspot_rank", -1));
+      r.atlas.incast_rank = static_cast<int>(at.int_or("incast_rank", -1));
+      r.atlas.locality_share = at.number_or("locality_share", 0.0);
+      r.atlas.self_share = at.number_or("self_share", 0.0);
+    }
+
     if (doc.has("counters")) {
       for (const auto& [name, value] : doc.at("counters").members) {
         r.counters[name] = value.as_int();
@@ -440,6 +473,24 @@ void BenchRecordBuilder::attach_profile(const Tracer* tracer,
       record_.counters[name] = value;
     }
   }
+}
+
+void BenchRecordBuilder::attach_atlas(const CommAtlas* atlas) {
+  if (atlas == nullptr) return;
+  const AtlasSummary s = atlas->summary();
+  if (s.total_bytes == 0) return;  // nothing recorded — keep the block out
+  record_.atlas.present = true;
+  record_.atlas.grid_rows = s.grid_rows;
+  record_.atlas.grid_cols = s.grid_cols;
+  record_.atlas.total_bytes = static_cast<std::int64_t>(s.total_bytes);
+  record_.atlas.network_bytes = static_cast<std::int64_t>(s.network_bytes);
+  record_.atlas.max_pair_share = s.max_pair_share;
+  record_.atlas.row_skew = s.row_skew;
+  record_.atlas.col_skew = s.col_skew;
+  record_.atlas.hotspot_rank = s.hotspot_rank;
+  record_.atlas.incast_rank = s.incast_rank;
+  record_.atlas.locality_share = s.locality_share;
+  record_.atlas.self_share = s.self_share;
 }
 
 BenchRecord BenchRecordBuilder::finish() {

@@ -39,6 +39,7 @@ namespace dbfs::obs {
 
 class Tracer;
 class MetricsRegistry;
+class CommAtlas;
 
 inline constexpr int kBenchRecordSchemaVersion = 1;
 
@@ -113,6 +114,24 @@ struct BenchImbalanceSummary {
   std::vector<std::vector<double>> wait_heatmap;
 };
 
+/// Communication-atlas roll-up of the profile run (obs/comm_atlas.hpp).
+/// Schema-additive: absent in records written before the atlas existed
+/// (and in untraced runs), parsed back with `present` false.
+struct BenchAtlasSummary {
+  bool present = false;
+  int grid_rows = 0;
+  int grid_cols = 0;
+  std::int64_t total_bytes = 0;
+  std::int64_t network_bytes = 0;
+  double max_pair_share = 0.0;
+  double row_skew = 1.0;
+  double col_skew = 1.0;
+  int hotspot_rank = -1;
+  int incast_rank = -1;
+  double locality_share = 0.0;
+  double self_share = 0.0;
+};
+
 struct BenchRecord {
   int schema_version = kBenchRecordSchemaVersion;
   std::string name;        ///< file stem: BENCH_<name>.json
@@ -130,6 +149,7 @@ struct BenchRecord {
 
   std::vector<BenchLevelSplit> levels;
   BenchImbalanceSummary imbalance;
+  BenchAtlasSummary atlas;
   /// Metric counters from the profile run (wire.*, fault.*, comm.*).
   std::map<std::string, std::int64_t> counters;
 };
@@ -181,6 +201,11 @@ class BenchRecordBuilder {
   /// metric counters, and per-rank comm/comp imbalance from the report.
   void attach_profile(const Tracer* tracer, const MetricsRegistry* metrics,
                       const bfs::RunReport& profile_run, int ranks);
+
+  /// Fold the profile run's communication-atlas summary into the record.
+  /// Null or empty atlas = no-op (the record keeps `atlas.present` false
+  /// and its JSON stays byte-identical to a pre-atlas writer's).
+  void attach_atlas(const CommAtlas* atlas);
 
   /// Compute the pooled summary + noise stddevs and return the record.
   BenchRecord finish();

@@ -25,6 +25,9 @@ constexpr double kComputeFlat = 1.15;   ///< ... while compute stayed flat
 constexpr double kBalanceFlat = 1.3;    ///< ... and imbalance stayed flat
 constexpr double kImbalanceJump = 1.5;  ///< straggler: imbalance grew 50%
 constexpr double kCodecRatioJump = 1.3; ///< codec: bytes ratio worsened 30%
+constexpr double kSkewJump = 1.5;       ///< atlas: send/recv skew grew 50%
+constexpr double kPairShareJump = 1.5;  ///< atlas: max-pair share grew 50%
+constexpr double kPairShareFloor = 0.2; ///< ... and one pair owns >= 20%
 
 double safe_ratio(double cand, double base) {
   if (base > 0.0) return cand / base;
@@ -325,6 +328,55 @@ DoctorReport diagnose(const BenchRecord& baseline,
     }
   }
 
+  // --- traffic-skew / hotspot-rank: the communication atlas recorded a
+  // lopsided traffic matrix. Only active when both records carry the
+  // schema-additive atlas block (pre-atlas baselines stay undiagnosed
+  // rather than mis-diagnosed).
+  if (baseline.atlas.present && candidate.atlas.present) {
+    const double row_skew_ratio =
+        safe_ratio(candidate.atlas.row_skew, baseline.atlas.row_skew);
+    const double col_skew_ratio =
+        safe_ratio(candidate.atlas.col_skew, baseline.atlas.col_skew);
+    const double skew_ratio = std::max(row_skew_ratio, col_skew_ratio);
+    if (skew_ratio > kSkewJump) {
+      findings.push_back(
+          {"traffic-skew", 0.85,
+           "per-rank traffic skew grew " + fmt(skew_ratio) + "x (send " +
+               fmt(baseline.atlas.row_skew) + " -> " +
+               fmt(candidate.atlas.row_skew) + ", receive " +
+               fmt(baseline.atlas.col_skew) + " -> " +
+               fmt(candidate.atlas.col_skew) +
+               "x mean); the communication matrix became lopsided, so "
+               "collectives pace on the overloaded rank"});
+    }
+    const double pair_ratio = safe_ratio(candidate.atlas.max_pair_share,
+                                         baseline.atlas.max_pair_share);
+    const bool pair_concentrated =
+        candidate.atlas.max_pair_share > kPairShareFloor &&
+        pair_ratio > kPairShareJump;
+    if ((skew_ratio > kSkewJump || pair_concentrated) &&
+        (candidate.atlas.hotspot_rank >= 0 ||
+         candidate.atlas.incast_rank >= 0)) {
+      const int hotspot = candidate.atlas.hotspot_rank >= 0
+                              ? candidate.atlas.hotspot_rank
+                              : candidate.atlas.incast_rank;
+      std::string detail =
+          "atlas attributes the concentration to rank " +
+          std::to_string(hotspot) + " (sends " +
+          fmt(candidate.atlas.row_skew) + "x the mean volume";
+      if (candidate.atlas.incast_rank >= 0 &&
+          candidate.atlas.incast_rank != hotspot) {
+        detail += "; incast onto rank " +
+                  std::to_string(candidate.atlas.incast_rank);
+      } else if (candidate.atlas.incast_rank == hotspot) {
+        detail += "; also the incast target";
+      }
+      detail += ", max pair share " + fmt(candidate.atlas.max_pair_share) +
+                ")";
+      findings.push_back({"hotspot-rank", 0.8, std::move(detail)});
+    }
+  }
+
   // --- frontier-shape-change: the traversal structure itself changed.
   if (have_levels && baseline.levels.size() != candidate.levels.size()) {
     findings.push_back(
@@ -346,6 +398,8 @@ DoctorReport diagnose(const BenchRecord& baseline,
     }
     if (recovery_fired && (f.cause == "network-beta-drift" ||
                            f.cause == "straggler-rank" ||
+                           f.cause == "traffic-skew" ||
+                           f.cause == "hotspot-rank" ||
                            f.cause == "frontier-shape-change")) {
       f.confidence = std::min(f.confidence, 0.6);
     }

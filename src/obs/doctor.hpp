@@ -72,6 +72,8 @@ struct DoctorReport {
 ///   "straggler-rank"                busy/comp imbalance jumped; names rank
 ///   "network-beta-drift"            transfer up, compute flat, balance flat
 ///   "codec-raw-fallback"            compressing format shipping raw blocks
+///   "traffic-skew"                  atlas send/recv skew jumped
+///   "hotspot-rank"                  atlas names the overloaded rank
 ///   "frontier-shape-change"         traversal level structure changed
 ///   "unattributed"                  fallback when nothing matched
 DoctorReport diagnose(const BenchRecord& baseline,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "model/cost.hpp"
+#include "obs/comm_atlas.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -152,6 +153,7 @@ void Cluster::reset_accounting() {
   if (tracer_ != nullptr) tracer_->clear();
   if (metrics_ != nullptr) metrics_->clear();
   if (flight_ != nullptr) flight_->clear();
+  if (atlas_ != nullptr) atlas_->clear();
 }
 
 }  // namespace dbfs::simmpi

@@ -22,6 +22,10 @@
 #include "simmpi/fault.hpp"
 #include "simmpi/traffic.hpp"
 
+namespace dbfs::obs {
+class CommAtlas;
+}
+
 namespace dbfs::simmpi {
 
 class Cluster {
@@ -82,6 +86,15 @@ class Cluster {
   /// clears it so each run's dump describes that run alone.
   void set_flight(obs::FlightRecorder* flight) noexcept { flight_ = flight; }
   obs::FlightRecorder* flight() const noexcept { return flight_; }
+
+  /// Attach the per-rank-pair communication atlas (obs/comm_atlas.hpp).
+  /// Passive and non-owning like the other observers: the collectives
+  /// record pair volumes into it at exactly the TrafficMeter's call
+  /// sites, after the clock updates, so attaching one never perturbs a
+  /// run. reset_accounting clears its buckets so each run's atlas
+  /// describes that run alone.
+  void set_atlas(obs::CommAtlas* atlas) noexcept { atlas_ = atlas; }
+  obs::CommAtlas* atlas() const noexcept { return atlas_; }
 
   /// Label applied to subsequent charge_compute spans ("1d-scan",
   /// "2d-spmsv", ...). Must be a static string.
@@ -185,6 +198,7 @@ class Cluster {
   obs::Tracer* tracer_ = nullptr;            ///< non-owning; null = off
   obs::MetricsRegistry* metrics_ = nullptr;  ///< non-owning; null = off
   obs::FlightRecorder* flight_ = nullptr;    ///< non-owning; null = off
+  obs::CommAtlas* atlas_ = nullptr;          ///< non-owning; null = off
   const char* compute_phase_ = "compute";
   int current_level_ = -1;
 

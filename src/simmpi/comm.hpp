@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "model/cost.hpp"
+#include "obs/comm_atlas.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simmpi/cluster.hpp"
@@ -83,7 +84,17 @@ inline void sync_collective(Cluster& cluster, std::span<const int> group,
     }
     if (metrics != nullptr) {
       ++metrics->counter(std::string("comm.calls.") + pattern_name);
-      metrics->histogram(std::string("comm.bytes.") + pattern_name)
+      metrics->counter(std::string("comm.bytes.") + pattern_name) +=
+          static_cast<std::int64_t>(network_bytes);
+      // Cumulative participants × transfer seconds (the TrafficMeter's
+      // rank_seconds): fractional, so a gauge used additively rather than
+      // an integer counter.
+      metrics->gauge(std::string("comm.rank_seconds.") + pattern_name) +=
+          cost * static_cast<double>(group.size());
+      // Distribution of per-call sizes; named apart from the
+      // comm.bytes.<Pattern> counter so the OpenMetrics export keeps one
+      // family per name.
+      metrics->histogram(std::string("comm.call_bytes.") + pattern_name)
           .observe(static_cast<double>(network_bytes));
       metrics->histogram("comm.transfer_seconds").observe(cost);
     }
@@ -312,6 +323,26 @@ FlatExchange<T> alltoallv(Cluster& cluster, std::span<const int> group,
                   total_items * sizeof(T));
   cluster.traffic().record(Pattern::kAlltoallv, total_items * sizeof(T), cost,
                            static_cast<int>(g));
+  if (obs::CommAtlas* atlas = cluster.atlas()) {
+    auto& sl = atlas->slice(static_cast<int>(Pattern::kAlltoallv),
+                            to_string(Pattern::kAlltoallv), site,
+                            cluster.current_level());
+    for (std::size_t i = 0; i < g; ++i) {
+      for (std::size_t j = 0; j < g; ++j) {
+        const auto bytes =
+            static_cast<std::uint64_t>(recv.counts[j][i]) * sizeof(T);
+        if (bytes == 0) continue;
+        if (i == j) {
+          // Self-addressed block: unmetered, but the 1D wire codec counts
+          // its encoded bytes, so the local ledger keeps the
+          // wire.bytes_after reconciliation exact.
+          sl.add_local(group[i], bytes);
+        } else {
+          sl.add(group[i], group[j], bytes);
+        }
+      }
+    }
+  }
   if (cluster.faults_enabled() && cluster.faults().payload_faults()) {
     detail::maybe_corrupt(cluster, recv.data);
   }
@@ -352,6 +383,19 @@ std::vector<T> allgatherv(Cluster& cluster, std::span<const int> group,
                   network_items * sizeof(T));
   cluster.traffic().record(Pattern::kAllgatherv, network_items * sizeof(T),
                            cost, static_cast<int>(group.size()));
+  if (obs::CommAtlas* atlas = cluster.atlas()) {
+    auto& sl = atlas->slice(static_cast<int>(Pattern::kAllgatherv),
+                            to_string(Pattern::kAllgatherv), site,
+                            cluster.current_level());
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      const auto bytes =
+          static_cast<std::uint64_t>(pieces[i].size()) * sizeof(T);
+      if (bytes == 0) continue;
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        if (k != i) sl.add(group[i], group[k], bytes);
+      }
+    }
+  }
   if (cluster.faults_enabled() && cluster.faults().payload_faults()) {
     detail::maybe_corrupt_one(cluster, result);
   }
@@ -376,6 +420,18 @@ T allreduce(Cluster& cluster, std::span<const int> group,
       Pattern::kAllreduce,
       static_cast<std::uint64_t>(group.size()) * sizeof(T), cost,
       static_cast<int>(group.size()));
+  if (obs::CommAtlas* atlas = cluster.atlas()) {
+    auto& sl = atlas->slice(static_cast<int>(Pattern::kAllreduce),
+                            to_string(Pattern::kAllreduce), site,
+                            cluster.current_level());
+    // Ring attribution: each member forwards one element to its
+    // neighbor, matching the meter's g·sizeof(T). A single-rank group
+    // degenerates to a metered diagonal entry.
+    const std::size_t g = group.size();
+    for (std::size_t k = 0; k < g; ++k) {
+      sl.add(group[k], group[(k + 1) % g], sizeof(T));
+    }
+  }
   return acc;
 }
 
@@ -417,6 +473,14 @@ std::vector<std::vector<T>> transpose_exchange(
                     static_cast<std::uint64_t>(bytes) * 2);
     cluster.traffic().record(Pattern::kTranspose,
                              static_cast<std::uint64_t>(bytes) * 2, cost, 2);
+    if (obs::CommAtlas* atlas = cluster.atlas()) {
+      auto& sl = atlas->slice(static_cast<int>(Pattern::kTranspose),
+                              to_string(Pattern::kTranspose), site,
+                              cluster.current_level());
+      // Metered as bytes × 2 (the pair's max volume, both directions).
+      sl.add(rank, partner, static_cast<std::uint64_t>(bytes));
+      sl.add(partner, rank, static_cast<std::uint64_t>(bytes));
+    }
   }
   return out;
 }
@@ -454,6 +518,18 @@ std::vector<T> gatherv(Cluster& cluster, std::span<const int> group,
                   network_items * sizeof(T));
   cluster.traffic().record(Pattern::kGatherv, network_items * sizeof(T),
                            transfer, static_cast<int>(group.size()));
+  if (obs::CommAtlas* atlas = cluster.atlas()) {
+    auto& sl = atlas->slice(static_cast<int>(Pattern::kGatherv),
+                            to_string(Pattern::kGatherv), site,
+                            cluster.current_level());
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      const auto bytes =
+          static_cast<std::uint64_t>(pieces[i].size()) * sizeof(T);
+      if (i != root_slot && bytes > 0) {
+        sl.add(group[i], group[root_slot], bytes);
+      }
+    }
+  }
   return result;
 }
 
@@ -483,6 +559,19 @@ std::vector<T> broadcast(Cluster& cluster, std::span<const int> group,
       Pattern::kBroadcast,
       static_cast<std::uint64_t>(bytes) * (group.size() - 1), cost,
       static_cast<int>(group.size()));
+  if (obs::CommAtlas* atlas = cluster.atlas()) {
+    auto& sl = atlas->slice(static_cast<int>(Pattern::kBroadcast),
+                            to_string(Pattern::kBroadcast), site,
+                            cluster.current_level());
+    if (bytes > 0) {
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        if (k != root_slot) {
+          sl.add(group[root_slot], group[k],
+                 static_cast<std::uint64_t>(bytes));
+        }
+      }
+    }
+  }
   return payload;
 }
 
