@@ -1,0 +1,154 @@
+// Ablation: SDC state-audit cadence vs detection latency and repair cost.
+// The audit walks the live (parent, level) arrays at the level barrier
+// every k levels, checking tree invariants and per-shard checksums
+// against the write-time shadow; a detected corruption rolls back to the
+// newest clean checkpoint and replays. The sweep prices both sides of
+// the cadence trade: frequent audits cost compute (and allreduce
+// agreement traffic) on every clean run, but bound how many levels a
+// silent flip can poison — and therefore how far the rollback replays.
+// Every flipped row converges to bit-identical parents/levels; the sweep
+// measures only the audit overhead and the detection + replay time.
+//
+// Also emits a BENCH-style record (BENCH_<name>.json in the current
+// directory, or --out-dir=DIR) for the flipped 2D configuration so SDC
+// runs can be diffed with bench_diff like any other data point.
+#include <cstring>
+#include <string>
+
+#include "harness/harness.hpp"
+
+namespace {
+
+using namespace dbfs;
+using namespace dbfs::bench;
+
+struct Row {
+  double total = 0;  ///< simulated makespan, seconds
+  bfs::SdcReport sdc;
+};
+
+// One audited (and, when flip_level >= 0, corrupted) search. A fresh
+// engine per row: a fired flip is consumed and a rollback rewinds the
+// checkpoint history, so reusing one engine would skew later rows.
+Row run_row(const Workload& w, core::EngineOptions opts, int flip_rank,
+            int flip_level) {
+  if (flip_level >= 0) {
+    simmpi::MemFlip flip;
+    flip.rank = flip_rank;
+    flip.at_level = flip_level;
+    flip.target = simmpi::FlipTarget::kParents;
+    opts.faults.mem_flips.push_back(flip);
+  }
+  core::Engine engine{w.built.edges, w.n, opts};
+  const auto out = engine.run(w.sources.front());
+  return Row{out.report.total_seconds, out.report.sdc};
+}
+
+void print_sweep(const Workload& w, const core::EngineOptions& base,
+                 double clean_total, int flip_rank, int flip_level) {
+  const int cadences[] = {0, 8, 4, 2, 1};  // 0 = final-audit only
+  std::printf("%-8s %-6s %6s %8s %10s %9s %9s %14s %9s\n", "mode",
+              "cadence", "audits", "failed", "audit(ms)", "rollbacks",
+              "replayed", "BFS time (ms)", "vs clean");
+  for (int flips = 0; flips <= 1; ++flips) {
+    for (int k : cadences) {
+      core::EngineOptions opts = base;
+      opts.recover.audit_every = k;
+      if (flips == 0 && k == 0) continue;  // that row is the baseline
+      const Row row =
+          run_row(w, opts, flip_rank, flips != 0 ? flip_level : -1);
+      const std::string cadence = k == 0 ? "final" : "k=" + std::to_string(k);
+      std::printf("%-8s %-6s %6lld %8lld %10.3f %9lld %9lld %14.3f %8.2fx\n",
+                  flips != 0 ? "flip" : "clean", cadence.c_str(),
+                  static_cast<long long>(row.sdc.audits),
+                  static_cast<long long>(row.sdc.audit_failures),
+                  row.sdc.audit_seconds * 1e3,
+                  static_cast<long long>(row.sdc.rollbacks),
+                  static_cast<long long>(row.sdc.replayed_levels),
+                  row.total * 1e3,
+                  clean_total > 0 ? row.total / clean_total : 1.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out-dir=", 10) == 0) out_dir = argv[i] + 10;
+  }
+
+  const int scale = util::bench_scale(15);
+  const int cores = 64;
+  const int flip_rank = 1;
+  const int flip_level = 3;
+  Workload w = make_rmat_workload(scale, 16, bench_sources(2));
+
+  const auto machine =
+      scaled_machine(model::hopper(), w.built.directed_edge_count, 33.0);
+
+  print_header(
+      "Ablation: SDC audit cadence under an at-rest parent-array flip",
+      "beyond the paper: ABFT audits + verified-checkpoint rollback",
+      "ours: scale " + std::to_string(scale) + " R-MAT, " +
+          std::to_string(cores) + " cores, flip rank " +
+          std::to_string(flip_rank) + " @ level " +
+          std::to_string(flip_level) + ":parents, checkpoints every 2");
+
+  const core::Algorithm algos[] = {core::Algorithm::kOneDFlat,
+                                   core::Algorithm::kTwoDFlat};
+  for (core::Algorithm algo : algos) {
+    core::EngineOptions base;
+    base.algorithm = algo;
+    base.cores = cores;
+    base.machine = machine;
+    base.recover.checkpoint_every = 2;
+    const Row clean = run_row(w, base, 0, -1);
+    std::printf("\n-- %s  (no audits, no flips: %.3f ms) --\n",
+                core::to_string(algo), clean.total * 1e3);
+    print_sweep(w, base, clean.total, flip_rank, flip_level);
+  }
+
+  std::printf(
+      "\nexpected: clean-run audit overhead grows linearly as k drops (one "
+      "O(n/p) shard walk plus an allreduce per audited level), staying a "
+      "small slice of BFS time at this scale; with the flip injected, "
+      "tighter cadences detect the corruption closer to the level that "
+      "planted it, so the rollback replays fewer levels and total time "
+      "converges toward the audit-only rows; the k=0 row leans on the "
+      "end-of-run audit and checkpoint verification alone, paying the "
+      "longest replay\n");
+
+  // BENCH-style record for the continuous-benchmark tooling: the flipped
+  // 2D point at audit cadence 2 (checkpoints every 2). The flip fires
+  // once, on the first search of repetition 0 — later repetitions are
+  // corruption-free and price the audit cadence into the noise model.
+  BenchSpec spec;
+  spec.name = "rmat" + std::to_string(scale) + "_sdc_2d_c" +
+              std::to_string(cores);
+  spec.created_by = "ablation_audit";
+  spec.scale = scale;
+  spec.sources = bench_sources(2);
+  spec.repetitions = 3;
+  spec.paper_log2_edges = 33.0;
+  spec.engine.algorithm = core::Algorithm::kTwoDFlat;
+  spec.engine.cores = cores;
+  spec.engine.machine = model::hopper();
+  {
+    simmpi::MemFlip flip;
+    flip.rank = flip_rank;
+    flip.at_level = flip_level;
+    flip.target = simmpi::FlipTarget::kParents;
+    spec.engine.faults.mem_flips.push_back(flip);
+  }
+  spec.engine.recover.checkpoint_every = 2;
+  spec.engine.recover.audit_every = 2;
+  const obs::BenchRecord record = run_bench_record(spec);
+  const std::string path =
+      out_dir + "/" + obs::bench_record_filename(record.name);
+  obs::save_bench_record(path, record);
+  std::printf("\nwrote %s  (%s)\n", path.c_str(),
+              describe_bench_record(record).c_str());
+  return 0;
+}

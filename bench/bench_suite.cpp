@@ -8,8 +8,11 @@
 //   bench_suite [--out-dir=DIR] [--scales=14,15,16] [--algos=1d,2d]
 //               [--wires=raw,auto] [--cores=N] [--reps=N] [--sources=N]
 //               [--direction=topdown|bottomup|hybrid] [--slow-beta=X] [--list]
-//               [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
+//               [--fault-plan=kill:RANK@levelL[,...] |
+//                --fault-plan=flip:RANK@levelL:target[,...] |
+//                --fault-plan=FILE.json]
 //               [--checkpoint-every=K] [--recover-policy=shrink|spare]
+//               [--audit-every=K]
 //
 // A fault plan applies to every configuration in the matrix. A scheduled
 // kill fires once per record (the engine consumes it on the first
@@ -115,6 +118,8 @@ int main(int argc, char** argv) {
       opt.recover.checkpoint_every = std::stoi(arg.substr(19));
     } else if (arg.rfind("--recover-policy=", 0) == 0) {
       opt.recover.policy = recover::parse_policy(arg.substr(17));
+    } else if (arg.rfind("--audit-every=", 0) == 0) {
+      opt.recover.audit_every = std::stoi(arg.substr(14));
     } else if (arg == "--list") {
       opt.list_only = true;
     } else {
@@ -128,6 +133,8 @@ int main(int argc, char** argv) {
     try {
       if (opt.fault_plan.rfind("kill:", 0) == 0) {
         faults.rank_kills = simmpi::parse_kill_specs(opt.fault_plan.substr(5));
+      } else if (opt.fault_plan.rfind("flip:", 0) == 0) {
+        faults.mem_flips = simmpi::parse_flip_specs(opt.fault_plan.substr(5));
       } else {
         std::ifstream plan_file(opt.fault_plan);
         if (!plan_file) {

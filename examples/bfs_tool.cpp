@@ -148,11 +148,17 @@ int main(int argc, char** argv) {
       .describe("corrupt-mode", "bitflip | drop | dup | mix", "mix")
       .describe("fault-plan",
                 "kill:RANK@levelL[,RANK@tSECONDS...] for fail-stop rank "
-                "kills, or a path to a fault-plan JSON file (replaces the "
-                "other fault flags)")
+                "kills, flip:RANK@levelL:target[,...] for at-rest memory "
+                "corruption (target: parents | levels | visited | dirop | "
+                "checkpoint), or a path to a fault-plan JSON file "
+                "(replaces the other fault flags)")
       .describe("checkpoint-every",
                 "checkpoint cadence in levels for fail-stop recovery "
                 "(0 = source-only replay)",
+                "0")
+      .describe("audit-every",
+                "SDC state-audit cadence in levels (0 = only audit when "
+                "a fault plan injects memory flips)",
                 "0")
       .describe("recover-policy",
                 "what replaces a dead rank: shrink | spare", "shrink")
@@ -220,6 +226,8 @@ int main(int argc, char** argv) {
     if (!fault_plan.empty()) {
       if (fault_plan.rfind("kill:", 0) == 0) {
         faults.rank_kills = simmpi::parse_kill_specs(fault_plan.substr(5));
+      } else if (fault_plan.rfind("flip:", 0) == 0) {
+        faults.mem_flips = simmpi::parse_flip_specs(fault_plan.substr(5));
       } else {
         std::ifstream plan_file(fault_plan);
         if (!plan_file) {
@@ -238,6 +246,8 @@ int main(int argc, char** argv) {
         recover::parse_policy(args.get("recover-policy", "shrink"));
     opts.recover.spare_ranks =
         static_cast<int>(args.get_int("spare-ranks", 1));
+    opts.recover.audit_every =
+        static_cast<int>(args.get_int("audit-every", 0));
 
     const std::string trace_out = args.get("trace-out", "");
     opts.trace = !trace_out.empty();
@@ -281,15 +291,22 @@ int main(int argc, char** argv) {
     core::BatchResult batch;
     try {
       batch = engine.run_batch(sources, built.directed_edge_count);
-    } catch (const simmpi::RankFailedError&) {
-      // An unrecovered fail-stop kill: dump the black box before dying so
-      // the last collectives, codec decisions, and levels are on disk.
+    } catch (const simmpi::FaultError&) {
+      // An unrecovered fault (fail-stop kill or an SDC audit failure the
+      // rollback path could not repair): dump the black box before dying
+      // so the last collectives, codec decisions, and levels are on disk.
       dump_flight(flight_out.empty() ? "FLIGHT_ERROR.json" : flight_out);
       throw;
     }
     if (batch.failed > 0) {
       std::fprintf(stderr, "VALIDATION FAILED (%d/%zu sources): %s\n",
                    batch.failed, sources.size(), batch.first_error.c_str());
+      if (!batch.first_error_check.empty()) {
+        std::fprintf(stderr,
+                     "  invariant: %s (sample vertex %lld)\n",
+                     batch.first_error_check.c_str(),
+                     static_cast<long long>(batch.first_error_vertex));
+      }
       dump_flight(flight_out.empty() ? "FLIGHT_ERROR.json" : flight_out);
       return 1;
     }
@@ -324,6 +341,18 @@ int main(int argc, char** argv) {
           static_cast<long long>(r.recover.replayed_levels),
           r.recover.recovery_seconds,
           static_cast<long long>(r.recover.checkpoints_taken));
+    }
+    if (r.sdc.enabled) {
+      std::printf(
+          "sdc (first run): %lld audit(s) (%lld failed, %.2e s), %lld "
+          "flip(s) injected, %lld rollback(s) repairing %lld level(s), "
+          "%lld checkpoint(s) rejected\n",
+          static_cast<long long>(r.sdc.audits),
+          static_cast<long long>(r.sdc.audit_failures), r.sdc.audit_seconds,
+          static_cast<long long>(r.sdc.flips_injected),
+          static_cast<long long>(r.sdc.rollbacks),
+          static_cast<long long>(r.sdc.replayed_levels),
+          static_cast<long long>(r.sdc.checkpoints_rejected));
     }
     if (engine.tracer() != nullptr || engine.metrics() != nullptr ||
         engine.comm_atlas() != nullptr) {

@@ -8,8 +8,11 @@
 //             [--atlas-out=PATH] [--metrics-format=openmetrics|json]
 //             [--wire-format=raw|sieve|bitmap|varint|auto]
 //             [--direction=topdown|bottomup|hybrid] [--alpha=A] [--beta=B]
-//             [--fault-plan=kill:RANK@levelL[,...] | --fault-plan=FILE.json]
+//             [--fault-plan=kill:RANK@levelL[,...] |
+//              --fault-plan=flip:RANK@levelL:target[,...] |
+//              --fault-plan=FILE.json]
 //             [--checkpoint-every=K] [--recover-policy=shrink|spare]
+//             [--audit-every=K]
 //   algorithm in {1d, 1d-hybrid, 2d, 2d-hybrid}
 //
 // --bench-out writes the run as a BENCH_*.json-style BenchRecord (single
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
       recover_opts.checkpoint_every = std::atoi(argv[i] + 19);
     } else if (std::strncmp(argv[i], "--recover-policy=", 17) == 0) {
       recover_opts.policy = recover::parse_policy(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--audit-every=", 14) == 0) {
+      recover_opts.audit_every = std::atoi(argv[i] + 14);
     } else {
       positional.push_back(argv[i]);
     }
@@ -121,6 +126,8 @@ int main(int argc, char** argv) {
   if (!fault_plan.empty()) {
     if (fault_plan.rfind("kill:", 0) == 0) {
       opts.faults.rank_kills = simmpi::parse_kill_specs(fault_plan.substr(5));
+    } else if (fault_plan.rfind("flip:", 0) == 0) {
+      opts.faults.mem_flips = simmpi::parse_flip_specs(fault_plan.substr(5));
     } else {
       std::ifstream plan_file(fault_plan);
       if (!plan_file) {
@@ -152,6 +159,11 @@ int main(int argc, char** argv) {
   if (batch.failed > 0) {
     std::fprintf(stderr, "VALIDATION FAILED for %d sources: %s\n",
                  batch.failed, batch.first_error.c_str());
+    if (!batch.first_error_check.empty()) {
+      std::fprintf(stderr, "  invariant: %s (sample vertex %lld)\n",
+                   batch.first_error_check.c_str(),
+                   static_cast<long long>(batch.first_error_vertex));
+    }
     return 1;
   }
   std::printf("validated BFS trees: %d/%zu\n", batch.validated,
@@ -165,6 +177,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(r.rank_failures), r.policy.c_str(),
         static_cast<long long>(r.replayed_levels),
         static_cast<long long>(r.checkpoints_taken));
+  }
+  if (!batch.reports.empty() && batch.reports.front().sdc.enabled) {
+    const bfs::SdcReport& s = batch.reports.front().sdc;
+    std::printf(
+        "sdc (first key): %lld audit(s), %lld failure(s), %lld flip(s) "
+        "injected, %lld rollback(s) repairing %lld level(s)\n",
+        static_cast<long long>(s.audits),
+        static_cast<long long>(s.audit_failures),
+        static_cast<long long>(s.flips_injected),
+        static_cast<long long>(s.rollbacks),
+        static_cast<long long>(s.replayed_levels));
   }
 
   const auto teps = core::compute_teps(batch.reports,

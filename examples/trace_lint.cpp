@@ -250,6 +250,8 @@ const std::set<std::string> kSpanNames = {
     "2d-bu-frontier", "2d-bu-complete", "2d-bu-result", "dirop-sync",
     // fail-stop recovery (src/recover/)
     "checkpoint", "failure-detect", "recover-restore",
+    // silent-data-corruption resilience (src/bfs/audit.*)
+    "sdc-audit", "sdc-rollback",
 };
 const std::set<std::string> kInstantNames = {"collective-failure",
                                              "checksum-retry", "rank-killed"};
@@ -341,7 +343,7 @@ int lint(const JsonValue& root) {
 
 const std::set<std::string> kFlightKinds = {"collective", "wire", "checkpoint",
                                             "recover", "fault", "level",
-                                            "dirop", "atlas"};
+                                            "dirop", "atlas", "audit"};
 
 int lint_flight(const JsonValue& flight) {
   const auto complain = [](const std::string& why) {

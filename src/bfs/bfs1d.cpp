@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bfs/audit.hpp"
 #include "bfs/finalize.hpp"
 #include "bfs/frontier.hpp"
 #include "comm/sieve.hpp"
@@ -42,6 +43,10 @@ struct Bfs1D::Impl {
   graph::EdgeList edges_keep;
   recover::CheckpointStore store;
   RecoverReport rec;  ///< per-run recovery accounting; reset by run()
+  SdcShadow shadow;   ///< write-time ABFT shard checksums (audit.hpp)
+  SdcReport sdc;      ///< per-run SDC accounting; reset by run()
+  bool sdc_on = false;  ///< audits armed or at-rest flips scheduled
+  vid_t source_ = 0;    ///< the run's source (rollback re-roots from it)
 
   static dist::LocalGraph1D make_local(const graph::EdgeList& edges,
                                        vid_t n, const Bfs1DOptions& opts) {
@@ -339,16 +344,64 @@ struct Bfs1D::Impl {
     }
   }
 
-  /// Handle one fail-stop death: shrink or promote, restore the last
-  /// snapshot, and leave the loop state positioned to replay from the
-  /// checkpointed level. Throws the original error onward when recovery
-  /// is impossible (no snapshot, spares exhausted, or nothing to shrink
-  /// to).
+  /// Roll the live traversal state back to `ckpt` — or, for the implicit
+  /// empty snapshot, back to just the source. Rebuilds the frontier
+  /// buckets, the sender-side sieve (conservatively: every rank knows
+  /// every checkpointed-visited vertex — a superset of what each rank
+  /// had learned is safe, such candidates can never win a distance
+  /// check), and the ABFT shadow sums. Shared by the fail-stop and the
+  /// SDC-rollback paths.
+  void restore_state(const recover::Checkpoint& ckpt, BfsOutput& out,
+                     std::vector<std::vector<vid_t>>& fs,
+                     vid_t& global_frontier, level_t& level) {
+    const auto p = static_cast<std::size_t>(opts.ranks);
+    const auto& part = local.partition();
+    fs.assign(p, {});
+    if (ckpt.level.empty()) {
+      // Replay from the source: every stored replica was corrupt (or
+      // none was ever taken under this arm).
+      out.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+      out.level.assign(static_cast<std::size_t>(n), kUnreached);
+      out.parent[static_cast<std::size_t>(source_)] = source_;
+      out.level[static_cast<std::size_t>(source_)] = 0;
+      global_frontier = 1;
+      fs[static_cast<std::size_t>(part.owner(source_))].push_back(source_);
+    } else {
+      out.parent = ckpt.parent;
+      out.level = ckpt.level;
+      global_frontier = static_cast<vid_t>(ckpt.global_frontier);
+      for (vid_t v : ckpt.frontier) {
+        fs[static_cast<std::size_t>(part.owner(v))].push_back(v);
+      }
+    }
+    level = static_cast<level_t>(ckpt.levels_completed) + 1;
+    out.report.levels.resize(static_cast<std::size_t>(ckpt.levels_completed));
+    if (wire_mode()) {
+      sieve.reset(opts.ranks, n);
+      for (vid_t v = 0; v < n; ++v) {
+        if (out.level[static_cast<std::size_t>(v)] != kUnreached) {
+          sieve.mark_all(v);
+        }
+      }
+    }
+    if (sdc_on) {
+      shadow.reset(opts.ranks);
+      shadow.rebuild(out.parent, out.level,
+                     [&part](vid_t v) { return part.owner(v); });
+    }
+  }
+
+  /// Handle one fail-stop death: shrink or promote, restore the newest
+  /// *clean* snapshot (verify-on-restore: stored replicas failing their
+  /// content checksum or the structural audit are skipped), and leave
+  /// the loop state positioned to replay from the checkpointed level.
+  /// Throws the original error onward when recovery is impossible
+  /// (spares exhausted or nothing to shrink to).
   void recover_from(const simmpi::RankFailedError& dead, BfsOutput& out,
                     std::vector<std::vector<vid_t>>& fs,
                     vid_t& global_frontier, level_t& level) {
     if (!store.armed()) throw dead;
-    const recover::Checkpoint& ckpt = store.latest();
+    const recover::Checkpoint& ckpt = store.newest_clean(source_);
     const simmpi::FaultPlan& plan = cluster.faults();
     const double detect_seconds = model::cost_failure_detection(
         cluster.machine(), plan.max_collective_retries,
@@ -404,30 +457,11 @@ struct Bfs1D::Impl {
       restore_bytes = recover::restore_payload_bytes(ckpt);
     }
 
-    // Roll the traversal state back to the snapshot.
-    out.parent = ckpt.parent;
-    out.level = ckpt.level;
-    out.report.levels.resize(static_cast<std::size_t>(ckpt.levels_completed));
-    global_frontier = static_cast<vid_t>(ckpt.global_frontier);
-    level = static_cast<level_t>(ckpt.levels_completed) + 1;
-    const auto p = static_cast<std::size_t>(opts.ranks);
-    fs.assign(p, {});
-    const auto& part = local.partition();
-    for (vid_t v : ckpt.frontier) {
-      fs[static_cast<std::size_t>(part.owner(v))].push_back(v);
-    }
-    if (wire_mode()) {
-      // Conservative sieve rebuild: every rank knows every vertex visited
-      // by the checkpoint. A superset of what each rank had learned is
-      // safe — such candidates can never win a distance check — it only
-      // drops more dead traffic during the replay.
-      sieve.reset(opts.ranks, n);
-      for (vid_t v = 0; v < n; ++v) {
-        if (out.level[static_cast<std::size_t>(v)] != kUnreached) {
-          sieve.mark_all(v);
-        }
-      }
-    }
+    // Roll the traversal state back to the snapshot, dropping any newer
+    // (possibly corrupt) replicas from the store so the replay can't
+    // restore past its own restart point.
+    store.rollback_to(ckpt);
+    restore_state(ckpt, out, fs, global_frontier, level);
 
     ++rec.rank_failures;
     rec.replayed_levels += lost_levels;
@@ -471,6 +505,187 @@ struct Bfs1D::Impl {
     }
   }
 
+  /// Apply one deterministic at-rest corruption event to this engine's
+  /// live state. The victim entry and the flipped bit are drawn from the
+  /// plan's flip_shape so a rollback-replay re-injects the exact same
+  /// damage (and the audit catches it the exact same way) — mirrors the
+  /// in-flight corrupt_buffer idiom in simmpi/comm.cpp.
+  void apply_flip(const simmpi::MemFlip& flip, BfsOutput& out) {
+    if (flip.rank < 0 || flip.rank >= opts.ranks) return;
+    const std::uint64_t shape = cluster.faults().flip_shape(flip);
+    const auto& part = local.partition();
+    bool applied = false;
+    switch (flip.target) {
+      case simmpi::FlipTarget::kParents:
+      case simmpi::FlipTarget::kLevels: {
+        // Pick the k-th visited vertex in the victim rank's shard and
+        // flip one bit of its parent (or level) entry.
+        const vid_t lo = part.begin(flip.rank);
+        const vid_t hi = part.end(flip.rank);
+        vid_t count = 0;
+        for (vid_t v = lo; v < hi; ++v) {
+          if (out.level[static_cast<std::size_t>(v)] != kUnreached) ++count;
+        }
+        if (count == 0) break;
+        vid_t pick = static_cast<vid_t>((shape >> 16) %
+                                        static_cast<std::uint64_t>(count));
+        vid_t victim = lo;
+        for (vid_t v = lo; v < hi; ++v) {
+          if (out.level[static_cast<std::size_t>(v)] == kUnreached) continue;
+          if (pick == 0) {
+            victim = v;
+            break;
+          }
+          --pick;
+        }
+        if (flip.target == simmpi::FlipTarget::kParents) {
+          auto& slot = out.parent[static_cast<std::size_t>(victim)];
+          const std::size_t byte = (shape >> 40) % sizeof(slot);
+          reinterpret_cast<unsigned char*>(&slot)[byte] ^=
+              static_cast<unsigned char>(1u << ((shape >> 50) % 8));
+        } else {
+          auto& slot = out.level[static_cast<std::size_t>(victim)];
+          const std::size_t byte = (shape >> 40) % sizeof(slot);
+          reinterpret_cast<unsigned char*>(&slot)[byte] ^=
+              static_cast<unsigned char>(1u << ((shape >> 50) % 8));
+        }
+        applied = true;
+        break;
+      }
+      case simmpi::FlipTarget::kVisited: {
+        // Set a spurious bit in the victim rank's sender-side sieve —
+        // the bitmap corruption that can change the answer (it would
+        // suppress future sends of an unvisited vertex). corrupt()
+        // bypasses the sieve's mark checksum, so the auditor detects it
+        // even after the victim vertex is legitimately visited.
+        if (!wire_mode() || !sieve.active()) break;
+        vid_t count = 0;
+        for (vid_t v = 0; v < n; ++v) {
+          if (out.level[static_cast<std::size_t>(v)] == kUnreached &&
+              !sieve.test(flip.rank, v)) {
+            ++count;
+          }
+        }
+        if (count == 0) break;
+        vid_t pick = static_cast<vid_t>((shape >> 16) %
+                                        static_cast<std::uint64_t>(count));
+        for (vid_t v = 0; v < n; ++v) {
+          if (out.level[static_cast<std::size_t>(v)] != kUnreached ||
+              sieve.test(flip.rank, v)) {
+            continue;
+          }
+          if (pick == 0) {
+            sieve.corrupt(flip.rank, v);
+            applied = true;
+            break;
+          }
+          --pick;
+        }
+        break;
+      }
+      case simmpi::FlipTarget::kDirop:
+        // The 1D engine carries no direction-heuristic state; the event
+        // is a no-op here (the 2D hybrid engine honours it).
+        break;
+      case simmpi::FlipTarget::kCheckpoint:
+        applied = store.corrupt_latest(shape);
+        break;
+    }
+    if (!applied) return;
+    ++sdc.flips_injected;
+    if (opts.metrics != nullptr) ++opts.metrics->counter("sdc.flips_injected");
+    if (opts.flight != nullptr) {
+      opts.flight
+          ->append("fault", "mem-flip", cluster.clocks().max_now(), flip.rank,
+                   cluster.current_level())
+          .set("target", static_cast<double>(static_cast<int>(flip.target)))
+          .set("at_level", static_cast<double>(flip.at_level));
+    }
+  }
+
+  /// Consume and apply every scheduled flip that is due after
+  /// `completed` levels (the simulated hardware fault firing between two
+  /// level barriers).
+  void inject_due_flips(BfsOutput& out, int completed) {
+    for (const simmpi::MemFlip& flip : cluster.take_due_flips(completed)) {
+      apply_flip(flip, out);
+    }
+  }
+
+  /// One audit barrier: scrub the checkpoint store (rejecting replicas
+  /// whose content checksum no longer matches), then run the priced ABFT
+  /// state audit. Throws AuditFailedError on any detected corruption.
+  void audit_now(BfsOutput& out) {
+    if (store.armed()) {
+      const int rejected = store.scrub();
+      if (rejected > 0) {
+        sdc.checkpoints_rejected += rejected;
+        if (opts.metrics != nullptr) {
+          opts.metrics->counter("sdc.checkpoints_rejected") += rejected;
+        }
+      }
+    }
+    const auto& part = local.partition();
+    SdcAuditInputs in;
+    in.parent = out.parent;
+    in.level = out.level;
+    in.shadow = &shadow;
+    in.owner = [&part](vid_t v) { return part.owner(v); };
+    in.source = source_;
+    in.sieve = wire_mode() ? &sieve : nullptr;
+    ++sdc.audits;
+    try {
+      const SdcAuditResult res =
+          run_sdc_audit(cluster, world, in, "sdc-audit");
+      sdc.audit_seconds += res.audit_seconds;
+    } catch (const simmpi::AuditFailedError&) {
+      ++sdc.audit_failures;
+      throw;
+    }
+  }
+
+  /// Recover from a failed audit: roll back to the newest clean snapshot
+  /// (implicit level-0 fallback = replay from the source) and leave the
+  /// loop positioned to replay. The priced restore goes last, mirroring
+  /// recover_from, so a kill due during the rollback unwinds cleanly.
+  void rollback_from(const simmpi::AuditFailedError& bad, BfsOutput& out,
+                     std::vector<std::vector<vid_t>>& fs,
+                     vid_t& global_frontier, level_t& level) {
+    if (!store.armed()) throw bad;
+    // Runaway guard: a shadow-bookkeeping bug would otherwise loop
+    // rollback→replay→fail forever. Real injected flips are consumed on
+    // first application, so legitimate runs never get near this.
+    if (sdc.rollbacks >= 32) throw bad;
+    const int completed = static_cast<int>(out.report.levels.size());
+    const recover::Checkpoint& ckpt = store.newest_clean(source_);
+    const int lost_levels = completed - ckpt.levels_completed;
+    store.rollback_to(ckpt);
+    restore_state(ckpt, out, fs, global_frontier, level);
+    ++sdc.rollbacks;
+    sdc.replayed_levels += lost_levels;
+    if (opts.metrics != nullptr) {
+      ++opts.metrics->counter("sdc.rollbacks");
+      opts.metrics->counter("sdc.replayed_levels") += lost_levels;
+    }
+    const std::uint64_t restore_bytes = recover::restore_payload_bytes(ckpt);
+    const int divisor = std::max(1, opts.ranks);
+    const double restore_seconds = model::cost_p2p(
+        cluster.machine(),
+        static_cast<std::size_t>(restore_bytes /
+                                 static_cast<std::uint64_t>(divisor)));
+    sdc.rollback_seconds += restore_seconds;
+    simmpi::sync_collective(cluster, world, restore_seconds, "sdc-rollback",
+                            simmpi::Pattern::kPointToPoint, restore_bytes);
+    if (opts.flight != nullptr) {
+      opts.flight
+          ->append("recover", "sdc-rollback", cluster.clocks().max_now(),
+                   bad.rank(), ckpt.levels_completed)
+          .set("replayed_levels", static_cast<double>(lost_levels))
+          .set("restore_bytes", static_cast<double>(restore_bytes))
+          .set("restore_seconds", restore_seconds);
+    }
+  }
+
   /// The level-synchronous loop (Algorithm 2), resumable: runs from the
   /// current (fs, global_frontier, level) state to termination.
   void traverse(BfsOutput& out, std::vector<std::vector<vid_t>>& fs,
@@ -498,20 +713,37 @@ BfsOutput Bfs1D::run(vid_t source) {
   }
   im.cluster.reset_accounting();
   im.rec = RecoverReport{};
+  im.sdc = SdcReport{};
+  im.source_ = source;
 
-  // Recovery armed = kills still scheduled on this communicator, or an
-  // explicit checkpoint cadence. Armed-but-unkilled runs snapshot for
+  // SDC machinery armed = an audit cadence was requested or at-rest
+  // flips are scheduled. Everything it does (shadow sums, audits, final
+  // sweep) is gated on this so a plain run stays bit-identical.
+  const bool sdc_on = im.opts.recover.audit_every > 0 ||
+                      !im.cluster.faults().mem_flips.empty();
+  im.sdc_on = sdc_on;
+  if (sdc_on) {
+    im.sdc.enabled = true;
+    im.sdc.audit_every = im.opts.recover.audit_every;
+    im.shadow.reset(im.opts.ranks);
+  }
+
+  // Recovery armed = kills still scheduled on this communicator, an
+  // explicit checkpoint cadence, or SDC resilience (audits need clean
+  // snapshots to roll back to). Armed-but-unkilled runs snapshot for
   // free (overlapped replication), so they stay bit-identical.
-  const bool armed = !im.cluster.faults().rank_kills.empty() ||
-                     im.opts.recover.checkpoint_every > 0;
-  if (armed) {
-    im.store.arm(im.opts.recover);
+  const bool recover_armed = !im.cluster.faults().rank_kills.empty() ||
+                             im.opts.recover.checkpoint_every > 0;
+  const bool armed = recover_armed || sdc_on;
+  if (armed) im.store.arm(im.opts.recover);
+  if (recover_armed) {
     im.rec.enabled = true;
     im.rec.checkpoint_every = im.opts.recover.checkpoint_every;
     im.rec.policy = recover::to_string(im.opts.recover.policy);
   }
 
   if (im.wire_mode()) {
+    im.sieve.enable_checksums(sdc_on);
     im.sieve.reset(im.opts.ranks, n);
     // Every rank knows the source is visited before the first exchange.
     im.sieve.mark_all(source);
@@ -530,6 +762,9 @@ BfsOutput Bfs1D::run(vid_t source) {
   out.level[source] = 0;
   fs[static_cast<std::size_t>(im.local.partition().owner(source))].push_back(
       source);
+  if (sdc_on) {
+    im.shadow.add(im.local.partition().owner(source), source, source, 0);
+  }
 
   out.report.has_level_breakdown = im.cluster.observing();
 
@@ -543,14 +778,33 @@ BfsOutput Bfs1D::run(vid_t source) {
     try {
       im.traverse(out, fs, global_frontier, level, armed);
       break;
+    } catch (const simmpi::AuditFailedError& bad) {
+      im.rollback_from(bad, out, fs, global_frontier, level);
     } catch (const simmpi::RankFailedError& dead) {
-      im.recover_from(dead, out, fs, global_frontier, level);
+      // A second death detected during the restore collective unwinds
+      // out of recover_from; keep recovering as long as each attempt
+      // consumed its kill from the plan. An unrecoverable rethrow
+      // (spares exhausted, nothing to shrink to) throws before
+      // consuming, leaves the plan untouched, and escapes here.
+      simmpi::RankFailedError cur = dead;
+      while (true) {
+        const std::size_t kills_before =
+            im.cluster.faults().rank_kills.size();
+        try {
+          im.recover_from(cur, out, fs, global_frontier, level);
+          break;
+        } catch (const simmpi::RankFailedError& next) {
+          if (im.cluster.faults().rank_kills.size() >= kills_before) throw;
+          cur = next;
+        }
+      }
     }
   }
   im.cluster.set_trace_level(-1);
 
   finalize_report(out.report, im.cluster);
   out.report.recover = im.rec;
+  out.report.sdc = im.sdc;
   return out;
 }
 
@@ -563,6 +817,7 @@ void Bfs1D::Impl::traverse(BfsOutput& out,
   const int t = im.opts.threads_per_rank;
   const auto& part = im.local.partition();
   const bool wire = im.wire_mode();
+  const bool sdc = im.sdc_on;
   const bool observing = im.cluster.observing();
   std::vector<double> comm_before, comp_before;
   while (global_frontier > 0) {
@@ -690,6 +945,9 @@ void Bfs1D::Impl::traverse(BfsOutput& out,
         if (out.level[c.vertex] == kUnreached) {
           out.level[c.vertex] = level;
           out.parent[c.vertex] = c.parent;
+          // The write-time shadow mirrors every owner-side mutation
+          // (rank-private slot ri — safe inside for_each_rank).
+          if (sdc) im.shadow.add(r, c.vertex, c.parent, level);
           fs[ri].push_back(c.vertex);
         } else if (out.level[c.vertex] == level &&
                    c.parent > out.parent[c.vertex]) {
@@ -698,6 +956,10 @@ void Bfs1D::Impl::traverse(BfsOutput& out,
           // independent of partition shape and arrival order — which is
           // what lets a replay after a shrink reproduce the fault-free
           // parents bit-for-bit.
+          if (sdc) {
+            im.shadow.replace(r, c.vertex, out.parent[c.vertex], level,
+                              c.parent, level);
+          }
           out.parent[c.vertex] = c.parent;
         }
       }
@@ -766,10 +1028,28 @@ void Bfs1D::Impl::traverse(BfsOutput& out,
     }
     out.report.levels.push_back(stats);
     ++level;
-    if (armed && global_frontier > 0 &&
-        im.store.due(static_cast<int>(out.report.levels.size()))) {
+    // Level barrier, in hazard order: (1) scheduled at-rest flips fire,
+    // (2) the audit (if due) sees them, (3) only then may a checkpoint
+    // snapshot the (now audited) state.
+    const int completed = static_cast<int>(out.report.levels.size());
+    if (sdc) {
+      im.inject_due_flips(out, completed);
+      if (im.opts.recover.audit_every > 0 && global_frontier > 0 &&
+          completed % im.opts.recover.audit_every == 0) {
+        im.audit_now(out);
+      }
+    }
+    if (armed && global_frontier > 0 && im.store.due(completed)) {
       im.take_checkpoint(out, fs, global_frontier);
     }
+  }
+  if (sdc) {
+    // Final sweep: flips scheduled at or past the last level still fire,
+    // and a closing audit guarantees every injected corruption is either
+    // detected here or was already repaired — even with auditing off
+    // (audit_every == 0), a flip-carrying run never returns unchecked.
+    im.inject_due_flips(out, static_cast<int>(out.report.levels.size()));
+    im.audit_now(out);
   }
 }
 

@@ -86,6 +86,24 @@ struct RecoverReport {
   int spares_used = 0;
 };
 
+/// Silent-data-corruption resilience outcome of one run (see
+/// src/bfs/audit.*). `enabled` gates the JSON `sdc` block like
+/// RecoverReport gates `recover`: a run with auditing off and no at-rest
+/// fault plan emits nothing and stays byte-identical to the pre-SDC
+/// engine.
+struct SdcReport {
+  bool enabled = false;        ///< audits armed or at-rest flips scheduled
+  int audit_every = 0;
+  std::int64_t audits = 0;             ///< audit barriers executed
+  std::int64_t audit_failures = 0;     ///< audits that detected corruption
+  std::int64_t flips_injected = 0;     ///< at-rest flips actually applied
+  std::int64_t rollbacks = 0;          ///< clean-checkpoint restores taken
+  std::int64_t replayed_levels = 0;    ///< levels recomputed after rollbacks
+  std::int64_t checkpoints_rejected = 0;  ///< stored replicas failing scrub
+  double audit_seconds = 0.0;          ///< virtual time spent auditing
+  double rollback_seconds = 0.0;       ///< virtual time spent rolling back
+};
+
 /// Direction-optimization outcome of one run. `enabled` gates the JSON
 /// `dirop` block the same way RecoverReport gates `recover`: a pure
 /// top-down run (the default) emits nothing and stays byte-identical to
@@ -159,6 +177,9 @@ struct RunReport {
 
   /// Fail-stop recovery outcome (zero when no rank died).
   RecoverReport recover;
+
+  /// SDC audit/rollback outcome (disabled unless audits or flips armed).
+  SdcReport sdc;
 
   /// Direction-optimization outcome (disabled for pure top-down runs).
   DiropReport dirop;

@@ -116,6 +116,22 @@ void write_report_json(std::ostream& out, const RunReport& report,
         << ",\"spares_used\":" << r.spares_used << "}";
   }
 
+  if (report.sdc.enabled) {
+    // Emitted only when audits or at-rest flips were armed: a plain run
+    // keeps its report byte-identical to the pre-SDC engine.
+    const SdcReport& s = report.sdc;
+    out << ",\"sdc\":{"
+        << "\"audit_every\":" << s.audit_every
+        << ",\"audits\":" << s.audits
+        << ",\"audit_failures\":" << s.audit_failures
+        << ",\"flips_injected\":" << s.flips_injected
+        << ",\"rollbacks\":" << s.rollbacks
+        << ",\"replayed_levels\":" << s.replayed_levels
+        << ",\"checkpoints_rejected\":" << s.checkpoints_rejected
+        << ",\"audit_seconds\":" << s.audit_seconds
+        << ",\"rollback_seconds\":" << s.rollback_seconds << "}";
+  }
+
   if (report.dirop.enabled) {
     // Direction-aware runs only: a pure top-down run (the default) emits
     // nothing here and its per-level objects below stay untouched, so

@@ -9,6 +9,7 @@ void Sieve::reset(int ranks, vid_t num_vertices) {
   for (auto& rank_words : words_) {
     rank_words.assign(words, 0);
   }
+  sums_.assign(static_cast<std::size_t>(ranks), 0);
 }
 
 }  // namespace dbfs::comm

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "util/prng.hpp"
 #include "util/types.hpp"
 
 namespace dbfs::comm {
@@ -35,9 +37,17 @@ class Sieve {
   }
 
   void mark(int rank, vid_t v) noexcept {
-    words_[static_cast<std::size_t>(rank)]
-          [static_cast<std::size_t>(v) >> 6] |=
-        std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+    auto& word = words_[static_cast<std::size_t>(rank)]
+                       [static_cast<std::size_t>(v) >> 6];
+    const std::uint64_t bit = std::uint64_t{1}
+                              << (static_cast<std::size_t>(v) & 63);
+    if (checksums_) {
+      // Keep the running mark checksum consistent under idempotent
+      // re-marks: only a transition contributes.
+      if ((word & bit) != 0) return;
+      sums_[static_cast<std::size_t>(rank)] += mark_hash(v);
+    }
+    word |= bit;
   }
 
   /// Mark `v` in every rank's bitmap (used for the run's source, which
@@ -48,8 +58,57 @@ class Sieve {
     }
   }
 
+  /// True once reset() sized bitmaps for at least one rank.
+  bool active() const noexcept { return !words_.empty(); }
+
+  /// Arm (or disarm) the ABFT mark checksums before the next reset():
+  /// every legitimate mark() transition then feeds a per-rank wrapping
+  /// sum of mark_hash(v). An at-rest bit flip (corrupt()) bypasses the
+  /// sum, so the state auditor detects it by recomputing the sum from
+  /// the words — whether or not the victim vertex is visited by then.
+  void enable_checksums(bool on) noexcept { checksums_ = on; }
+
+  bool checksums() const noexcept { return checksums_; }
+
+  /// Write-time running checksum of `rank`'s marks (zero when disarmed).
+  std::uint64_t sum(int rank) const noexcept {
+    return checksums_ ? sums_[static_cast<std::size_t>(rank)] : 0;
+  }
+
+  static std::uint64_t mark_hash(vid_t v) noexcept {
+    return util::mix64(0x5349455645ULL ^ static_cast<std::uint64_t>(v));
+  }
+
+  /// Flip one bitmap bit WITHOUT touching the running checksum — the
+  /// simulated hardware fault (fault-injection only; never a legitimate
+  /// mutation).
+  void corrupt(int rank, vid_t v) noexcept {
+    words_[static_cast<std::size_t>(rank)]
+          [static_cast<std::size_t>(v) >> 6] ^=
+        std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+  }
+
+  /// Visit every set bit of `rank`'s bitmap, ascending. Used by the state
+  /// auditor to verify marked ⊆ globally-visited — a spuriously set bit
+  /// suppresses future sends of an unvisited vertex, which is the one
+  /// sieve corruption that changes the answer.
+  template <typename Fn>
+  void for_each_marked(int rank, Fn&& fn) const {
+    const auto& words = words_[static_cast<std::size_t>(rank)];
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn(static_cast<vid_t>(w * 64 + static_cast<std::size_t>(bit)));
+      }
+    }
+  }
+
  private:
   std::vector<std::vector<std::uint64_t>> words_;
+  std::vector<std::uint64_t> sums_;  // per-rank mark checksums (ABFT)
+  bool checksums_ = false;
 };
 
 /// Filter and order one destination block in place before encoding:

@@ -227,7 +227,11 @@ BatchResult Engine::run_batch(std::span<const vid_t> sources,
         ++batch.validated;
       } else {
         ++batch.failed;
-        if (batch.first_error.empty()) batch.first_error = validation.error;
+        if (batch.first_error.empty()) {
+          batch.first_error = validation.error;
+          batch.first_error_check = validation.failed_check;
+          batch.first_error_vertex = validation.sample_vertex;
+        }
       }
     }
     teps_samples.push_back(out.report.teps(edge_denominator));

@@ -127,6 +127,11 @@ struct BatchResult {
   int validated = 0;           ///< sources whose output passed validation
   int failed = 0;
   std::string first_error;     ///< first validation failure, if any
+  /// Structured view of the first failure: the invariant identifier and
+  /// one offending vertex (see graph::ValidationResult); empty / -1 when
+  /// every source validated.
+  std::string first_error_check;
+  vid_t first_error_vertex = -1;
 };
 
 /// The machine's natural hybrid threading degree (paper §6: 4-way on

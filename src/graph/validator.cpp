@@ -8,10 +8,13 @@ namespace dbfs::graph {
 
 namespace {
 
-ValidationResult fail(std::string message) {
+ValidationResult fail(std::string message, std::string check,
+                      vid_t sample = -1) {
   ValidationResult r;
   r.ok = false;
   r.error = std::move(message);
+  r.failed_check = std::move(check);
+  r.sample_vertex = sample;
   return r;
 }
 
@@ -41,11 +44,14 @@ ValidationResult validate_bfs_tree(
     const std::vector<level_t>& ref_levels) {
   const vid_t n = g.num_vertices();
   if (static_cast<vid_t>(parent.size()) != n) {
-    return fail("parent array size mismatch");
+    return fail("parent array size mismatch", "array-size");
   }
-  if (source < 0 || source >= n) return fail("source out of range");
+  if (source < 0 || source >= n) {
+    return fail("source out of range", "source-range", source);
+  }
   if (parent[source] != source) {
-    return fail("parent[source] != source (check 1)");
+    return fail("parent[source] != source (check 1)", "source-parent",
+                source);
   }
 
   ValidationResult out;
@@ -64,10 +70,11 @@ ValidationResult validate_bfs_tree(
       if (p < 0 || p >= n) {
         std::ostringstream msg;
         msg << "vertex " << cur << " has out-of-range parent (check 2)";
-        return fail(msg.str());
+        return fail(msg.str(), "parent-range", cur);
       }
       if (static_cast<vid_t>(chain.size()) > n) {
-        return fail("parent pointers contain a cycle (check 2)");
+        return fail("parent pointers contain a cycle (check 2)",
+                    "parent-cycle", v);
       }
       cur = p;
     }
@@ -88,7 +95,7 @@ ValidationResult validate_bfs_tree(
         std::ostringstream msg;
         msg << "tree edge (" << v << ", " << parent[v]
             << ") not in graph (check 3)";
-        return fail(msg.str());
+        return fail(msg.str(), "tree-edge-missing", v);
       }
     }
   }
@@ -103,7 +110,7 @@ ValidationResult validate_bfs_tree(
         std::ostringstream msg;
         msg << "edge {" << u << "," << v
             << "} has exactly one visited endpoint (check 4)";
-        return fail(msg.str());
+        return fail(msg.str(), "edge-visited-mismatch", u_visited ? v : u);
       }
       if (u_visited) {
         ++out.traversed_edges;
@@ -111,7 +118,7 @@ ValidationResult validate_bfs_tree(
           std::ostringstream msg;
           msg << "edge {" << u << "," << v << "} spans levels "
               << out.levels[u] << " and " << out.levels[v] << " (check 4)";
-          return fail(msg.str());
+          return fail(msg.str(), "edge-level-span", v);
         }
       }
     }
@@ -120,14 +127,15 @@ ValidationResult validate_bfs_tree(
   // Check 5: shortest-path optimality against the reference.
   if (!ref_levels.empty()) {
     if (ref_levels.size() != out.levels.size()) {
-      return fail("reference level array size mismatch (check 5)");
+      return fail("reference level array size mismatch (check 5)",
+                  "reference-size");
     }
     for (vid_t v = 0; v < n; ++v) {
       if (out.levels[v] != ref_levels[v]) {
         std::ostringstream msg;
         msg << "vertex " << v << " at level " << out.levels[v]
             << ", reference says " << ref_levels[v] << " (check 5)";
-        return fail(msg.str());
+        return fail(msg.str(), "level-not-shortest", v);
       }
     }
   }

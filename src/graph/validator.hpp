@@ -25,6 +25,12 @@ struct ValidationResult {
   bool ok = true;
   std::string error;  ///< empty when ok
 
+  /// Structured failure report: which invariant broke (a stable
+  /// identifier like "tree-edge-missing") and one offending vertex, so
+  /// drivers and post-mortem tooling don't have to parse `error`.
+  std::string failed_check;  ///< empty when ok
+  vid_t sample_vertex = -1;  ///< -1 when ok or no single vertex applies
+
   /// Levels derived from the parent tree (kUnreached for unvisited).
   std::vector<level_t> levels;
   vid_t visited_count = 0;

@@ -215,6 +215,23 @@ double cost_thread_barriers(const MachineModel& m, int threads, int barriers) {
          (1.0 + 0.1 * static_cast<double>(threads));
 }
 
+double cost_sdc_audit(const MachineModel& m, const WorkAudit& w) {
+  const double global_bytes = static_cast<double>(w.n_global) * kWordBytes;
+  double serial =
+      // checksum pass: stream the shard's (parent, level) words and fold
+      // them into the running Fletcher sums
+      static_cast<double>(w.shard_vertices) * 2.0 * m.beta_local +
+      // tree-property probe: one irregular level[parent[v]] read per
+      // visited vertex, working set = the full distance array
+      static_cast<double>(w.visited_vertices) *
+          m.alpha_local(std::max(global_bytes, 64.0)) +
+      // sieve scan: stream the visited-bitmap words
+      static_cast<double>(w.sieve_words) * m.beta_local;
+  serial *= m.compute_scale;
+  const int t = std::max(1, w.threads);
+  return serial / (static_cast<double>(t) * m.thread_efficiency(t));
+}
+
 double cost_2d_bottom_up(const MachineModel& m, const WorkBottomUp& w) {
   const double support_bytes = static_cast<double>(w.x_dim) * kWordBytes;
   double serial =

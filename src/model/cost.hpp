@@ -118,6 +118,22 @@ double cost_2d_transpose_scan(const MachineModel& m,
 /// thread barriers (Algorithm 2 has four per level).
 double cost_thread_barriers(const MachineModel& m, int threads, int barriers);
 
+/// One rank's share of one ABFT state audit (src/bfs/audit.*): a
+/// streaming re-checksum pass over the rank's (parent, level) shard, an
+/// irregular tree-property probe per visited vertex (level[parent[v]]
+/// reads against the full distance array), and a streamed scan of the
+/// rank's sender-side sieve words. Audited runs pay this per cadence
+/// point, which is what the audit-cadence ablation trades against
+/// rollback depth.
+struct WorkAudit {
+  vid_t shard_vertices = 0;       ///< owned (parent, level) entries scanned
+  vid_t visited_vertices = 0;     ///< owned entries needing the tree probe
+  std::uint64_t sieve_words = 0;  ///< visited-bitmap words streamed
+  vid_t n_global = 0;             ///< distance-array size (probe working set)
+  int threads = 1;
+};
+double cost_sdc_audit(const MachineModel& m, const WorkAudit& w);
+
 // ---------- direction optimization ----------
 
 /// One rank's share of one *bottom-up* 2D level: the early-exit probe

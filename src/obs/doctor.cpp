@@ -248,6 +248,49 @@ DoctorReport diagnose(const BenchRecord& baseline,
                         std::move(detail)});
   }
 
+  // --- rollback-storm: SDC audits failed and forced rollback-replays;
+  // the replayed windows (plus the restores) are the regression.
+  const std::int64_t cand_rollbacks = counter_of(candidate, "sdc.rollbacks");
+  const std::int64_t base_rollbacks = counter_of(baseline, "sdc.rollbacks");
+  const bool rollback_fired = cand_rollbacks > base_rollbacks;
+  if (rollback_fired) {
+    const std::int64_t replayed =
+        counter_of(candidate, "sdc.replayed_levels");
+    const std::int64_t failures =
+        counter_of(candidate, "sdc.audit_failures");
+    const std::int64_t rejected =
+        counter_of(candidate, "sdc.checkpoints_rejected");
+    std::string detail =
+        std::to_string(cand_rollbacks - base_rollbacks) +
+        " audit-triggered rollback(s) (" + std::to_string(failures) +
+        " failed audit(s), " + std::to_string(replayed) +
+        " level(s) replayed";
+    if (rejected > 0) {
+      detail += ", " + std::to_string(rejected) +
+                " corrupt checkpoint(s) scrubbed";
+    }
+    detail += "); restore + replay of the lost windows is the overhead";
+    findings.push_back({"rollback-storm", 0.9, std::move(detail)});
+  }
+
+  // --- audit-overhead: the state-audit cadence itself costs compute —
+  // audits ran (more than the baseline's) without any failing, so the
+  // per-level scan + agreement allreduce is the only new work.
+  const std::int64_t cand_audits = counter_of(candidate, "sdc.audits");
+  const std::int64_t base_audits = counter_of(baseline, "sdc.audits");
+  if (!rollback_fired && cand_audits > base_audits &&
+      counter_of(candidate, "sdc.audit_failures") == 0) {
+    const auto levels = static_cast<double>(
+        candidate.levels.empty() ? 1 : candidate.levels.size());
+    findings.push_back(
+        {"audit-overhead", 0.8,
+         std::to_string(cand_audits - base_audits) +
+             " extra state audit(s) ran clean (cadence " +
+             fmt(static_cast<double>(cand_audits) / levels) +
+             " per level); the ABFT scan and its agreement allreduce are "
+             "the added work"});
+  }
+
   // Phase ratios for the machine-model and straggler signatures.
   const PhaseTotals base_t = level_totals(baseline);
   const PhaseTotals cand_t = level_totals(candidate);
@@ -396,11 +439,10 @@ DoctorReport diagnose(const BenchRecord& baseline,
         f.cause != "checkpoint-recovery-overhead") {
       f.confidence = std::min(f.confidence, 0.5);
     }
-    if (recovery_fired && (f.cause == "network-beta-drift" ||
-                           f.cause == "straggler-rank" ||
-                           f.cause == "traffic-skew" ||
-                           f.cause == "hotspot-rank" ||
-                           f.cause == "frontier-shape-change")) {
+    if ((recovery_fired || rollback_fired) &&
+        (f.cause == "network-beta-drift" || f.cause == "straggler-rank" ||
+         f.cause == "traffic-skew" || f.cause == "hotspot-rank" ||
+         f.cause == "frontier-shape-change")) {
       f.confidence = std::min(f.confidence, 0.6);
     }
   }

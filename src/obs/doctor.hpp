@@ -8,7 +8,8 @@
 // per-(level, phase) deltas by contribution to the slowdown, and match
 // the result against the known regression signatures — a straggling
 // rank, the auto codec degrading to raw blocks, checkpoint/recovery
-// overhead, α–β machine-model drift, a frontier-shape change — emitting
+// overhead, SDC audit cadence cost, audit-triggered rollback storms,
+// α–β machine-model drift, a frontier-shape change — emitting
 // a ranked, confidence-scored diagnosis in both human-readable text and
 // machine JSON.
 //
@@ -69,6 +70,8 @@ struct DoctorReport {
 ///   "wire-format-change"            config wire_format differs
 ///   "config-drift"                  other config fields differ
 ///   "checkpoint-recovery-overhead"  candidate survived rank failures
+///   "rollback-storm"                SDC audits forced rollback-replays
+///   "audit-overhead"                state-audit cadence costs compute
 ///   "straggler-rank"                busy/comp imbalance jumped; names rank
 ///   "network-beta-drift"            transfer up, compute flat, balance flat
 ///   "codec-raw-fallback"            compressing format shipping raw blocks

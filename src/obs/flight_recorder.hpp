@@ -35,7 +35,7 @@ struct FlightEvent {
 
   double t = 0.0;          ///< virtual seconds (cluster max_now)
   const char* kind = "";   ///< "collective", "wire", "checkpoint",
-                           ///< "recover", "fault", "level"
+                           ///< "recover", "fault", "level", "audit"
   const char* site = "";   ///< site label ("1d-fold", "2d-expand", ...)
   int rank = -1;           ///< affected rank; -1 = whole cluster
   int level = -1;          ///< BFS level current when recorded

@@ -1,7 +1,10 @@
 #include "recover/checkpoint.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "util/prng.hpp"
 
 namespace dbfs::recover {
 
@@ -21,10 +24,72 @@ Policy parse_policy(const std::string& name) {
   throw std::invalid_argument("unknown recovery policy: " + name);
 }
 
+std::uint64_t checkpoint_checksum(const Checkpoint& snapshot) noexcept {
+  std::uint64_t h = 0x6368656b73756dULL;  // "cheksum" seed
+  const auto mix = [&h](std::uint64_t v) { h = util::mix64(h ^ v); };
+  mix(static_cast<std::uint64_t>(snapshot.levels_completed));
+  mix(static_cast<std::uint64_t>(snapshot.global_frontier));
+  mix(snapshot.level.size());
+  for (level_t l : snapshot.level) mix(static_cast<std::uint64_t>(l));
+  mix(snapshot.parent.size());
+  for (vid_t p : snapshot.parent) mix(static_cast<std::uint64_t>(p));
+  mix(snapshot.frontier.size());
+  for (vid_t v : snapshot.frontier) mix(static_cast<std::uint64_t>(v));
+  mix(static_cast<std::uint64_t>(snapshot.dirop_frontier_edges));
+  mix(static_cast<std::uint64_t>(snapshot.dirop_unexplored_edges));
+  mix(snapshot.dirop_bottom_up ? 1u : 0u);
+  return h;
+}
+
+const char* checkpoint_defect(const Checkpoint& snapshot, vid_t source) {
+  if (snapshot.level.empty() && snapshot.parent.empty()) {
+    return nullptr;  // the implicit replay-from-source snapshot
+  }
+  const std::size_t n = snapshot.level.size();
+  if (snapshot.parent.size() != n) return "array-size-mismatch";
+  if (source < 0 || static_cast<std::size_t>(source) >= n) {
+    return "source-out-of-range";
+  }
+  if (snapshot.parent[static_cast<std::size_t>(source)] != source) {
+    return "source-parent";
+  }
+  if (snapshot.level[static_cast<std::size_t>(source)] != 0) {
+    return "source-level";
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const level_t lv = snapshot.level[v];
+    const vid_t pv = snapshot.parent[v];
+    if (lv == kUnreached) {
+      if (pv != kNoVertex) return "unreached-with-parent";
+      continue;
+    }
+    if (lv < 0 || lv > snapshot.levels_completed) return "level-range";
+    if (static_cast<vid_t>(v) == source) continue;
+    if (pv < 0 || static_cast<std::size_t>(pv) >= n) return "parent-range";
+    if (snapshot.level[static_cast<std::size_t>(pv)] != lv - 1) {
+      return "tree-property";
+    }
+  }
+  if (snapshot.global_frontier !=
+      static_cast<std::int64_t>(snapshot.frontier.size())) {
+    return "frontier-count";
+  }
+  level_t frontier_level = -1;
+  for (vid_t v : snapshot.frontier) {
+    if (v < 0 || static_cast<std::size_t>(v) >= n) return "frontier-range";
+    const level_t lv = snapshot.level[static_cast<std::size_t>(v)];
+    if (lv == kUnreached) return "frontier-unvisited";
+    if (frontier_level < 0) frontier_level = lv;
+    if (lv != frontier_level) return "frontier-level";
+  }
+  return nullptr;
+}
+
 void CheckpointStore::arm(const RecoverOptions& options) {
   options_ = options;
   armed_ = true;
-  latest_ = Checkpoint{};
+  history_.clear();
+  empty_ = Checkpoint{};
   prev_visited_ = 0;
   taken_ = 0;
   bytes_ = 0;
@@ -44,10 +109,82 @@ std::uint64_t CheckpointStore::take(Checkpoint snapshot) {
           (sizeof(vid_t) + sizeof(level_t)) +
       snapshot.frontier.size() * sizeof(vid_t);
   prev_visited_ = visited;
-  latest_ = std::move(snapshot);
+  Entry entry;
+  entry.checksum = checkpoint_checksum(snapshot);
+  entry.snapshot = std::move(snapshot);
+  history_.push_back(std::move(entry));
   ++taken_;
   bytes_ += increment;
   return increment;
+}
+
+const Checkpoint& CheckpointStore::latest() const noexcept {
+  return history_.empty() ? empty_ : history_.back().snapshot;
+}
+
+const Checkpoint& CheckpointStore::newest_clean(vid_t source) const {
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (checkpoint_checksum(it->snapshot) != it->checksum) continue;
+    if (checkpoint_defect(it->snapshot, source) != nullptr) continue;
+    return it->snapshot;
+  }
+  return empty_;
+}
+
+void CheckpointStore::rollback_to(const Checkpoint& snapshot) {
+  if (&snapshot == &empty_) {
+    history_.clear();
+  } else {
+    while (!history_.empty() && &history_.back().snapshot != &snapshot) {
+      history_.pop_back();
+    }
+  }
+  // Reset the incremental baseline: the next take() re-ships everything
+  // the discarded snapshots had already replicated.
+  std::int64_t visited = 0;
+  for (level_t l : snapshot.level) {
+    if (l != kUnreached) ++visited;
+  }
+  prev_visited_ = visited;
+}
+
+bool CheckpointStore::corrupt_latest(std::uint64_t shape) {
+  if (history_.empty()) return false;
+  Checkpoint& c = history_.back().snapshot;
+  // Pick a non-empty array, then an item and a bit, like the wire-payload
+  // corrupter in comm.hpp — the stored checksum is deliberately left
+  // stale, which is what distinguishes rot from a legitimate rewrite.
+  struct Slot {
+    void* data;
+    std::size_t items;
+    std::size_t item_bytes;
+  };
+  std::vector<Slot> slots;
+  if (!c.parent.empty()) slots.push_back({c.parent.data(), c.parent.size(),
+                                          sizeof(vid_t)});
+  if (!c.level.empty()) slots.push_back({c.level.data(), c.level.size(),
+                                         sizeof(level_t)});
+  if (!c.frontier.empty()) slots.push_back({c.frontier.data(),
+                                            c.frontier.size(),
+                                            sizeof(vid_t)});
+  if (slots.empty()) return false;
+  const Slot& slot = slots[(shape >> 8) % slots.size()];
+  auto* bytes = static_cast<unsigned char*>(slot.data);
+  const std::size_t item = (shape >> 16) % slot.items;
+  const std::size_t byte = (shape >> 40) % slot.item_bytes;
+  bytes[item * slot.item_bytes + byte] ^=
+      static_cast<unsigned char>(1u << ((shape >> 50) % 8));
+  return true;
+}
+
+int CheckpointStore::scrub() {
+  const auto first = std::remove_if(
+      history_.begin(), history_.end(), [](const Entry& e) {
+        return checkpoint_checksum(e.snapshot) != e.checksum;
+      });
+  const int rejected = static_cast<int>(history_.end() - first);
+  history_.erase(first, history_.end());
+  return rejected;
 }
 
 std::uint64_t restore_payload_bytes(const Checkpoint& snapshot) {

@@ -47,6 +47,11 @@ struct RecoverOptions {
   /// Hot spares available to Policy::kSpare before recovery gives up and
   /// rethrows the failure.
   int spare_ranks = 1;
+  /// State-audit cadence: run the ABFT auditor (src/bfs/audit.*) after
+  /// every k completed levels, plus once after the traversal finishes. 0
+  /// disables auditing — a run with audits off and no at-rest fault plan
+  /// is bit-identical to a build without the subsystem.
+  int audit_every = 0;
 };
 
 /// One consistent BFS snapshot, taken at a level barrier.
@@ -66,10 +71,26 @@ struct Checkpoint {
   bool dirop_bottom_up = false;      ///< direction the last level ran in
 };
 
-/// Holds the latest replicated snapshot plus byte/count accounting.
+/// Deterministic digest of a snapshot's full contents (header scalars,
+/// arrays, frontier, dirop state). Stored next to each replica at take()
+/// time and recomputed on restore, so an at-rest flip in the stored copy
+/// is caught before it is ever replayed from.
+std::uint64_t checkpoint_checksum(const Checkpoint& snapshot) noexcept;
+
+/// Structural audit of a snapshot: returns the name of the first BFS
+/// invariant it violates, or nullptr when clean. Catches snapshots that
+/// were corrupted *before* they were stored (the checksum matches but the
+/// contents were already wrong): source rooting, parent/level tree
+/// consistency, and frontier/level agreement. The implicit empty
+/// snapshot (replay from source) is always clean.
+const char* checkpoint_defect(const Checkpoint& snapshot, vid_t source);
+
+/// Holds the replicated snapshot history plus byte/count accounting.
 /// Snapshots are incremental on the wire: a vertex's (parent, level)
 /// entry is shipped to the replica only when it became visited since the
-/// previous snapshot, plus the frontier list itself.
+/// previous snapshot, plus the frontier list itself. Every stored
+/// snapshot carries its content checksum so restores can verify it and
+/// rollback can skip past corrupted replicas to the newest clean one.
 class CheckpointStore {
  public:
   void arm(const RecoverOptions& options);
@@ -87,15 +108,48 @@ class CheckpointStore {
   /// Store a snapshot; returns the incremental replicated bytes.
   std::uint64_t take(Checkpoint snapshot);
 
-  const Checkpoint& latest() const noexcept { return latest_; }
+  /// Newest stored snapshot, unverified. Empty (replay from source) until
+  /// the first take().
+  const Checkpoint& latest() const noexcept;
+
+  /// Newest stored snapshot that passes both its stored checksum and the
+  /// structural defect check. Falls back to the implicit empty snapshot
+  /// (replay from source) when every stored replica is corrupt — recovery
+  /// never dead-ends, it just replays more levels.
+  const Checkpoint& newest_clean(vid_t source) const;
+
+  /// Make `snapshot` (a reference returned by latest()/newest_clean())
+  /// the newest entry again: discard everything stored after it and reset
+  /// the incremental baseline so post-rollback takes re-ship what the
+  /// discarded snapshots had. Passing the implicit empty snapshot clears
+  /// the history.
+  void rollback_to(const Checkpoint& snapshot);
+
+  /// Fault-injection hook: flip one bit of the newest stored replica
+  /// (shape picks the array, item, and bit) without touching its stored
+  /// checksum — exactly what an at-rest memory error does. Returns false
+  /// when nothing is stored to corrupt.
+  bool corrupt_latest(std::uint64_t shape);
+
+  /// Audit-time scrub: drop stored snapshots whose contents no longer
+  /// match their stored checksum; returns how many were rejected
+  /// (sdc.checkpoints_rejected).
+  int scrub();
 
   std::int64_t checkpoints_taken() const noexcept { return taken_; }
   std::uint64_t bytes_shipped() const noexcept { return bytes_; }
+  std::size_t stored() const noexcept { return history_.size(); }
 
  private:
+  struct Entry {
+    Checkpoint snapshot;
+    std::uint64_t checksum = 0;
+  };
+
   RecoverOptions options_;
   bool armed_ = false;
-  Checkpoint latest_;
+  std::vector<Entry> history_;  ///< oldest first; back() is the newest
+  Checkpoint empty_;            ///< the implicit replay-from-source snapshot
   std::int64_t prev_visited_ = 0;
   std::int64_t taken_ = 0;
   std::uint64_t bytes_ = 0;

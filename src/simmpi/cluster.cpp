@@ -140,6 +140,22 @@ void Cluster::consume_kill(int rank) {
   rearm_kills();
 }
 
+std::vector<MemFlip> Cluster::take_due_flips(int levels_completed) {
+  auto& flips = faults_.mem_flips;
+  std::vector<MemFlip> due;
+  auto keep = flips.begin();
+  for (auto it = flips.begin(); it != flips.end(); ++it) {
+    if (it->due(levels_completed)) {
+      due.push_back(*it);
+    } else {
+      *keep++ = *it;
+    }
+  }
+  flips.erase(keep, flips.end());
+  if (!due.empty()) faults_enabled_ = faults_.enabled();
+  return due;
+}
+
 void Cluster::revive_rank(int rank) {
   if (!dead_.empty()) dead_[static_cast<std::size_t>(rank)] = 0;
   rearm_kills();

@@ -180,6 +180,12 @@ class Cluster {
   /// against the current communicator's rank numbering.
   void consume_kill(int rank);
 
+  /// Remove and return the at-rest corruption events due after
+  /// `levels_completed` BFS levels. Consuming fired flips is what makes
+  /// post-rollback replays run clean (see simmpi/fault.hpp), mirroring
+  /// consume_kill; entries that never fire stay scheduled.
+  std::vector<MemFlip> take_due_flips(int levels_completed);
+
   /// Return a dead rank to service (spare-promotion path). The caller is
   /// responsible for re-seeding its clock via clocks().seed / a restore
   /// collective.

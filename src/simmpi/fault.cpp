@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "util/json.hpp"
 #include "util/prng.hpp"
@@ -17,6 +18,7 @@ namespace {
 constexpr std::uint64_t kFailStream = 0x9e3779b97f4a7c15ULL;
 constexpr std::uint64_t kCorruptStream = 0xbf58476d1ce4e5b9ULL;
 constexpr std::uint64_t kShapeStream = 0x94d049bb133111ebULL;
+constexpr std::uint64_t kFlipStream = 0xd6e8feb86659fd93ULL;
 
 std::uint64_t draw_u64(std::uint64_t seed, std::uint64_t stream,
                        std::uint64_t event) noexcept {
@@ -53,6 +55,31 @@ CorruptKind parse_corrupt_kind(const std::string& name) {
   throw std::invalid_argument("unknown corruption kind: " + name);
 }
 
+const char* to_string(FlipTarget target) {
+  switch (target) {
+    case FlipTarget::kParents:
+      return "parents";
+    case FlipTarget::kLevels:
+      return "levels";
+    case FlipTarget::kVisited:
+      return "visited";
+    case FlipTarget::kDirop:
+      return "dirop";
+    case FlipTarget::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+FlipTarget parse_flip_target(const std::string& name) {
+  if (name == "parents") return FlipTarget::kParents;
+  if (name == "levels") return FlipTarget::kLevels;
+  if (name == "visited") return FlipTarget::kVisited;
+  if (name == "dirop") return FlipTarget::kDirop;
+  if (name == "checkpoint") return FlipTarget::kCheckpoint;
+  throw std::invalid_argument("unknown flip target: " + name);
+}
+
 namespace {
 
 std::string fault_message(const std::string& site, const std::string& kind,
@@ -69,6 +96,18 @@ std::string rank_failed_message(const std::string& site, int rank,
   std::string msg = "rank failure: rank " + std::to_string(rank) +
                     " is dead, detected at collective " + site;
   if (level >= 0) msg += " (level " + std::to_string(level) + ")";
+  return msg;
+}
+
+std::string audit_failed_message(const std::string& site,
+                                 const std::string& check, int rank,
+                                 int level, std::int64_t sample_vertex) {
+  std::string msg = "silent data corruption: " + check + " failed at " + site;
+  if (rank >= 0) msg += " (rank " + std::to_string(rank) + ")";
+  if (level >= 0) msg += " (level " + std::to_string(level) + ")";
+  if (sample_vertex >= 0) {
+    msg += " (sample vertex " + std::to_string(sample_vertex) + ")";
+  }
   return msg;
 }
 
@@ -101,10 +140,23 @@ RankFailedError::RankFailedError(std::string site, int rank, int level,
                  "rank-failure", 1, rank, level),
       virtual_time_(virtual_time) {}
 
+AuditFailedError::AuditFailedError(std::string site, std::string check,
+                                   int rank, int level,
+                                   std::int64_t sample_vertex,
+                                   double virtual_time)
+      // No std::move(site/check): the message argument also reads them.
+    : FaultError(Prebuilt{},
+                 audit_failed_message(site, check, rank, level,
+                                      sample_vertex),
+                 site, "audit-failure", 1, rank, level),
+      check_(std::move(check)),
+      sample_vertex_(sample_vertex),
+      virtual_time_(virtual_time) {}
+
 bool FaultPlan::enabled() const noexcept {
   return collective_fail_rate > 0.0 || corrupt_rate > 0.0 ||
          !compute_stragglers.empty() || !nic_stragglers.empty() ||
-         !rank_kills.empty();
+         !rank_kills.empty() || !mem_flips.empty();
 }
 
 double FaultPlan::compute_factor(int rank) const noexcept {
@@ -146,6 +198,18 @@ CorruptKind FaultPlan::corruption_at(std::uint64_t event) const noexcept {
 
 std::uint64_t FaultPlan::shape_draw(std::uint64_t event) const noexcept {
   return draw_u64(seed, kShapeStream, event);
+}
+
+std::uint64_t FaultPlan::flip_shape(const MemFlip& flip) const noexcept {
+  // Keyed by the flip's identity, not an event counter: the victim stays
+  // the same however many recovery replays preceded the injection.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(flip.rank))
+       << 34) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(flip.at_level))
+       << 3) ^
+      static_cast<std::uint64_t>(flip.target);
+  return draw_u64(seed, kFlipStream, key);
 }
 
 double FaultPlan::backoff_seconds(int attempt) const noexcept {
@@ -218,12 +282,58 @@ std::string to_json(const FaultPlan& plan) {
     }
     out += "]";
   }
+  if (!plan.mem_flips.empty()) {
+    out += ",\"mem_flips\":[";
+    for (std::size_t i = 0; i < plan.mem_flips.size(); ++i) {
+      const MemFlip& f = plan.mem_flips[i];
+      if (i > 0) out += ',';
+      out += "{\"rank\":" + std::to_string(f.rank);
+      if (f.at_level >= 0)
+        out += ",\"at_level\":" + std::to_string(f.at_level);
+      out += ",\"target\":\"" + std::string(to_string(f.target)) + "\"}";
+    }
+    out += "]";
+  }
   out += "}";
   return out;
 }
 
+namespace {
+
+// Forward-compat guard: a plan written by a newer binary may carry keys
+// this build does not understand. Silently dropping them would make the
+// plan partially inert without a trace, so each unknown key warns once
+// (per process) to stderr.
+void warn_unknown_plan_keys(const util::JsonValue& doc) {
+  static const char* const known[] = {
+      "seed",           "collective_fail_rate", "max_collective_retries",
+      "backoff_base_seconds", "backoff_cap_seconds", "corrupt_rate",
+      "corrupt_kind",   "max_payload_retries",  "compute_stragglers",
+      "nic_stragglers", "rank_kills",           "mem_flips",
+  };
+  static std::set<std::string> warned;
+  for (const auto& [key, value] : doc.members) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok || !warned.insert(key).second) continue;
+    std::fprintf(stderr,
+                 "warning: fault plan key \"%s\" is not understood by this "
+                 "build and will be ignored\n",
+                 key.c_str());
+  }
+}
+
+}  // namespace
+
 FaultPlan fault_plan_from_json(const std::string& text) {
   const util::JsonValue doc = util::parse_json(text);
+  warn_unknown_plan_keys(doc);
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(doc.int_or("seed", 0));
   plan.collective_fail_rate = doc.number_or("collective_fail_rate", 0.0);
@@ -248,6 +358,16 @@ FaultPlan fault_plan_from_json(const std::string& text) {
       kill.at_level = static_cast<int>(item.int_or("at_level", -1));
       kill.at_time = item.number_or("at_time", -1.0);
       plan.rank_kills.push_back(kill);
+    }
+  }
+  // Absent in pre-SDC plans: loads as an empty (inert) schedule.
+  if (doc.has("mem_flips")) {
+    for (const auto& item : doc.at("mem_flips").items) {
+      MemFlip flip;
+      flip.rank = static_cast<int>(item.int_or("rank", -1));
+      flip.at_level = static_cast<int>(item.int_or("at_level", -1));
+      flip.target = parse_flip_target(item.string_or("target", "parents"));
+      plan.mem_flips.push_back(flip);
     }
   }
   return plan;
@@ -296,6 +416,47 @@ std::vector<RankKill> parse_kill_specs(const std::string& spec) {
     throw std::invalid_argument("empty kill spec: " + spec);
   }
   return kills;
+}
+
+std::vector<MemFlip> parse_flip_specs(const std::string& spec) {
+  std::vector<MemFlip> flips;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t at = item.find('@');
+    const std::size_t colon = item.find(':');
+    if (at == std::string::npos || at == 0 || colon == std::string::npos ||
+        colon < at) {
+      throw std::invalid_argument("flip spec '" + item +
+                                  "': expected RANK@levelL:target");
+    }
+    MemFlip flip;
+    char* end = nullptr;
+    flip.rank = static_cast<int>(std::strtol(item.c_str(), &end, 10));
+    if (end != item.c_str() + at || flip.rank < 0) {
+      throw std::invalid_argument("flip spec '" + item + "': bad rank");
+    }
+    const std::string trigger = item.substr(at + 1, colon - at - 1);
+    if (trigger.rfind("level", 0) != 0) {
+      throw std::invalid_argument("flip spec '" + item +
+                                  "': trigger must be levelL");
+    }
+    const char* digits = trigger.c_str() + 5;
+    flip.at_level = static_cast<int>(std::strtol(digits, &end, 10));
+    if (end == digits || *end != '\0' || flip.at_level < 0) {
+      throw std::invalid_argument("flip spec '" + item + "': bad level");
+    }
+    flip.target = parse_flip_target(item.substr(colon + 1));
+    flips.push_back(flip);
+  }
+  if (flips.empty()) {
+    throw std::invalid_argument("empty flip spec: " + spec);
+  }
+  return flips;
 }
 
 }  // namespace dbfs::simmpi

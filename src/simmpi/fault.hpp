@@ -24,7 +24,15 @@
 //     semantics: every survivor learns of the death at the same barrier)
 //     after the survivors pay the detection timeout modeled in
 //     model::cost_failure_detection. Recovery — shrink to p-1 ranks or
-//     promote a hot spare — lives in src/recover/ and the BFS drivers.
+//     promote a hot spare — lives in src/recover/ and the BFS drivers;
+//   * at-rest memory corruption (silent data corruption) — a scheduled
+//     bit-flip in state *resident* on a rank at a level barrier: the
+//     parents or levels shard, the sender-side visited bitmap, the
+//     direction-optimization heuristic scalars, or a stored checkpoint
+//     replica. Nothing on the wire notices — detection is the job of the
+//     ABFT state auditor in src/bfs/audit.* and the self-verifying
+//     checkpoint store, which raise AuditFailedError so the drivers can
+//     roll back to the newest clean snapshot and replay.
 //
 // After a shrink, remaining kill entries are interpreted against the
 // rebuilt communicator's rank numbering (the plan names logical slots,
@@ -98,6 +106,30 @@ class RankFailedError : public FaultError {
   double virtual_time_;
 };
 
+/// Raised when the state auditor (src/bfs/audit.*) or a verified
+/// checkpoint restore detects silent data corruption. Carries which
+/// invariant broke, a sample offending vertex when one is known, and the
+/// virtual time at which the cluster agreed on the verdict so rollback
+/// can resume the survivors' clocks from there.
+class AuditFailedError : public FaultError {
+ public:
+  AuditFailedError(std::string site, std::string check, int rank, int level,
+                   std::int64_t sample_vertex, double virtual_time);
+
+  /// The invariant that failed ("shard-checksum", "tree-property",
+  /// "visited-superset", "dirop-state", "checkpoint-checksum", ...).
+  const std::string& check() const noexcept { return check_; }
+  /// A vertex witnessing the corruption, or -1 when only aggregate
+  /// checksums disagreed.
+  std::int64_t sample_vertex() const noexcept { return sample_vertex_; }
+  double virtual_time() const noexcept { return virtual_time_; }
+
+ private:
+  std::string check_;
+  std::int64_t sample_vertex_;
+  double virtual_time_;
+};
+
 /// One scheduled fail-stop death. Exactly one of at_level / at_time
 /// should be >= 0; the kill fires at the first collective on a group
 /// containing `rank` once the trigger is due.
@@ -109,6 +141,36 @@ struct RankKill {
   bool due(int current_level, double now) const noexcept {
     if (at_level >= 0 && current_level >= at_level) return true;
     return at_time >= 0.0 && now >= at_time;
+  }
+};
+
+/// What resident state an at-rest corruption event mangles.
+enum class FlipTarget {
+  kParents,     ///< one bit of one visited vertex's parent entry
+  kLevels,      ///< one bit of one visited vertex's distance entry
+  kVisited,     ///< one spurious bit in the sender-side visited bitmap
+  kDirop,       ///< one bit of the direction-optimization m_u scalar
+  kCheckpoint,  ///< one bit of the newest stored checkpoint replica
+};
+
+const char* to_string(FlipTarget target);
+/// Parse "parents" | "levels" | "visited" | "dirop" | "checkpoint";
+/// throws std::invalid_argument otherwise.
+FlipTarget parse_flip_target(const std::string& name);
+
+/// One scheduled at-rest corruption event: state resident on `rank` is
+/// flipped at the first level barrier after `at_level` BFS levels have
+/// completed. Like kills, entries naming ranks outside the cluster (or
+/// levels the traversal never reaches) are ignored, and a fired flip is
+/// consumed so recovery replays run clean — which is what lets a detected
+/// corruption converge to bit-identical parents/levels.
+struct MemFlip {
+  int rank = -1;
+  int at_level = -1;
+  FlipTarget target = FlipTarget::kParents;
+
+  bool due(int levels_completed) const noexcept {
+    return at_level >= 0 && levels_completed >= at_level;
   }
 };
 
@@ -142,6 +204,11 @@ struct FaultPlan {
   /// the cluster are ignored, like the straggler lists.
   std::vector<RankKill> rank_kills;
 
+  /// Scheduled at-rest corruption events (see MemFlip). Injected by the
+  /// BFS drivers at level barriers; detection belongs to the state
+  /// auditor and the verified checkpoint store, never the wire.
+  std::vector<MemFlip> mem_flips;
+
   /// True when any perturbation is configured; gates every hot path.
   bool enabled() const noexcept;
   bool payload_faults() const noexcept { return corrupt_rate > 0.0; }
@@ -156,23 +223,37 @@ struct FaultPlan {
   /// Raw 64-bit draw used to pick corruption victims (buffer/item/bit).
   std::uint64_t shape_draw(std::uint64_t event) const noexcept;
 
+  /// Raw 64-bit draw picking an at-rest flip's victim vertex/bit. Keyed
+  /// by the flip's own identity (rank, level, target) rather than an
+  /// event counter so the same flip mangles the same bit no matter how
+  /// many recoveries replayed before it fired.
+  std::uint64_t flip_shape(const MemFlip& flip) const noexcept;
+
   double backoff_seconds(int attempt) const noexcept;
 };
 
 /// Serialize a plan as a JSON object (hand-rolled, byte-stable like the
-/// other writers). Kill schedules land under "rank_kills"; a plan without
-/// kills omits the key so pre-kill readers keep working.
+/// other writers). Kill schedules land under "rank_kills" and corruption
+/// schedules under "mem_flips"; a plan without either omits the key so
+/// pre-kill readers keep working.
 std::string to_json(const FaultPlan& plan);
 
 /// Parse a plan written by to_json (or by hand). Absent keys keep their
 /// defaults, so an old pre-kill plan JSON loads with an empty kill
-/// schedule — inert with respect to fail-stop faults.
+/// schedule — inert with respect to fail-stop faults. Unknown top-level
+/// keys (a newer plan read by an older binary) warn once per key to
+/// stderr instead of being silently dropped.
 FaultPlan fault_plan_from_json(const std::string& text);
 
 /// Parse the CLI kill syntax: comma-separated "RANK@levelL" /
 /// "RANK@tSECONDS" specs, e.g. "2@level3,0@t0.05". Throws
 /// std::invalid_argument on malformed specs.
 std::vector<RankKill> parse_kill_specs(const std::string& spec);
+
+/// Parse the CLI at-rest corruption syntax: comma-separated
+/// "RANK@levelL:target" specs, e.g. "2@level3:parents,0@level1:dirop".
+/// Throws std::invalid_argument on malformed specs.
+std::vector<MemFlip> parse_flip_specs(const std::string& spec);
 
 /// Per-run fault accounting, reset alongside clocks and traffic.
 struct FaultCounters {

@@ -11,6 +11,7 @@
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
 #include "graph/validator.hpp"
+#include "simmpi/fault.hpp"
 #include "test_helpers.hpp"
 #include "util/prng.hpp"
 
@@ -227,6 +228,25 @@ TEST_P(DifferentialFuzz, ChaosRunsMatchSerialOrFailLoudly) {
                                 ? recover::Policy::kShrink
                                 : recover::Policy::kSpare;
       opts.recover.spare_ranks = 1;
+    }
+    // At-rest corruption joins the mix: random flips against every
+    // resident-state target, always with auditing armed so each applied
+    // flip is detected and rolled back — the completed-run contract
+    // (exact agreement with serial) is unchanged.
+    const auto flip_count = rng.next_below(3);
+    for (std::uint64_t f = 0; f < flip_count; ++f) {
+      simmpi::MemFlip flip;
+      flip.rank = static_cast<int>(rng.next_below(16));
+      flip.at_level = 1 + static_cast<int>(rng.next_below(4));
+      flip.target = static_cast<simmpi::FlipTarget>(rng.next_below(5));
+      faults.mem_flips.push_back(flip);
+    }
+    if (!faults.mem_flips.empty()) {
+      opts.recover.audit_every = 1 + static_cast<int>(rng.next_below(2));
+      if (opts.recover.checkpoint_every == 0) {
+        opts.recover.checkpoint_every =
+            1 + static_cast<int>(rng.next_below(2));
+      }
     }
 
     core::Engine engine{built.edges, n, opts};

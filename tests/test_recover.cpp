@@ -136,6 +136,96 @@ TEST(RecoverChaos, TimeTriggeredKillRecovers) {
   EXPECT_GT(out.report.total_seconds, expected.report.total_seconds);
 }
 
+// Cadence 0 keeps only the implicit source snapshot: every recovery is
+// a full replay from level 0, even when a second kill lands on the
+// already-shrunken communicator mid-replay.
+TEST(RecoverChaos, SourceOnlyReplaySurvivesDoubleKills) {
+  const auto built = test::rmat_graph(9, 8);
+  const vid_t n = built.csr.num_vertices();
+  const vid_t source = test::hub_source(built.csr);
+
+  core::EngineOptions clean = base_options(core::Algorithm::kOneDFlat, 8);
+  core::Engine clean_engine{built.edges, n, clean};
+  const auto expected = clean_engine.run(source);
+
+  core::EngineOptions opts = clean;
+  opts.faults.rank_kills = {level_kill(2, 1), level_kill(1, 3)};
+  opts.recover.checkpoint_every = 0;
+  core::Engine engine{built.edges, n, opts};
+  const auto out = engine.run(source);
+  EXPECT_EQ(out.parent, expected.parent);
+  EXPECT_EQ(out.level, expected.level);
+  EXPECT_EQ(out.report.recover.rank_failures, 2);
+  // Cadence 0 means no level-barrier snapshots — only the implicit
+  // level-0 (source) snapshot every armed run takes.
+  EXPECT_EQ(out.report.recover.checkpoints_taken, 1);
+  // The second kill fires at level 3 after a replay from the source, so
+  // at least levels 1..3 run more than once.
+  EXPECT_GE(out.report.recover.replayed_levels, 3);
+}
+
+// Two ranks scheduled to die at the same level: the second failure is
+// detected during the replay the first one triggered, so both restores
+// come from the same snapshot — restore-after-restore must be
+// idempotent.
+TEST(RecoverChaos, RestoreAfterRestoreFromTheSameSnapshotIsIdempotent) {
+  const auto built = test::rmat_graph(9, 8);
+  const vid_t n = built.csr.num_vertices();
+  const vid_t source = test::hub_source(built.csr);
+
+  const core::Algorithm algorithms[] = {core::Algorithm::kOneDFlat,
+                                        core::Algorithm::kTwoDFlat};
+  for (core::Algorithm algorithm : algorithms) {
+    core::EngineOptions clean = base_options(algorithm, 16);
+    core::Engine clean_engine{built.edges, n, clean};
+    const auto expected = clean_engine.run(source);
+
+    core::EngineOptions opts = clean;
+    opts.faults.rank_kills = {level_kill(1, 2), level_kill(3, 2)};
+    opts.recover.checkpoint_every = 1;
+    core::Engine engine{built.edges, n, opts};
+    const auto out = engine.run(source);
+    EXPECT_EQ(out.parent, expected.parent) << core::to_string(algorithm);
+    EXPECT_EQ(out.level, expected.level) << core::to_string(algorithm);
+    EXPECT_EQ(out.report.recover.rank_failures, 2)
+        << core::to_string(algorithm);
+  }
+}
+
+// A kill early in the traversal re-partitions the survivors; the
+// snapshots taken afterwards describe the *shrunken* layout, and a
+// second kill must restore exactly from one of them (cadence 1 bounds
+// the replay to one level per failure — a restore from the source would
+// blow that bound).
+TEST(RecoverChaos, PostShrinkSnapshotsRestoreExactly) {
+  const auto built = test::rmat_graph(9, 8);
+  const vid_t n = built.csr.num_vertices();
+  const vid_t source = test::hub_source(built.csr);
+
+  const core::Algorithm algorithms[] = {core::Algorithm::kOneDFlat,
+                                        core::Algorithm::kTwoDFlat};
+  for (core::Algorithm algorithm : algorithms) {
+    core::EngineOptions clean = base_options(algorithm, 16);
+    core::Engine clean_engine{built.edges, n, clean};
+    const auto expected = clean_engine.run(source);
+
+    core::EngineOptions opts = clean;
+    opts.faults.rank_kills = {level_kill(1, 1), level_kill(2, 3)};
+    opts.recover.policy = recover::Policy::kShrink;
+    opts.recover.checkpoint_every = 1;
+    core::Engine engine{built.edges, n, opts};
+    const auto out = engine.run(source);
+    EXPECT_EQ(out.parent, expected.parent) << core::to_string(algorithm);
+    EXPECT_EQ(out.level, expected.level) << core::to_string(algorithm);
+    EXPECT_EQ(out.report.recover.rank_failures, 2)
+        << core::to_string(algorithm);
+    EXPECT_GE(out.report.recover.checkpoints_taken, 2)
+        << core::to_string(algorithm);
+    EXPECT_LE(out.report.recover.replayed_levels, 2)
+        << core::to_string(algorithm);
+  }
+}
+
 TEST(RecoverChaos, DoubleKillShrinksTwice) {
   const auto built = test::rmat_graph(9, 8);
   const vid_t n = built.csr.num_vertices();
